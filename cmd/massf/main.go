@@ -1,0 +1,177 @@
+// Command massf runs a parallel packet-level network simulation from a DML
+// network file: it maps the network onto engine nodes with a chosen
+// load-balance approach, drives the paper's background and foreground
+// workloads, and reports the evaluation metrics (simulation time, achieved
+// MLL, load imbalance, parallel efficiency). A profiling pass can be
+// captured with -profile-out and fed back via -profile for the
+// profile-based approaches.
+//
+// Example two-pass PROF workflow:
+//
+//	massf -net net.dml -approach RANDOM -engines 1 -profile-out prof.txt
+//	massf -net net.dml -approach HPROF -engines 90 -profile prof.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"massf"
+)
+
+var approaches = map[string]massf.Approach{
+	"RANDOM": massf.RANDOM,
+	"TOP":    massf.TOP,
+	"TOP2":   massf.TOP2,
+	"PLACE":  massf.PLACE,
+	"PROF":   massf.PROF,
+	"PROF2":  massf.PROF2,
+	"HTOP":   massf.HTOP,
+	"HPROF":  massf.HPROF,
+}
+
+func main() {
+	var (
+		netPath   = flag.String("net", "", "input DML network (required)")
+		name      = flag.String("approach", "HPROF", "mapping approach")
+		engines   = flag.Int("engines", 16, "simulation engine node count")
+		horizon   = flag.Float64("seconds", 8, "simulated seconds")
+		app       = flag.String("app", "scalapack", "foreground application: scalapack, gridnpb, none")
+		clients   = flag.Int("clients", 0, "background HTTP clients (default: 80% of free hosts)")
+		servers   = flag.Int("servers", 0, "background HTTP servers (default: the rest)")
+		profPath  = flag.String("profile", "", "traffic profile input")
+		profOut   = flag.String("profile-out", "", "write the measured profile here")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		realTime  = flag.Float64("realtime", 0, "real-time pacing factor (0 = as fast as possible, 8 = paper's slowdown)")
+		eventCost = flag.Float64("event-cost-us", 15, "modeled per-event cost in µs")
+	)
+	flag.Parse()
+	if *netPath == "" {
+		fatal(fmt.Errorf("-net is required"))
+	}
+	a, ok := approaches[strings.ToUpper(*name)]
+	if !ok {
+		fatal(fmt.Errorf("unknown approach %q", *name))
+	}
+
+	f, err := os.Open(*netPath)
+	if err != nil {
+		fatal(err)
+	}
+	net, err := massf.LoadNetwork(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	routes := massf.NewRouting(net)
+
+	var prof *massf.Profile
+	if *profPath != "" {
+		pf, err := os.Open(*profPath)
+		if err != nil {
+			fatal(err)
+		}
+		prof, err = massf.ReadProfile(pf)
+		pf.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	mapping, err := massf.Map(net, a, massf.MappingConfig{Engines: *engines, Seed: *seed}, prof)
+	if err != nil {
+		fatal(err)
+	}
+	end := massf.Time(*horizon * float64(massf.Second))
+	cost := massf.Time(*eventCost * float64(massf.Microsecond))
+	sim, err := massf.NewSimulation(massf.SimConfig{
+		Net: net, Routes: routes, Part: mapping.Part, Engines: *engines,
+		Window: mapping.MLL, End: end, Seed: *seed,
+		EventCost: cost, RealTimeFactor: *realTime,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	// Host roles.
+	var hosts []massf.NodeID
+	for i := range net.Nodes {
+		if net.Nodes[i].Kind == massf.Host {
+			hosts = append(hosts, massf.NodeID(i))
+		}
+	}
+	if len(hosts) < 9 {
+		fatal(fmt.Errorf("network has only %d hosts; need ≥ 9", len(hosts)))
+	}
+	appHosts := hosts[:7]
+	free := hosts[7:]
+	nc := *clients
+	if nc <= 0 || nc > len(free)-1 {
+		nc = len(free) * 4 / 5
+	}
+	ns := *servers
+	if ns <= 0 || nc+ns > len(free) {
+		ns = len(free) - nc
+	}
+	httpStats := massf.InstallHTTP(sim, massf.HTTPConfig{
+		Clients: free[:nc], Servers: free[nc : nc+ns],
+		MeanGap: 5 * massf.Second, MeanFileBytes: 50_000, Seed: *seed,
+	})
+	var appFlows []*massf.WorkflowStats
+	var flows []massf.Workflow
+	switch strings.ToLower(*app) {
+	case "scalapack":
+		flows = []massf.Workflow{massf.ScaLapackWorkflow(appHosts, massf.DefaultScaLapack())}
+	case "gridnpb":
+		flows = massf.GridNPBWorkflows(appHosts)
+	case "none":
+	default:
+		fatal(fmt.Errorf("unknown app %q", *app))
+	}
+	for _, w := range flows {
+		ws, err := massf.InstallWorkflow(sim, w, 0)
+		if err != nil {
+			fatal(err)
+		}
+		appFlows = append(appFlows, ws)
+	}
+
+	res := sim.Run()
+	rep := massf.ReportFor(a.String(), &res, cost)
+	fmt.Printf("approach             %v\n", a)
+	fmt.Printf("engines              %d\n", *engines)
+	fmt.Printf("achieved MLL         %v\n", mapping.MLL)
+	fmt.Printf("simulated horizon    %v\n", end)
+	fmt.Printf("events               %d (%d remote)\n", res.TotalEvents, res.RemoteEvents)
+	fmt.Printf("barrier windows      %d\n", res.Windows)
+	fmt.Printf("modeled sim time     %.3f s\n", rep.SimTimeSec)
+	fmt.Printf("wall time            %.3f s\n", rep.WallSec)
+	fmt.Printf("load imbalance       %.3f\n", rep.Imbalance)
+	fmt.Printf("parallel efficiency  %.3f\n", rep.Efficiency)
+	fmt.Printf("flows                %d started, %d completed, %d pkts dropped\n",
+		res.FlowsStarted, res.FlowsCompleted, res.Dropped)
+	fmt.Printf("http                 %d requests, %d responses\n",
+		httpStats.TotalRequests(), httpStats.TotalResponses())
+	for i, ws := range appFlows {
+		fmt.Printf("app[%d]               %d rounds, first finish %v\n", i, ws.Rounds, ws.FirstFinish)
+	}
+
+	if *profOut != "" {
+		p := massf.ProfileFromResult(&res, end)
+		of, err := os.Create(*profOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer of.Close()
+		if err := p.Write(of); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "massf:", err)
+	os.Exit(1)
+}

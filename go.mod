@@ -1,0 +1,3 @@
+module massf
+
+go 1.22

@@ -1,0 +1,202 @@
+// Package agent implements MaSSF's online simulation capability (Figure 1
+// of the paper): live traffic from real application code is intercepted
+// and redirected through the simulated network, and deliveries flow back
+// to the application. In MaSSF this is the Agent + WrapSocket pair with a
+// virtual/real IP mapping server; here the applications are real Go
+// goroutines and the socket boundary is a message API:
+//
+//	a := agent.New(sim, pumpInterval)
+//	a.MapHost("server", serverNode)         // virtual IP mapping
+//	in := a.Listen(serverNode, 64)          // the wrapped "socket"
+//	a.Send(clientNode, serverNode, payload) // from any live goroutine
+//
+// Combined with netsim's RealTimeFactor pacing (the paper's soft real-time
+// scheduler with slowdown mode), live goroutines observe wall-clock
+// latencies proportional to the simulated network's latencies.
+//
+// The agent boundary is the only place in the simulator where locks cross
+// goroutines: live applications run on arbitrary goroutines, so their
+// messages park in a mutex-guarded inbox that per-engine pump events drain
+// at each pump interval — mirroring how MaSSF's Agent queues live packets
+// into the simulation at window boundaries.
+package agent
+
+import (
+	"fmt"
+	"sync"
+
+	"massf/internal/des"
+	"massf/internal/model"
+	"massf/internal/netsim"
+)
+
+// Message is one live payload carried through the simulated network.
+type Message struct {
+	From, To model.NodeID
+	Payload  []byte
+	// InjectedAt is the simulated time the message entered the network;
+	// DeliveredAt is when its last byte reached the destination.
+	InjectedAt, DeliveredAt des.Time
+}
+
+// Agent bridges live goroutines and the simulation.
+type Agent struct {
+	sim  *netsim.Sim
+	pump des.Time
+
+	mu        sync.Mutex
+	inbox     map[int][]Message // per engine: awaiting injection
+	names     map[string]model.NodeID
+	listeners map[model.NodeID]chan Message
+	dropped   uint64
+	sent      uint64
+	delivered uint64
+}
+
+// New creates an agent on sim, installing an injection pump on every
+// engine that fires every pumpInterval of simulated time. Call before
+// sim.Run.
+func New(sim *netsim.Sim, pumpInterval des.Time) *Agent {
+	if pumpInterval <= 0 {
+		pumpInterval = des.Millisecond
+	}
+	a := &Agent{
+		sim:       sim,
+		pump:      pumpInterval,
+		inbox:     make(map[int][]Message),
+		names:     make(map[string]model.NodeID),
+		listeners: make(map[model.NodeID]chan Message),
+	}
+	for e := 0; e < sim.Config().Engines; e++ {
+		e := e
+		var tick des.Handler
+		tick = func(now des.Time) {
+			a.drain(e, now)
+			if next := now + a.pump; next < sim.Config().End {
+				a.sim.Engine(e).Schedule(next, tick)
+			}
+		}
+		sim.Engine(e).Schedule(pumpInterval, tick)
+	}
+	return a
+}
+
+// MapHost registers a virtual name for a host node (the paper's
+// virtual/real IP mapping server).
+func (a *Agent) MapHost(name string, n model.NodeID) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.names[name] = n
+}
+
+// Resolve looks up a mapped name.
+func (a *Agent) Resolve(name string) (model.NodeID, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n, ok := a.names[name]
+	return n, ok
+}
+
+// Listen returns the delivery channel for host n. Messages arriving for n
+// are pushed to it; if the channel is full the message is dropped (and
+// counted), never blocking the simulation. Listen may be called once per
+// host.
+func (a *Agent) Listen(n model.NodeID, buffer int) <-chan Message {
+	if buffer <= 0 {
+		buffer = 64
+	}
+	ch := make(chan Message, buffer)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.listeners[n] = ch
+	return ch
+}
+
+// Send queues a live message from host `from` to host `to`. It is safe to
+// call from any goroutine, including while the simulation runs; the
+// message enters the network at the next pump on from's engine.
+func (a *Agent) Send(from, to model.NodeID, payload []byte) {
+	eng := a.sim.EngineOf(from)
+	a.mu.Lock()
+	a.inbox[eng] = append(a.inbox[eng], Message{From: from, To: to, Payload: payload})
+	a.sent++
+	a.mu.Unlock()
+}
+
+// SendNamed is Send with virtual names.
+func (a *Agent) SendNamed(from, to string, payload []byte) error {
+	f, ok := a.Resolve(from)
+	if !ok {
+		return fmt.Errorf("agent: unknown host %q", from)
+	}
+	t, ok := a.Resolve(to)
+	if !ok {
+		return fmt.Errorf("agent: unknown host %q", to)
+	}
+	a.Send(f, t, payload)
+	return nil
+}
+
+// drain runs on engine e's goroutine: it injects every queued message
+// whose source that engine owns as a TCP flow through the simulated
+// network.
+func (a *Agent) drain(e int, now des.Time) {
+	a.mu.Lock()
+	msgs := a.inbox[e]
+	a.inbox[e] = nil
+	a.mu.Unlock()
+	for _, m := range msgs {
+		m := m
+		m.InjectedAt = now
+		size := int64(len(m.Payload))
+		if size == 0 {
+			size = 1
+		}
+		a.sim.StartFlowRecv(now, m.From, m.To, size, nil, func(at des.Time) {
+			m.DeliveredAt = at
+			a.deliver(m)
+		})
+	}
+}
+
+// deliver pushes a completed message to its listener, if any.
+func (a *Agent) deliver(m Message) {
+	a.mu.Lock()
+	ch := a.listeners[m.To]
+	a.mu.Unlock()
+	if ch == nil {
+		a.mu.Lock()
+		a.dropped++
+		a.mu.Unlock()
+		return
+	}
+	select {
+	case ch <- m:
+		a.mu.Lock()
+		a.delivered++
+		a.mu.Unlock()
+	default:
+		a.mu.Lock()
+		a.dropped++
+		a.mu.Unlock()
+	}
+}
+
+// Stats reports agent activity: messages queued, delivered to listeners,
+// and dropped (no or full listener).
+func (a *Agent) Stats() (sent, delivered, dropped uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.sent, a.delivered, a.dropped
+}
+
+// Close closes every listener channel, releasing live goroutines blocked
+// on them. Call only after the simulation's Run has returned.
+func (a *Agent) Close() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for n, ch := range a.listeners {
+		close(ch)
+		delete(a.listeners, n)
+	}
+}

@@ -1,0 +1,180 @@
+package agent
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"massf/internal/cluster"
+	"massf/internal/des"
+	"massf/internal/model"
+	"massf/internal/netsim"
+	"massf/internal/routing/ospf"
+	"massf/internal/topology"
+)
+
+// liveSim builds a small network simulation suitable for live traffic:
+// paced at the given real-time factor.
+func liveSim(t *testing.T, factor float64, end des.Time) (*netsim.Sim, []model.NodeID) {
+	t.Helper()
+	net, err := topology.GenerateFlat(topology.FlatOptions{Routers: 40, Hosts: 8, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := netsim.New(netsim.Config{
+		Net: net, Routes: ospf.NewDomain(net, nil), Engines: 1,
+		Window: 10 * des.Millisecond, End: end,
+		Sync: cluster.Fixed{CostNS: 100}, RealTimeFactor: factor, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hosts []model.NodeID
+	for i := range net.Nodes {
+		if net.Nodes[i].Kind == model.Host {
+			hosts = append(hosts, model.NodeID(i))
+		}
+	}
+	return s, hosts
+}
+
+func TestLiveMessageDelivery(t *testing.T) {
+	s, hosts := liveSim(t, 0, 5*des.Second)
+	a := New(s, des.Millisecond)
+	in := a.Listen(hosts[1], 8)
+	// Queue before Run: injected at the first pump.
+	a.Send(hosts[0], hosts[1], []byte("hello grid"))
+	s.Run()
+	select {
+	case m := <-in:
+		if string(m.Payload) != "hello grid" {
+			t.Errorf("payload = %q", m.Payload)
+		}
+		if m.DeliveredAt <= m.InjectedAt {
+			t.Errorf("delivery times wrong: %v → %v", m.InjectedAt, m.DeliveredAt)
+		}
+	default:
+		t.Fatal("message not delivered")
+	}
+	sent, delivered, dropped := a.Stats()
+	if sent != 1 || delivered != 1 || dropped != 0 {
+		t.Errorf("stats = %d/%d/%d", sent, delivered, dropped)
+	}
+}
+
+func TestVirtualIPMapping(t *testing.T) {
+	s, hosts := liveSim(t, 0, 2*des.Second)
+	a := New(s, des.Millisecond)
+	a.MapHost("client", hosts[0])
+	a.MapHost("server", hosts[2])
+	in := a.Listen(hosts[2], 8)
+	if err := a.SendNamed("client", "server", []byte("req")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SendNamed("client", "nowhere", nil); err == nil {
+		t.Error("unknown destination accepted")
+	}
+	if err := a.SendNamed("nowhere", "server", nil); err == nil {
+		t.Error("unknown source accepted")
+	}
+	if n, ok := a.Resolve("server"); !ok || n != hosts[2] {
+		t.Error("Resolve broken")
+	}
+	s.Run()
+	if len(in) != 1 {
+		t.Fatalf("expected 1 delivery, got %d", len(in))
+	}
+}
+
+func TestLiveInteractionDuringRun(t *testing.T) {
+	// A live goroutine ping-pongs with an echo goroutine while the
+	// simulation runs in (scaled) real time: 1 simulated second = 50 ms
+	// wall.
+	s, hosts := liveSim(t, 0.05, 10*des.Second)
+	a := New(s, 5*des.Millisecond)
+	client, server := hosts[0], hosts[3]
+	clientIn := a.Listen(client, 8)
+	serverIn := a.Listen(server, 8)
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	const rounds = 3
+	go func() { // echo server
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			m, ok := <-serverIn
+			if !ok {
+				return
+			}
+			a.Send(server, client, m.Payload)
+		}
+	}()
+	received := 0
+	go func() { // client
+		defer wg.Done()
+		a.Send(client, server, []byte("ping"))
+		for i := 0; i < rounds; i++ {
+			_, ok := <-clientIn
+			if !ok {
+				return
+			}
+			received++
+			if i+1 < rounds {
+				a.Send(client, server, []byte("ping"))
+			}
+		}
+	}()
+	s.Run()
+	close(clientIn2(a, client))
+	close(clientIn2(a, server))
+	wg.Wait()
+	if received == 0 {
+		t.Fatal("no live round trips completed")
+	}
+}
+
+// clientIn2 fetches the listener channel so the test can close it after the
+// run to release blocked goroutines.
+func clientIn2(a *Agent, n model.NodeID) chan Message {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.listeners[n]
+}
+
+func TestRealTimePacing(t *testing.T) {
+	// 1 simulated second at factor 0.05 must take ≥ ~50 ms of wall time.
+	s, _ := liveSim(t, 0.05, des.Second)
+	New(s, 10*des.Millisecond) // agent pumps keep every window non-idle
+	start := time.Now()
+	s.Run()
+	if el := time.Since(start); el < 40*time.Millisecond {
+		t.Errorf("paced run finished in %v, want ≥ 40ms", el)
+	}
+}
+
+func TestDropWhenNoListener(t *testing.T) {
+	s, hosts := liveSim(t, 0, 2*des.Second)
+	a := New(s, des.Millisecond)
+	a.Send(hosts[0], hosts[1], []byte("void"))
+	s.Run()
+	if _, _, dropped := a.Stats(); dropped != 1 {
+		t.Errorf("dropped = %d, want 1", dropped)
+	}
+}
+
+func TestDropWhenListenerFull(t *testing.T) {
+	s, hosts := liveSim(t, 0, 3*des.Second)
+	a := New(s, des.Millisecond)
+	a.Listen(hosts[1], 1)
+	for i := 0; i < 5; i++ {
+		a.Send(hosts[0], hosts[1], []byte{byte(i)})
+	}
+	s.Run()
+	_, delivered, dropped := a.Stats()
+	if delivered != 1 {
+		t.Errorf("delivered = %d, want 1 (buffer size)", delivered)
+	}
+	if dropped != 4 {
+		t.Errorf("dropped = %d, want 4", dropped)
+	}
+}

@@ -1,0 +1,274 @@
+package des
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500 * Nanosecond, "500ns"},
+		{1500 * Nanosecond, "1.500µs"},
+		{2500 * Microsecond, "2.500ms"},
+		{3 * Second, "3.000s"},
+		{EndOfTime, "∞"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if got := (2 * Second).Seconds(); got != 2.0 {
+		t.Errorf("Seconds() = %v, want 2", got)
+	}
+	if got := (Millisecond + Millisecond/2).Millis(); got != 1.5 {
+		t.Errorf("Millis() = %v, want 1.5", got)
+	}
+}
+
+func TestScheduleAndRunOrder(t *testing.T) {
+	var k Kernel
+	var fired []int
+	k.Schedule(30, func(Time) { fired = append(fired, 3) })
+	k.Schedule(10, func(Time) { fired = append(fired, 1) })
+	k.Schedule(20, func(Time) { fired = append(fired, 2) })
+	n := k.Run(EndOfTime)
+	if n != 3 {
+		t.Fatalf("Run executed %d events, want 3", n)
+	}
+	for i, v := range fired {
+		if v != i+1 {
+			t.Fatalf("events fired out of order: %v", fired)
+		}
+	}
+	if k.Now() != 30 {
+		t.Errorf("clock = %v, want 30", k.Now())
+	}
+}
+
+func TestTieBreakIsScheduleOrder(t *testing.T) {
+	var k Kernel
+	var fired []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.Schedule(100, func(Time) { fired = append(fired, i) })
+	}
+	k.Run(EndOfTime)
+	for i, v := range fired {
+		if v != i {
+			t.Fatalf("same-timestamp events fired out of schedule order: %v", fired)
+		}
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	var k Kernel
+	k.Schedule(10, func(Time) {})
+	k.Run(EndOfTime)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling into the past did not panic")
+		}
+	}()
+	k.Schedule(5, func(Time) {})
+}
+
+func TestAfter(t *testing.T) {
+	var k Kernel
+	var at Time
+	k.Schedule(100, func(now Time) {
+		k.After(50, func(now Time) { at = now })
+	})
+	k.Run(EndOfTime)
+	if at != 150 {
+		t.Errorf("After fired at %v, want 150", at)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var k Kernel
+	fired := false
+	e := k.Schedule(10, func(Time) { fired = true })
+	if !e.Scheduled() {
+		t.Fatal("event not marked scheduled")
+	}
+	k.Cancel(e)
+	if e.Scheduled() {
+		t.Fatal("event still marked scheduled after cancel")
+	}
+	k.Run(EndOfTime)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Double cancel and nil cancel are no-ops.
+	k.Cancel(e)
+	k.Cancel(nil)
+}
+
+func TestCancelMiddleOfQueue(t *testing.T) {
+	var k Kernel
+	var fired []int
+	var events []*Event
+	for i := 0; i < 20; i++ {
+		i := i
+		events = append(events, k.Schedule(Time(i*10), func(Time) { fired = append(fired, i) }))
+	}
+	for i := 0; i < 20; i += 2 {
+		k.Cancel(events[i])
+	}
+	k.Run(EndOfTime)
+	if len(fired) != 10 {
+		t.Fatalf("fired %d events, want 10: %v", len(fired), fired)
+	}
+	for j, v := range fired {
+		if v != 2*j+1 {
+			t.Fatalf("wrong survivors fired: %v", fired)
+		}
+	}
+}
+
+func TestRunUntilIsExclusiveAndAdvancesClock(t *testing.T) {
+	var k Kernel
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		k.Schedule(at, func(now Time) { fired = append(fired, now) })
+	}
+	n := k.RunUntil(30)
+	if n != 2 {
+		t.Fatalf("RunUntil(30) executed %d events, want 2 (strictly before limit)", n)
+	}
+	if k.Now() != 30 {
+		t.Errorf("clock after RunUntil = %v, want 30", k.Now())
+	}
+	if k.NextEventTime() != 30 {
+		t.Errorf("next event = %v, want 30", k.NextEventTime())
+	}
+	n = k.RunUntil(EndOfTime)
+	if n != 2 {
+		t.Fatalf("second RunUntil executed %d, want 2", n)
+	}
+}
+
+func TestNextEventTimeEmpty(t *testing.T) {
+	var k Kernel
+	if k.NextEventTime() != EndOfTime {
+		t.Errorf("empty queue NextEventTime = %v, want EndOfTime", k.NextEventTime())
+	}
+}
+
+func TestProcessedCounter(t *testing.T) {
+	var k Kernel
+	for i := 0; i < 7; i++ {
+		k.Schedule(Time(i), func(Time) {})
+	}
+	k.Run(EndOfTime)
+	if k.Processed() != 7 {
+		t.Errorf("Processed = %d, want 7", k.Processed())
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	var k Kernel
+	count := 0
+	var recur Handler
+	recur = func(now Time) {
+		count++
+		if count < 100 {
+			k.After(1, recur)
+		}
+	}
+	k.Schedule(0, recur)
+	k.Run(EndOfTime)
+	if count != 100 {
+		t.Errorf("recursive scheduling executed %d events, want 100", count)
+	}
+	if k.Now() != 99 {
+		t.Errorf("clock = %v, want 99", k.Now())
+	}
+}
+
+func TestStepRespectsLimit(t *testing.T) {
+	var k Kernel
+	k.Schedule(10, func(Time) {})
+	if k.Step(10) {
+		t.Fatal("Step executed event at the limit; limit must be exclusive")
+	}
+	if !k.Step(11) {
+		t.Fatal("Step refused event strictly before limit")
+	}
+}
+
+// Property: for any set of timestamps, the kernel fires events in
+// non-decreasing time order and fires all of them.
+func TestQuickFiringOrder(t *testing.T) {
+	f := func(stamps []uint16) bool {
+		var k Kernel
+		var fired []Time
+		for _, s := range stamps {
+			at := Time(s)
+			k.Schedule(at, func(now Time) { fired = append(fired, now) })
+		}
+		k.Run(EndOfTime)
+		if len(fired) != len(stamps) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: interleaving schedules and cancels never corrupts the heap; the
+// surviving events fire exactly once, in order.
+func TestQuickCancelConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var k Kernel
+		alive := map[*Event]bool{}
+		firedCount := 0
+		for i := 0; i < 200; i++ {
+			if rng.Intn(3) == 0 && len(alive) > 0 {
+				for e := range alive {
+					k.Cancel(e)
+					delete(alive, e)
+					break
+				}
+			} else {
+				e := k.Schedule(Time(rng.Intn(1000)), func(Time) { firedCount++ })
+				alive[e] = true
+			}
+		}
+		want := len(alive)
+		k.Run(EndOfTime)
+		return firedCount == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkKernelScheduleRun(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	stamps := make([]Time, 10000)
+	for i := range stamps {
+		stamps[i] = Time(rng.Intn(1 << 20))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var k Kernel
+		for _, at := range stamps {
+			k.Schedule(at, func(Time) {})
+		}
+		k.Run(EndOfTime)
+	}
+}

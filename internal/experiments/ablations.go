@@ -1,0 +1,125 @@
+// Ablation studies for the design choices DESIGN.md calls out: the T_mll
+// sweep granularity, the E = Es·Ec selection metric, the edge-weight
+// conversion, and the partitioner's refinement phase. Reachable from
+// `cmd/experiments -fig ablations` and from the bench harness.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"massf/internal/core"
+	"massf/internal/des"
+	"massf/internal/graph"
+	"massf/internal/partition"
+)
+
+// AblationTmllStep sweeps the hierarchical threshold step size on the
+// setup's network (requires a profile; run RunProfiling first or pass a
+// non-profile approach's setup).
+func AblationTmllStep(st *Setup) (*Table, error) {
+	t := &Table{
+		Title:   "Ablation: T_mll sweep step size (HPROF)",
+		Columns: []string{"Step", "Candidates", "Chosen Tmll", "MLL", "E"},
+	}
+	for _, step := range []des.Time{50 * des.Microsecond, 100 * des.Microsecond, 500 * des.Microsecond, 2 * des.Millisecond} {
+		m, err := core.Map(st.Net, core.HPROF, core.Config{
+			Engines: st.Scale.Engines, Sync: st.Sync, Seed: st.Scale.Seed, TmllStep: step,
+		}, st.Profile)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(step.String(), fmt.Sprintf("%d", m.Candidates),
+			m.Tmll.String(), m.MLL.String(), f3(m.E))
+	}
+	return t, nil
+}
+
+// AblationSelectionMetric compares selecting the sweep candidate by the
+// paper's E = Es·Ec against Es-only and Ec-only selection (Section 3.4.3:
+// "maximizing Es and Ec separately does not work").
+func AblationSelectionMetric(st *Setup) (*Table, error) {
+	m, err := core.Map(st.Net, core.HPROF, core.Config{
+		Engines: st.Scale.Engines, Sync: st.Sync, Seed: st.Scale.Seed, KeepSweep: true,
+	}, st.Profile)
+	if err != nil {
+		return nil, err
+	}
+	if len(m.Sweep) == 0 {
+		return nil, fmt.Errorf("experiments: sweep recorded no candidates")
+	}
+	best := func(key func(core.Candidate) float64) core.Candidate {
+		out := m.Sweep[0]
+		for _, c := range m.Sweep {
+			if key(c) > key(out) {
+				out = c
+			}
+		}
+		return out
+	}
+	t := &Table{
+		Title:   "Ablation: sweep selection metric (HPROF)",
+		Columns: []string{"Selector", "Tmll", "MLL", "Es", "Ec", "E"},
+	}
+	for _, r := range []struct {
+		name string
+		c    core.Candidate
+	}{
+		{"E=Es·Ec (paper)", best(func(c core.Candidate) float64 { return c.E })},
+		{"Es only", best(func(c core.Candidate) float64 { return c.Es })},
+		{"Ec only", best(func(c core.Candidate) float64 { return c.Ec })},
+	} {
+		t.AddRow(r.name, r.c.Tmll.String(), r.c.MLL.String(), f3(r.c.Es), f3(r.c.Ec), f3(r.c.E))
+	}
+	return t, nil
+}
+
+// AblationEdgeWeights compares the TOP and TOP2 latency→weight conversions
+// by achieved MLL and cut (Section 4.3's manual tuning).
+func AblationEdgeWeights(st *Setup) (*Table, error) {
+	t := &Table{
+		Title:   fmt.Sprintf("Ablation: latency→weight conversion (%d engines)", st.Scale.Engines),
+		Columns: []string{"Conversion", "MLL", "Edge cut"},
+	}
+	for _, a := range []core.Approach{core.TOP, core.TOP2} {
+		m, err := st.MapApproach(a)
+		if err != nil {
+			return nil, err
+		}
+		label := "TOP  (w ∝ 1/lat)"
+		if a == core.TOP2 {
+			label = "TOP2 (w ∝ 1/lat²)"
+		}
+		t.AddRow(label, m.MLL.String(), fmt.Sprintf("%d", m.EdgeCut))
+	}
+	return t, nil
+}
+
+// AblationRefinement measures the partitioner's uncoarsening refinement on
+// a synthetic power-law graph of the given size.
+func AblationRefinement(nodes, parts int, seed int64) *Table {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(nodes)
+	for i := 1; i < nodes; i++ {
+		g.AddEdge(i, rng.Intn(i), int64(1+rng.Intn(8)), int64(1+rng.Intn(1_000_000)))
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("Ablation: boundary refinement (%d-node power-law graph, %d parts)", nodes, parts),
+		Columns: []string{"Refinement", "Edge cut"},
+	}
+	for _, disable := range []bool{false, true} {
+		part, err := partition.Partition(g, partition.Options{
+			Parts: parts, Seed: seed, DisableRefinement: disable,
+		})
+		if err != nil {
+			t.AddRow("error", err.Error())
+			continue
+		}
+		label := "on"
+		if disable {
+			label = "off"
+		}
+		t.AddRow(label, fmt.Sprintf("%d", g.EvaluatePartition(part, parts).EdgeCut))
+	}
+	return t
+}

@@ -1,0 +1,318 @@
+// Package experiments reproduces the paper's evaluation: it builds the
+// single-AS (Section 4) and multi-AS (Section 5) testbeds, runs the
+// profiling pass, executes each mapping approach under each application
+// workload, and emits the series behind every figure (3, 5–13) plus the
+// headline claims. See EXPERIMENTS.md for the recorded outputs.
+package experiments
+
+import (
+	"fmt"
+	"os"
+
+	"massf/internal/cluster"
+	"massf/internal/core"
+	"massf/internal/des"
+	"massf/internal/mabrite"
+	"massf/internal/model"
+	"massf/internal/netsim"
+	"massf/internal/profile"
+	"massf/internal/routing/interdomain"
+	"massf/internal/topology"
+	"massf/internal/traffic"
+)
+
+// Scale fixes the experiment size. The paper runs 20,000 routers (100 AS ×
+// 200 routers) with 10,000 hosts, 8,000 clients, 2,000 servers on 90
+// engines for ~30-minute applications; Reduced keeps every ratio but
+// shrinks by 10× (and the horizon much further) so the full suite runs on
+// a laptop.
+type Scale struct {
+	Name         string
+	Routers      int // single-AS router count
+	ASes         int // multi-AS AS count
+	RoutersPerAS int
+	Hosts        int
+	Clients      int
+	Servers      int
+	AppHosts     int
+	Engines      int
+	Horizon      des.Time
+	EventCost    des.Time
+	Seed         int64
+}
+
+// Reduced returns the default laptop-friendly scale (10× smaller than the
+// paper, 8 s of simulated time).
+func Reduced() Scale {
+	return Scale{
+		Name:         "reduced",
+		Routers:      2000,
+		ASes:         20,
+		RoutersPerAS: 100,
+		Hosts:        1000,
+		Clients:      800,
+		Servers:      190,
+		AppHosts:     7,
+		Engines:      16,
+		Horizon:      8 * des.Second,
+		EventCost:    15 * des.Microsecond,
+		Seed:         1,
+	}
+}
+
+// Paper returns the paper's full scale. Expect long runtimes and a large
+// memory footprint; the partitioning stages are fast, the packet
+// simulation is the expensive part.
+func Paper() Scale {
+	return Scale{
+		Name:         "paper",
+		Routers:      20000,
+		ASes:         100,
+		RoutersPerAS: 200,
+		Hosts:        10000,
+		Clients:      8000,
+		Servers:      2000,
+		AppHosts:     7,
+		Engines:      90,
+		Horizon:      30 * des.Second,
+		EventCost:    15 * des.Microsecond,
+		Seed:         1,
+	}
+}
+
+// FromEnv returns Paper() when MASSF_FULL=1, else Reduced().
+func FromEnv() Scale {
+	if os.Getenv("MASSF_FULL") == "1" {
+		return Paper()
+	}
+	return Reduced()
+}
+
+// Workload selects the foreground application.
+type Workload int
+
+// The two foreground applications of the evaluation.
+const (
+	ScaLapack Workload = iota
+	GridNPB
+)
+
+// String implements fmt.Stringer.
+func (w Workload) String() string {
+	if w == ScaLapack {
+		return "ScaLapack"
+	}
+	return "GridNPB"
+}
+
+// Setup is a built testbed: topology, routing, host roles, and (after
+// RunProfiling) the traffic profile the PROF approaches consume.
+type Setup struct {
+	Scale   Scale
+	MultiAS bool
+	Net     *model.Network
+	Routes  netsim.Routes
+	Sync    cluster.SyncCostModel
+
+	Hosts    []model.NodeID
+	AppHosts []model.NodeID
+	Clients  []model.NodeID
+	Servers  []model.NodeID
+
+	Profile *profile.Profile
+}
+
+// BuildSingleAS constructs the Section 4 testbed: a flat power-law network
+// with OSPF routing.
+func BuildSingleAS(sc Scale) (*Setup, error) {
+	net, err := topology.GenerateFlat(topology.FlatOptions{
+		Routers: sc.Routers, Hosts: sc.Hosts, Seed: sc.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return finishSetup(sc, net, false)
+}
+
+// BuildMultiAS constructs the Section 5 testbed: an Internet-like multi-AS
+// network with automatically configured BGP policy routing plus OSPF inside
+// every AS.
+func BuildMultiAS(sc Scale) (*Setup, error) {
+	net, err := mabrite.Generate(mabrite.Options{
+		ASes: sc.ASes, RoutersPerAS: sc.RoutersPerAS, Hosts: sc.Hosts, Seed: sc.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return finishSetup(sc, net, true)
+}
+
+func finishSetup(sc Scale, net *model.Network, multi bool) (*Setup, error) {
+	st := &Setup{Scale: sc, MultiAS: multi, Net: net, Sync: cluster.DefaultTeraGrid()}
+	router := interdomain.New(net)
+	st.Routes = router
+	for i := range net.Nodes {
+		if net.Nodes[i].Kind == model.Host {
+			st.Hosts = append(st.Hosts, model.NodeID(i))
+		}
+	}
+	if len(st.Hosts) < sc.AppHosts+2 {
+		return nil, fmt.Errorf("experiments: only %d hosts generated; need ≥ %d", len(st.Hosts), sc.AppHosts+2)
+	}
+	// Application hosts: spread across the host list (distinct attachment
+	// points with high probability).
+	step := len(st.Hosts) / sc.AppHosts
+	for i := 0; i < sc.AppHosts; i++ {
+		st.AppHosts = append(st.AppHosts, st.Hosts[i*step])
+	}
+	// Clients and servers from the remaining hosts.
+	taken := map[model.NodeID]bool{}
+	for _, h := range st.AppHosts {
+		taken[h] = true
+	}
+	var free []model.NodeID
+	for _, h := range st.Hosts {
+		if !taken[h] {
+			free = append(free, h)
+		}
+	}
+	nc, ns := sc.Clients, sc.Servers
+	if nc+ns > len(free) {
+		// Shrink proportionally for tiny test scales.
+		ratio := float64(len(free)) / float64(nc+ns)
+		nc = int(float64(nc) * ratio)
+		ns = len(free) - nc
+	}
+	st.Clients = free[:nc]
+	st.Servers = free[nc : nc+ns]
+	// Warm routing caches for every traffic destination.
+	router.Prepare(st.Hosts)
+	return st, nil
+}
+
+// install wires background + foreground traffic into a simulation.
+func (st *Setup) install(s *netsim.Sim, w Workload) ([]*traffic.WorkflowStats, error) {
+	traffic.InstallHTTP(s, traffic.HTTPConfig{
+		Clients: st.Clients, Servers: st.Servers,
+		MeanGap: 5 * des.Second, MeanFileBytes: 50_000, Seed: st.Scale.Seed,
+	})
+	var flows []traffic.Workflow
+	switch w {
+	case ScaLapack:
+		flows = []traffic.Workflow{traffic.ScaLapack(st.AppHosts, traffic.DefaultScaLapack())}
+	case GridNPB:
+		flows = traffic.GridNPB(st.AppHosts)
+	}
+	var stats []*traffic.WorkflowStats
+	for _, f := range flows {
+		ws, err := traffic.InstallWorkflow(s, f, 0)
+		if err != nil {
+			return nil, err
+		}
+		stats = append(stats, ws)
+	}
+	return stats, nil
+}
+
+// RunProfiling executes the profiling pass of the PROF approaches: the
+// full workload on a single engine (the naive partition's event counts are
+// identical; a sequential pass avoids paying the naive partition's
+// enormous synchronization bill twice). The profile is stored on the
+// Setup.
+func (st *Setup) RunProfiling(w Workload) error {
+	s, err := netsim.New(netsim.Config{
+		Net: st.Net, Routes: st.Routes, Engines: 1,
+		Window: core.MaxMLL, End: st.Scale.Horizon,
+		Sync: st.Sync, EventCost: st.Scale.EventCost, Seed: st.Scale.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := st.install(s, w); err != nil {
+		return err
+	}
+	res := s.Run()
+	p := profile.FromResult(&res, st.Scale.Horizon)
+	if st.Profile == nil {
+		st.Profile = p
+	} else if err := st.Profile.Merge(p); err != nil {
+		return err
+	}
+	return nil
+}
+
+// MapApproach runs just the mapping stage (no packet simulation) — enough
+// for the achieved-MLL figures and the partitioner ablations.
+func (st *Setup) MapApproach(a core.Approach) (*core.Mapping, error) {
+	return core.Map(st.Net, a, core.Config{
+		Engines: st.Scale.Engines, Sync: st.Sync, Seed: st.Scale.Seed,
+	}, st.Profile)
+}
+
+// RunOutcome bundles a full simulation run under one mapping.
+type RunOutcome struct {
+	Mapping *core.Mapping
+	Result  netsim.Result
+	Apps    []*traffic.WorkflowStats
+}
+
+// RunMapping maps the network with approach a and executes the full
+// workload under that partition.
+func (st *Setup) RunMapping(a core.Approach, w Workload) (*RunOutcome, error) {
+	m, err := st.MapApproach(a)
+	if err != nil {
+		return nil, err
+	}
+	window := m.MLL
+	if window > core.MaxMLL {
+		window = core.MaxMLL
+	}
+	s, err := netsim.New(netsim.Config{
+		Net: st.Net, Routes: st.Routes, Part: m.Part, Engines: st.Scale.Engines,
+		Window: window, End: st.Scale.Horizon,
+		Sync: st.Sync, EventCost: st.Scale.EventCost, Seed: st.Scale.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	apps, err := st.install(s, w)
+	if err != nil {
+		return nil, err
+	}
+	res := s.Run()
+	return &RunOutcome{Mapping: m, Result: res, Apps: apps}, nil
+}
+
+// SecondsToTime converts seconds to simulated time (a CLI convenience).
+func SecondsToTime(s float64) des.Time { return des.Time(s * float64(des.Second)) }
+
+// DefaultSync returns the synchronization cost model the experiments use.
+func DefaultSync() cluster.SyncCostModel { return cluster.DefaultTeraGrid() }
+
+// Bench returns an extra-small scale used by the repository's benchmark
+// harness so `go test -bench=.` finishes quickly; set MASSF_FULL=1 to
+// bench at paper scale instead.
+func Bench() Scale {
+	return Scale{
+		Name:         "bench",
+		Routers:      600,
+		ASes:         10,
+		RoutersPerAS: 60,
+		Hosts:        300,
+		Clients:      220,
+		Servers:      60,
+		AppHosts:     7,
+		Engines:      8,
+		Horizon:      4 * des.Second,
+		EventCost:    15 * des.Microsecond,
+		Seed:         1,
+	}
+}
+
+// BenchFromEnv returns Paper() when MASSF_FULL=1, else Bench().
+func BenchFromEnv() Scale {
+	if os.Getenv("MASSF_FULL") == "1" {
+		return Paper()
+	}
+	return Bench()
+}

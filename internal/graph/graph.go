@@ -1,0 +1,382 @@
+// Package graph provides the weighted undirected graph used by the load
+// balance machinery: the virtual network is converted into a Graph whose
+// node weights estimate simulation load and whose edge weights encode the
+// reluctance to cut a link (Section 3.2 of the paper). The package also
+// implements the contraction ("dumped graph" G_d) operation at the heart of
+// the hierarchical approaches (Section 3.4.3): all edges whose link latency
+// falls below a threshold are collapsed, guaranteeing a worst-case minimum
+// link latency across any partition of the contracted graph.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is one endpoint record in an adjacency list. Latency carries the
+// simulated link latency in nanoseconds (it is the quantity MLL is computed
+// from); Weight is the partitioner's cut-avoidance weight derived from it.
+type Edge struct {
+	To      int32
+	Weight  int64
+	Latency int64
+}
+
+// Graph is a weighted undirected graph in adjacency-list form. Every edge
+// appears twice, once in each endpoint's list. NodeWeight[i] estimates the
+// simulation load of node i.
+type Graph struct {
+	Adj        [][]Edge
+	NodeWeight []int64
+}
+
+// New returns an empty graph with n nodes of weight 1.
+func New(n int) *Graph {
+	g := &Graph{
+		Adj:        make([][]Edge, n),
+		NodeWeight: make([]int64, n),
+	}
+	for i := range g.NodeWeight {
+		g.NodeWeight[i] = 1
+	}
+	return g
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.Adj) }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, a := range g.Adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// AddEdge inserts an undirected edge u—v with the given partition weight and
+// link latency. Self loops are ignored. Parallel edges are allowed and are
+// treated as independent (their weights sum in cuts).
+func (g *Graph) AddEdge(u, v int, weight, latency int64) {
+	if u == v {
+		return
+	}
+	g.Adj[u] = append(g.Adj[u], Edge{To: int32(v), Weight: weight, Latency: latency})
+	g.Adj[v] = append(g.Adj[v], Edge{To: int32(u), Weight: weight, Latency: latency})
+}
+
+// TotalNodeWeight returns the sum of node weights.
+func (g *Graph) TotalNodeWeight() int64 {
+	var total int64
+	for _, w := range g.NodeWeight {
+		total += w
+	}
+	return total
+}
+
+// Degree returns the number of incident edges of node u.
+func (g *Graph) Degree(u int) int { return len(g.Adj[u]) }
+
+// Validate checks structural invariants: symmetric adjacency, in-range
+// endpoints, no self loops, positive node weights. It is used by tests and
+// by generators in debug paths.
+func (g *Graph) Validate() error {
+	n := g.Len()
+	if len(g.NodeWeight) != n {
+		return fmt.Errorf("graph: %d nodes but %d node weights", n, len(g.NodeWeight))
+	}
+	type key struct {
+		u, v   int32
+		w, lat int64
+	}
+	count := map[key]int{}
+	for u, adj := range g.Adj {
+		for _, e := range adj {
+			if int(e.To) < 0 || int(e.To) >= n {
+				return fmt.Errorf("graph: node %d has edge to out-of-range %d", u, e.To)
+			}
+			if int(e.To) == u {
+				return fmt.Errorf("graph: self loop at %d", u)
+			}
+			k := key{int32(u), e.To, e.Weight, e.Latency}
+			count[k]++
+		}
+	}
+	for k, c := range count {
+		rk := key{k.v, k.u, k.w, k.lat}
+		if count[rk] != c {
+			return fmt.Errorf("graph: asymmetric edge %d—%d (%d vs %d copies)", k.u, k.v, c, count[rk])
+		}
+	}
+	for i, w := range g.NodeWeight {
+		if w <= 0 {
+			return fmt.Errorf("graph: node %d has non-positive weight %d", i, w)
+		}
+	}
+	return nil
+}
+
+// Connected reports whether the graph is connected (true for the empty
+// graph).
+func (g *Graph) Connected() bool {
+	n := g.Len()
+	if n == 0 {
+		return true
+	}
+	seen := make([]bool, n)
+	stack := []int32{0}
+	seen[0] = true
+	visited := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.Adj[u] {
+			if !seen[e.To] {
+				seen[e.To] = true
+				visited++
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return visited == n
+}
+
+// Components labels each node with a component id in [0, numComponents) and
+// returns the labels and the component count.
+func (g *Graph) Components() ([]int32, int) {
+	n := g.Len()
+	comp := make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var next int32
+	var stack []int32
+	for start := 0; start < n; start++ {
+		if comp[start] >= 0 {
+			continue
+		}
+		comp[start] = next
+		stack = append(stack[:0], int32(start))
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, e := range g.Adj[u] {
+				if comp[e.To] < 0 {
+					comp[e.To] = next
+					stack = append(stack, e.To)
+				}
+			}
+		}
+		next++
+	}
+	return comp, int(next)
+}
+
+// MinEdgeLatency returns the smallest latency over all edges, or -1 if the
+// graph has no edges.
+func (g *Graph) MinEdgeLatency() int64 {
+	min := int64(-1)
+	for _, adj := range g.Adj {
+		for _, e := range adj {
+			if min < 0 || e.Latency < min {
+				min = e.Latency
+			}
+		}
+	}
+	return min
+}
+
+// MaxEdgeLatency returns the largest latency over all edges, or -1 if the
+// graph has no edges.
+func (g *Graph) MaxEdgeLatency() int64 {
+	max := int64(-1)
+	for _, adj := range g.Adj {
+		for _, e := range adj {
+			if e.Latency > max {
+				max = e.Latency
+			}
+		}
+	}
+	return max
+}
+
+// Contraction is the result of collapsing groups of nodes into supernodes:
+// the "dumped graph" G_d of the hierarchical load balance approach.
+type Contraction struct {
+	// Graph is the contracted graph. Node weights are the sums of the
+	// collapsed nodes' weights; parallel edges between the same pair of
+	// supernodes are merged, summing weights and keeping the minimum
+	// latency.
+	Graph *Graph
+	// Map[i] is the supernode that original node i collapsed into.
+	Map []int32
+}
+
+// ContractBelow collapses every connected component of the subgraph formed
+// by edges with Latency < threshold into a single supernode. Edges with
+// latency ≥ threshold survive (possibly merged). The resulting contraction
+// guarantees that any cut of the contracted graph only crosses links of
+// latency ≥ threshold — the worst-case MLL bound of Section 3.4.3.
+func (g *Graph) ContractBelow(threshold int64) *Contraction {
+	n := g.Len()
+	// Union-find over nodes joined by sub-threshold edges.
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int32) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	for u, adj := range g.Adj {
+		for _, e := range adj {
+			if e.Latency < threshold {
+				union(int32(u), e.To)
+			}
+		}
+	}
+	// Densely renumber roots.
+	m := make([]int32, n)
+	for i := range m {
+		m[i] = -1
+	}
+	var count int32
+	for i := 0; i < n; i++ {
+		r := find(int32(i))
+		if m[r] < 0 {
+			m[r] = count
+			count++
+		}
+		m[i] = m[r]
+	}
+	gd := New(int(count))
+	for i := range gd.NodeWeight {
+		gd.NodeWeight[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		gd.NodeWeight[m[i]] += g.NodeWeight[i]
+	}
+	// Merge surviving edges per supernode pair (globally, so edges from
+	// different original nodes that land on the same supernode pair merge
+	// into one).
+	type pair struct{ a, b int32 }
+	type agg struct {
+		weight  int64
+		latency int64
+	}
+	merged := map[pair]agg{}
+	for u := 0; u < n; u++ {
+		mu := m[u]
+		for _, e := range g.Adj[u] {
+			if int(e.To) < u {
+				continue // visit each undirected edge once
+			}
+			mv := m[e.To]
+			if mv == mu {
+				continue
+			}
+			k := pair{mu, mv}
+			if k.a > k.b {
+				k.a, k.b = k.b, k.a
+			}
+			a, ok := merged[k]
+			if !ok || e.Latency < a.latency {
+				a.latency = e.Latency
+			}
+			a.weight += e.Weight
+			merged[k] = a
+		}
+	}
+	// Deterministic insertion order.
+	keys := make([]pair, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].b < keys[j].b
+	})
+	for _, k := range keys {
+		a := merged[k]
+		gd.AddEdge(int(k.a), int(k.b), a.weight, a.latency)
+	}
+	return &Contraction{Graph: gd, Map: m}
+}
+
+// Project lifts a partition of the contracted graph back to the original
+// graph: original node i lands in part[Map[i]].
+func (c *Contraction) Project(part []int32) []int32 {
+	out := make([]int32, len(c.Map))
+	for i, m := range c.Map {
+		out[i] = part[m]
+	}
+	return out
+}
+
+// CutStats describes a partition of a graph.
+type CutStats struct {
+	// EdgeCut is the sum of weights of edges crossing parts.
+	EdgeCut int64
+	// MinCutLatency is the minimum latency among crossing edges — the
+	// achieved MLL. It is -1 when no edge crosses (single part or
+	// disconnected placement).
+	MinCutLatency int64
+	// PartWeight[p] is the total node weight in part p.
+	PartWeight []int64
+	// CrossEdges is the number of crossing edges.
+	CrossEdges int
+}
+
+// EvaluatePartition computes cut statistics for an assignment of nodes to
+// nparts parts. It panics if part has the wrong length or contains an
+// out-of-range part id.
+func (g *Graph) EvaluatePartition(part []int32, nparts int) CutStats {
+	if len(part) != g.Len() {
+		panic(fmt.Sprintf("graph: partition length %d != %d nodes", len(part), g.Len()))
+	}
+	stats := CutStats{MinCutLatency: -1, PartWeight: make([]int64, nparts)}
+	for u, adj := range g.Adj {
+		p := part[u]
+		if p < 0 || int(p) >= nparts {
+			panic(fmt.Sprintf("graph: node %d assigned to invalid part %d", u, p))
+		}
+		stats.PartWeight[p] += g.NodeWeight[u]
+		for _, e := range adj {
+			if int(e.To) < u {
+				continue // count each undirected edge once
+			}
+			if part[e.To] != p {
+				stats.EdgeCut += e.Weight
+				stats.CrossEdges++
+				if stats.MinCutLatency < 0 || e.Latency < stats.MinCutLatency {
+					stats.MinCutLatency = e.Latency
+				}
+			}
+		}
+	}
+	return stats
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	ng := &Graph{
+		Adj:        make([][]Edge, g.Len()),
+		NodeWeight: append([]int64(nil), g.NodeWeight...),
+	}
+	for i, adj := range g.Adj {
+		ng.Adj[i] = append([]Edge(nil), adj...)
+	}
+	return ng
+}

@@ -1,0 +1,300 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// line returns a path graph 0—1—…—(n-1) with the given uniform latency.
+func line(n int, latency int64) *Graph {
+	g := New(n)
+	for i := 0; i < n-1; i++ {
+		g.AddEdge(i, i+1, 1, latency)
+	}
+	return g
+}
+
+func TestNewDefaults(t *testing.T) {
+	g := New(5)
+	if g.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", g.Len())
+	}
+	if g.NumEdges() != 0 {
+		t.Fatalf("NumEdges = %d, want 0", g.NumEdges())
+	}
+	if g.TotalNodeWeight() != 5 {
+		t.Fatalf("TotalNodeWeight = %d, want 5 (default weight 1)", g.TotalNodeWeight())
+	}
+}
+
+func TestAddEdgeSymmetryAndSelfLoop(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 7, 100)
+	g.AddEdge(1, 1, 9, 100) // ignored
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 1 || g.Degree(2) != 0 {
+		t.Fatalf("degrees wrong: %d %d %d", g.Degree(0), g.Degree(1), g.Degree(2))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateCatchesAsymmetry(t *testing.T) {
+	g := New(2)
+	g.Adj[0] = append(g.Adj[0], Edge{To: 1, Weight: 1, Latency: 1})
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate accepted asymmetric adjacency")
+	}
+}
+
+func TestValidateCatchesBadWeight(t *testing.T) {
+	g := New(2)
+	g.NodeWeight[1] = 0
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate accepted zero node weight")
+	}
+}
+
+func TestConnected(t *testing.T) {
+	g := line(4, 10)
+	if !g.Connected() {
+		t.Fatal("path graph reported disconnected")
+	}
+	g2 := New(4)
+	g2.AddEdge(0, 1, 1, 1)
+	g2.AddEdge(2, 3, 1, 1)
+	if g2.Connected() {
+		t.Fatal("two-component graph reported connected")
+	}
+	if !New(0).Connected() {
+		t.Fatal("empty graph should count as connected")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1, 1, 1)
+	g.AddEdge(3, 4, 1, 1)
+	comp, n := g.Components()
+	if n != 3 {
+		t.Fatalf("components = %d, want 3", n)
+	}
+	if comp[0] != comp[1] || comp[3] != comp[4] || comp[0] == comp[2] || comp[2] == comp[3] {
+		t.Fatalf("bad labels: %v", comp)
+	}
+}
+
+func TestMinMaxEdgeLatency(t *testing.T) {
+	g := New(3)
+	if g.MinEdgeLatency() != -1 || g.MaxEdgeLatency() != -1 {
+		t.Fatal("edgeless graph should report -1 latencies")
+	}
+	g.AddEdge(0, 1, 1, 50)
+	g.AddEdge(1, 2, 1, 200)
+	if g.MinEdgeLatency() != 50 {
+		t.Errorf("MinEdgeLatency = %d, want 50", g.MinEdgeLatency())
+	}
+	if g.MaxEdgeLatency() != 200 {
+		t.Errorf("MaxEdgeLatency = %d, want 200", g.MaxEdgeLatency())
+	}
+}
+
+func TestContractBelowBasic(t *testing.T) {
+	// 0 -10- 1 -100- 2 -10- 3 : threshold 50 merges {0,1} and {2,3}.
+	g := New(4)
+	g.AddEdge(0, 1, 5, 10)
+	g.AddEdge(1, 2, 7, 100)
+	g.AddEdge(2, 3, 5, 10)
+	c := g.ContractBelow(50)
+	if c.Graph.Len() != 2 {
+		t.Fatalf("contracted to %d nodes, want 2", c.Graph.Len())
+	}
+	if c.Map[0] != c.Map[1] || c.Map[2] != c.Map[3] || c.Map[0] == c.Map[2] {
+		t.Fatalf("bad contraction map: %v", c.Map)
+	}
+	if c.Graph.NodeWeight[c.Map[0]] != 2 || c.Graph.NodeWeight[c.Map[2]] != 2 {
+		t.Fatalf("supernode weights wrong: %v", c.Graph.NodeWeight)
+	}
+	if c.Graph.NumEdges() != 1 {
+		t.Fatalf("surviving edges = %d, want 1", c.Graph.NumEdges())
+	}
+	if got := c.Graph.MinEdgeLatency(); got != 100 {
+		t.Fatalf("surviving latency = %d, want 100", got)
+	}
+	if err := c.Graph.Validate(); err != nil {
+		t.Fatalf("contracted graph invalid: %v", err)
+	}
+}
+
+func TestContractBelowMergesParallelEdges(t *testing.T) {
+	// Two supernodes connected by two surviving edges: weights sum, min
+	// latency kept.
+	g := New(4)
+	g.AddEdge(0, 1, 1, 1)  // merge
+	g.AddEdge(2, 3, 1, 1)  // merge
+	g.AddEdge(0, 2, 5, 80) // survive
+	g.AddEdge(1, 3, 7, 60) // survive
+	c := g.ContractBelow(10)
+	if c.Graph.Len() != 2 {
+		t.Fatalf("contracted to %d nodes, want 2", c.Graph.Len())
+	}
+	if c.Graph.NumEdges() != 1 {
+		t.Fatalf("merged edge count = %d, want 1", c.Graph.NumEdges())
+	}
+	e := c.Graph.Adj[0][0]
+	if e.Weight != 12 {
+		t.Errorf("merged weight = %d, want 12", e.Weight)
+	}
+	if e.Latency != 60 {
+		t.Errorf("merged latency = %d, want 60", e.Latency)
+	}
+}
+
+func TestContractBelowZeroThresholdIsIdentityShape(t *testing.T) {
+	g := line(6, 30)
+	c := g.ContractBelow(0)
+	if c.Graph.Len() != 6 || c.Graph.NumEdges() != 5 {
+		t.Fatalf("threshold 0 changed the graph: %d nodes %d edges", c.Graph.Len(), c.Graph.NumEdges())
+	}
+}
+
+func TestContractBelowEverything(t *testing.T) {
+	g := line(6, 30)
+	c := g.ContractBelow(1000)
+	if c.Graph.Len() != 1 {
+		t.Fatalf("full contraction left %d nodes", c.Graph.Len())
+	}
+	if c.Graph.TotalNodeWeight() != 6 {
+		t.Fatalf("weight not conserved: %d", c.Graph.TotalNodeWeight())
+	}
+}
+
+func TestProject(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 1, 1)
+	g.AddEdge(2, 3, 1, 1)
+	g.AddEdge(1, 2, 1, 100)
+	c := g.ContractBelow(50)
+	part := make([]int32, c.Graph.Len())
+	part[c.Map[0]] = 0
+	part[c.Map[2]] = 1
+	full := c.Project(part)
+	want := []int32{0, 0, 1, 1}
+	for i := range want {
+		if full[i] != want[i] {
+			t.Fatalf("Project = %v, want %v", full, want)
+		}
+	}
+}
+
+func TestEvaluatePartition(t *testing.T) {
+	g := New(4)
+	g.NodeWeight = []int64{1, 2, 3, 4}
+	g.AddEdge(0, 1, 5, 10)
+	g.AddEdge(1, 2, 7, 20)
+	g.AddEdge(2, 3, 9, 30)
+	part := []int32{0, 0, 1, 1}
+	s := g.EvaluatePartition(part, 2)
+	if s.EdgeCut != 7 {
+		t.Errorf("EdgeCut = %d, want 7", s.EdgeCut)
+	}
+	if s.MinCutLatency != 20 {
+		t.Errorf("MinCutLatency = %d, want 20", s.MinCutLatency)
+	}
+	if s.CrossEdges != 1 {
+		t.Errorf("CrossEdges = %d, want 1", s.CrossEdges)
+	}
+	if s.PartWeight[0] != 3 || s.PartWeight[1] != 7 {
+		t.Errorf("PartWeight = %v, want [3 7]", s.PartWeight)
+	}
+}
+
+func TestEvaluatePartitionNoCut(t *testing.T) {
+	g := line(3, 5)
+	s := g.EvaluatePartition([]int32{0, 0, 0}, 1)
+	if s.MinCutLatency != -1 || s.EdgeCut != 0 {
+		t.Errorf("uncut stats wrong: %+v", s)
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := line(3, 5)
+	g.NodeWeight[0] = 42
+	c := g.Clone()
+	c.NodeWeight[0] = 1
+	c.AddEdge(0, 2, 1, 1)
+	if g.NodeWeight[0] != 42 || g.NumEdges() != 2 {
+		t.Fatal("Clone aliases original storage")
+	}
+}
+
+// Property: contraction conserves total node weight and achieves the MLL
+// guarantee — every surviving edge has latency ≥ threshold.
+func TestQuickContractionInvariants(t *testing.T) {
+	f := func(seed int64, thresh uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		g := New(n)
+		for i := 0; i < n*2; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			g.AddEdge(u, v, int64(1+rng.Intn(100)), int64(rng.Intn(2000)))
+		}
+		c := g.ContractBelow(int64(thresh))
+		if c.Graph.TotalNodeWeight() != g.TotalNodeWeight() {
+			return false
+		}
+		for _, adj := range c.Graph.Adj {
+			for _, e := range adj {
+				if e.Latency < int64(thresh) {
+					return false
+				}
+			}
+		}
+		return c.Graph.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a projected partition of a contracted graph never cuts a
+// sub-threshold edge of the original graph (the worst-case MLL bound).
+func TestQuickProjectionMLLGuarantee(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		g := New(n)
+		for i := 0; i < n*2; i++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n), 1, int64(rng.Intn(1000)))
+		}
+		thresh := int64(rng.Intn(1000))
+		c := g.ContractBelow(thresh)
+		part := make([]int32, c.Graph.Len())
+		for i := range part {
+			part[i] = int32(rng.Intn(4))
+		}
+		full := c.Project(part)
+		s := g.EvaluatePartition(full, 4)
+		return s.MinCutLatency == -1 || s.MinCutLatency >= thresh
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkContractBelow(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	n := 20000
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(i, rng.Intn(i), 1, int64(rng.Intn(3_000_000)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ContractBelow(500_000)
+	}
+}

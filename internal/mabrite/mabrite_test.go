@@ -1,0 +1,269 @@
+package mabrite
+
+import (
+	"testing"
+	"testing/quick"
+
+	"massf/internal/model"
+)
+
+func gen(t *testing.T, opts Options) *model.Network {
+	t.Helper()
+	net, err := Generate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Validate(); err != nil {
+		t.Fatalf("generated network invalid: %v", err)
+	}
+	return net
+}
+
+func small(t *testing.T, seed int64) *model.Network {
+	return gen(t, Options{ASes: 20, RoutersPerAS: 20, Hosts: 50, Seed: seed})
+}
+
+func TestGenerateCounts(t *testing.T) {
+	net := gen(t, Options{ASes: 10, RoutersPerAS: 30, Hosts: 40, Seed: 1})
+	if got := net.NumRouters(); got != 300 {
+		t.Errorf("routers = %d, want 300", got)
+	}
+	if got := net.NumHosts(); got != 40 {
+		t.Errorf("hosts = %d, want 40", got)
+	}
+	if len(net.ASes) != 10 {
+		t.Errorf("ASes = %d, want 10", len(net.ASes))
+	}
+}
+
+func TestGenerateRejectsTiny(t *testing.T) {
+	if _, err := Generate(Options{ASes: 2, RoutersPerAS: 10}); err == nil {
+		t.Error("2 ASes accepted")
+	}
+	if _, err := Generate(Options{ASes: 5, RoutersPerAS: 1}); err == nil {
+		t.Error("1 router per AS accepted")
+	}
+}
+
+func TestClassificationShape(t *testing.T) {
+	net := gen(t, Options{ASes: 100, RoutersPerAS: 5, Hosts: 0, Seed: 2})
+	counts := map[model.ASClass]int{}
+	for i := range net.ASes {
+		counts[net.ASes[i].Class]++
+	}
+	if counts[model.ASCore] < 2 {
+		t.Errorf("cores = %d, want ≥ 2", counts[model.ASCore])
+	}
+	if counts[model.ASCore] > 10 {
+		t.Errorf("cores = %d, dense core should be small (~2%%)", counts[model.ASCore])
+	}
+	// "Customers count for about 90% of total ASes" — accept a broad band.
+	if counts[model.ASStub] < 50 {
+		t.Errorf("stubs = %d of 100, want a large majority", counts[model.ASStub])
+	}
+}
+
+func TestCoreClique(t *testing.T) {
+	net := small(t, 3)
+	var cores []int32
+	for i := range net.ASes {
+		if net.ASes[i].Class == model.ASCore {
+			cores = append(cores, net.ASes[i].ID)
+		}
+	}
+	for _, a := range cores {
+		for _, b := range cores {
+			if a == b {
+				continue
+			}
+			nb, ok := net.ASes[a].NeighborTo(b)
+			if !ok {
+				t.Fatalf("core ASes %d and %d not adjacent (clique violated)", a, b)
+			}
+			if nb.Rel != model.RelPeer {
+				t.Errorf("core-core relationship %v, want peer", nb.Rel)
+			}
+		}
+	}
+}
+
+func TestEveryASHasProviderPathToCore(t *testing.T) {
+	net := gen(t, Options{ASes: 60, RoutersPerAS: 5, Hosts: 0, Seed: 4})
+	// Walk up provider edges from every AS; must reach a Core.
+	var reach func(as int32, seen map[int32]bool) bool
+	reach = func(as int32, seen map[int32]bool) bool {
+		if net.ASes[as].Class == model.ASCore {
+			return true
+		}
+		if seen[as] {
+			return false
+		}
+		seen[as] = true
+		for _, nb := range net.ASes[as].Neighbors {
+			if nb.Rel == model.RelProvider && reach(nb.AS, seen) {
+				return true
+			}
+		}
+		return false
+	}
+	for i := range net.ASes {
+		if !reach(int32(i), map[int32]bool{}) {
+			t.Errorf("AS %d (%v) has no provider path to a core", i, net.ASes[i].Class)
+		}
+	}
+}
+
+func TestRelationshipsFollowHierarchy(t *testing.T) {
+	net := small(t, 5)
+	for i := range net.ASes {
+		a := &net.ASes[i]
+		for _, nb := range a.Neighbors {
+			ca, cb := a.Class, net.ASes[nb.AS].Class
+			switch nb.Rel {
+			case model.RelPeer:
+				if ca != cb {
+					t.Errorf("peer link between %v and %v", ca, cb)
+				}
+			case model.RelProvider:
+				if cb <= ca {
+					t.Errorf("provider %v not higher level than customer %v", cb, ca)
+				}
+			case model.RelCustomer:
+				if cb >= ca {
+					t.Errorf("customer %v not lower level than provider %v", cb, ca)
+				}
+			}
+		}
+	}
+}
+
+func TestBorderRoutersBelongToTheirAS(t *testing.T) {
+	net := small(t, 6)
+	for i := range net.ASes {
+		a := &net.ASes[i]
+		for _, nb := range a.Neighbors {
+			if net.Nodes[nb.LocalBorder].AS != a.ID {
+				t.Errorf("AS %d local border %d tagged AS %d", a.ID, nb.LocalBorder, net.Nodes[nb.LocalBorder].AS)
+			}
+			if net.Nodes[nb.RemoteBorder].AS != nb.AS {
+				t.Errorf("AS %d remote border %d tagged AS %d, want %d", a.ID, nb.RemoteBorder, net.Nodes[nb.RemoteBorder].AS, nb.AS)
+			}
+			l := &net.Links[nb.Link]
+			if !(l.A == nb.LocalBorder && l.B == nb.RemoteBorder) && !(l.B == nb.LocalBorder && l.A == nb.RemoteBorder) {
+				t.Errorf("AS %d neighbor link %d does not join the stated borders", a.ID, nb.Link)
+			}
+		}
+	}
+}
+
+func TestStubDefaultBorder(t *testing.T) {
+	net := small(t, 7)
+	for i := range net.ASes {
+		a := &net.ASes[i]
+		if a.Class != model.ASStub {
+			continue
+		}
+		if a.DefaultBorder < 0 {
+			t.Errorf("stub AS %d has no default border", a.ID)
+			continue
+		}
+		if net.Nodes[a.DefaultBorder].AS != a.ID {
+			t.Errorf("stub AS %d default border in AS %d", a.ID, net.Nodes[a.DefaultBorder].AS)
+		}
+	}
+}
+
+func TestHostsOnlyOnStubs(t *testing.T) {
+	net := gen(t, Options{ASes: 30, RoutersPerAS: 10, Hosts: 200, Seed: 8})
+	hosts := 0
+	for i := range net.Nodes {
+		if net.Nodes[i].Kind != model.Host {
+			continue
+		}
+		hosts++
+		as := net.Nodes[i].AS
+		if net.ASes[as].Class != model.ASStub {
+			t.Errorf("host %d attached to %v AS %d", i, net.ASes[as].Class, as)
+		}
+	}
+	if hosts != 200 {
+		t.Errorf("hosts = %d, want 200", hosts)
+	}
+}
+
+func TestIntraASConnected(t *testing.T) {
+	net := small(t, 9)
+	for i := range net.ASes {
+		a := &net.ASes[i]
+		inAS := map[model.NodeID]bool{}
+		for _, r := range a.Routers {
+			inAS[r] = true
+		}
+		seen := map[model.NodeID]bool{a.Routers[0]: true}
+		stack := []model.NodeID{a.Routers[0]}
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, v := range net.Neighbors(u) {
+				if inAS[v] && !seen[v] {
+					seen[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+		if len(seen) != len(a.Routers) {
+			t.Fatalf("AS %d internal graph disconnected: %d of %d routers reachable", a.ID, len(seen), len(a.Routers))
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := small(t, 11)
+	b := small(t, 11)
+	if len(a.Links) != len(b.Links) || len(a.Nodes) != len(b.Nodes) {
+		t.Fatal("same seed, different sizes")
+	}
+	for i := range a.Links {
+		if a.Links[i] != b.Links[i] {
+			t.Fatalf("same seed, different link %d", i)
+		}
+	}
+}
+
+// Property: generation at random seeds always yields a valid network whose
+// whole node set is one connected component.
+func TestQuickValidAndConnected(t *testing.T) {
+	f := func(seed int64) bool {
+		net, err := Generate(Options{ASes: 12, RoutersPerAS: 8, Hosts: 20, Seed: seed})
+		if err != nil || net.Validate() != nil {
+			return false
+		}
+		seen := make([]bool, len(net.Nodes))
+		stack := []model.NodeID{0}
+		seen[0] = true
+		count := 1
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, v := range net.Neighbors(u) {
+				if !seen[v] {
+					seen[v] = true
+					count++
+					stack = append(stack, v)
+				}
+			}
+		}
+		return count == len(net.Nodes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkGeneratePaperScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(Options{ASes: 100, RoutersPerAS: 200, Hosts: 10000, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Package metrics computes the paper's four evaluation metrics (Section
+// 4.1): application simulation time, achieved minimum link latency, load
+// imbalance, and parallel efficiency.
+package metrics
+
+import (
+	"math"
+
+	"massf/internal/des"
+	"massf/internal/pdes"
+)
+
+// LoadImbalance is the paper's third metric: the normalized standard
+// deviation (coefficient of variation) of the per-engine kernel event
+// rates k1..kn. Zero means perfect balance.
+func LoadImbalance(engineEvents []uint64) float64 {
+	n := len(engineEvents)
+	if n == 0 {
+		return 0
+	}
+	var total float64
+	for _, k := range engineEvents {
+		total += float64(k)
+	}
+	mean := total / float64(n)
+	if mean == 0 {
+		return 0
+	}
+	var ss float64
+	for _, k := range engineEvents {
+		d := float64(k) - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(n)) / mean
+}
+
+// ParallelEfficiency is the paper's fourth metric:
+//
+//	PE(N, L) = Tseq(L) / (N · T(L, N))
+//
+// where T is the (modeled) parallel runtime and Tseq is estimated as
+// TotalEventNumber / MaximalEventRateOnEachNode — with a per-event cost c,
+// the maximal per-node event rate is 1/c, so Tseq = TotalEvents · c.
+func ParallelEfficiency(totalEvents uint64, eventCost des.Time, engines int, parallelTimeNS int64) float64 {
+	if parallelTimeNS <= 0 || engines <= 0 {
+		return 0
+	}
+	tseq := float64(totalEvents) * float64(eventCost)
+	return tseq / (float64(engines) * float64(parallelTimeNS))
+}
+
+// Report bundles the paper's metrics for one simulation run under one
+// mapping approach.
+type Report struct {
+	// Approach names the mapping (TOP2, PROF2, HTOP, HPROF, …).
+	Approach string
+	// SimTimeSec is the modeled application simulation time T in seconds
+	// (Figures 6 and 10).
+	SimTimeSec float64
+	// AchievedMLLms is the partition's achieved MLL in milliseconds
+	// (Figures 7 and 11).
+	AchievedMLLms float64
+	// Imbalance is the normalized load imbalance (Figures 8 and 12).
+	Imbalance float64
+	// Efficiency is PE(N, L) (Figures 9 and 13).
+	Efficiency float64
+	// WallSec is the real host wall-clock time of the run (informational;
+	// the host is not a 90-node cluster).
+	WallSec float64
+	// TotalEvents and RemoteEvents describe the run's size.
+	TotalEvents, RemoteEvents uint64
+}
+
+// FromStats assembles a Report from engine statistics.
+func FromStats(approach string, st pdes.Stats, eventCost des.Time) Report {
+	return Report{
+		Approach:      approach,
+		SimTimeSec:    float64(st.ModeledTimeNS) / 1e9,
+		AchievedMLLms: st.Window.Millis(),
+		Imbalance:     LoadImbalance(st.EngineEvents),
+		Efficiency:    ParallelEfficiency(st.TotalEvents, eventCost, st.Engines, st.ModeledTimeNS),
+		WallSec:       st.WallTime.Seconds(),
+		TotalEvents:   st.TotalEvents,
+		RemoteEvents:  st.RemoteEvents,
+	}
+}
+
+// Improvement returns the relative improvement of b over a for a
+// lower-is-better quantity, e.g. Improvement(timeTOP2, timeHPROF) = 0.4
+// means HPROF is 40% faster.
+func Improvement(a, b float64) float64 {
+	if a == 0 {
+		return 0
+	}
+	return (a - b) / a
+}

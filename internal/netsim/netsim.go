@@ -1,0 +1,316 @@
+// Package netsim is the packet-level network model on top of the parallel
+// engine: store-and-forward routers, drop-tail queued links with bandwidth
+// and propagation delay, hop-by-hop IP forwarding through a pluggable
+// routing function, and TCP/UDP transport (tcp.go). It corresponds to the
+// "Network Modeling" component of MaSSF (Figure 1 of the paper).
+//
+// Every virtual node is assigned to a simulation engine by the partition
+// (the mapping produced by the load balance approaches of internal/core);
+// per-node and per-link-direction mutable state is touched only by the
+// owning engine's goroutine, so the simulation runs without locks. Packets
+// crossing the partition ride pdes remote events, whose conservative
+// window guarantee is exactly the partition's minimum cut link latency.
+package netsim
+
+import (
+	"fmt"
+
+	"massf/internal/cluster"
+	"massf/internal/des"
+	"massf/internal/model"
+	"massf/internal/pdes"
+)
+
+// Routes resolves hop-by-hop forwarding: the link on which cur forwards a
+// packet destined to dst, or -1 to drop. Implementations must be safe for
+// concurrent readers.
+type Routes interface {
+	NextLink(cur, dst model.NodeID) model.LinkID
+}
+
+// Config configures a network simulation.
+type Config struct {
+	// Net is the virtual network.
+	Net *model.Network
+	// Routes is the forwarding function (ospf.Domain, interdomain.Router).
+	Routes Routes
+	// Part assigns every node to an engine; nil means everything on
+	// engine 0.
+	Part []int32
+	// Engines is the engine-node count N.
+	Engines int
+	// Window is the conservative window — must be at most the minimum
+	// latency among links cut by Part.
+	Window des.Time
+	// End is the simulated horizon.
+	End des.Time
+	// Sync, EventCost, RemoteCost, Seed, SeriesBuckets, RealTimeFactor:
+	// see pdes.Config.
+	Sync           cluster.SyncCostModel
+	EventCost      des.Time
+	RemoteCost     des.Time
+	Seed           int64
+	SeriesBuckets  int
+	RealTimeFactor float64
+	// QueueBytes is the per-link-direction buffer. Default 131072 (128
+	// KB), i.e. ≈1 ms at 1 Gbps.
+	QueueBytes int64
+}
+
+// linkDir is the mutable state of one link direction, owned by the engine
+// of the transmitting node.
+type linkDir struct {
+	busyUntil des.Time
+	bits      uint64 // transmitted bits (profiling)
+	drops     uint64
+}
+
+// Packet is one simulated packet, passed by value through hop events. TCP
+// packets carry their flow; state partitioning (sender fields touched only
+// on the source host's engine, receiver fields only on the destination's)
+// keeps the simulation lock-free.
+type Packet struct {
+	Src, Dst model.NodeID
+	Bits     int64
+	Seq      int32 // data sequence (packet index within flow)
+	Ack      bool
+	AckNum   int32 // cumulative ack (first missing packet index)
+
+	flow      *flow
+	deliverCb func(at des.Time) // UDP delivery callback
+	ttl       int8
+}
+
+// DefaultTTL is the initial hop limit of injected packets. Forwarding
+// loops (possible only with a buggy Routes implementation — the built-in
+// routing is loop-free) burn the TTL and drop instead of looping forever.
+const DefaultTTL = 64
+
+// Sim is a configured packet-level simulation. Create with New, inject
+// traffic with StartFlow/SendUDP/ScheduleAt, execute with Run.
+type Sim struct {
+	cfg  Config
+	ps   *pdes.Sim
+	part []int32
+
+	dirs       []linkDir // 2*link+dirIndex
+	nodeEvents []uint64  // per-node kernel event counts (profiling)
+	queueNS    []int64   // per link: max queueing delay before tail drop
+
+	flowsByEngine [][]*flow // flows started, accumulated per owning engine
+	delivered     []uint64  // per-engine bits delivered to hosts
+	dropped       []uint64  // per-engine packet drops
+	retrans       []uint64  // per-engine TCP retransmissions
+}
+
+// New builds the simulation. It validates that the partition never cuts a
+// link with latency below the window (the conservative requirement).
+func New(cfg Config) (*Sim, error) {
+	if cfg.Net == nil || cfg.Routes == nil {
+		return nil, fmt.Errorf("netsim: Net and Routes are required")
+	}
+	if cfg.Engines < 1 {
+		cfg.Engines = 1
+	}
+	if cfg.QueueBytes <= 0 {
+		cfg.QueueBytes = 131072
+	}
+	part := cfg.Part
+	if part == nil {
+		part = make([]int32, len(cfg.Net.Nodes))
+	}
+	if len(part) != len(cfg.Net.Nodes) {
+		return nil, fmt.Errorf("netsim: partition covers %d of %d nodes", len(part), len(cfg.Net.Nodes))
+	}
+	for i := range cfg.Net.Links {
+		l := &cfg.Net.Links[i]
+		if part[l.A] != part[l.B] && des.Time(l.Latency) < cfg.Window {
+			return nil, fmt.Errorf("netsim: link %d (latency %v) is cut but window is %v",
+				i, des.Time(l.Latency), cfg.Window)
+		}
+	}
+	ps, err := pdes.New(pdes.Config{
+		Engines: cfg.Engines, Window: cfg.Window, End: cfg.End,
+		Sync: cfg.Sync, EventCost: cfg.EventCost, RemoteCost: cfg.RemoteCost,
+		Seed: cfg.Seed, SeriesBuckets: cfg.SeriesBuckets,
+		RealTimeFactor: cfg.RealTimeFactor,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Sim{
+		cfg:           cfg,
+		ps:            ps,
+		part:          part,
+		dirs:          make([]linkDir, 2*len(cfg.Net.Links)),
+		nodeEvents:    make([]uint64, len(cfg.Net.Nodes)),
+		queueNS:       make([]int64, len(cfg.Net.Links)),
+		flowsByEngine: make([][]*flow, cfg.Engines),
+		delivered:     make([]uint64, cfg.Engines),
+		dropped:       make([]uint64, cfg.Engines),
+		retrans:       make([]uint64, cfg.Engines),
+	}
+	for i := range cfg.Net.Links {
+		s.queueNS[i] = cfg.QueueBytes * 8 * int64(des.Second) / cfg.Net.Links[i].Bandwidth
+	}
+	return s, nil
+}
+
+// EngineOf returns the engine that owns node n.
+func (s *Sim) EngineOf(n model.NodeID) int { return int(s.part[n]) }
+
+// ScheduleAt schedules fn to run at simulated time at in the context of
+// node n's engine. Use during setup (before Run) or from a handler already
+// running on that engine.
+func (s *Sim) ScheduleAt(n model.NodeID, at des.Time, fn des.Handler) {
+	s.ps.Engine(s.EngineOf(n)).Schedule(at, fn)
+}
+
+// serialization returns the transmission delay of bits on a link.
+func serialization(bits, bandwidth int64) des.Time {
+	return des.Time(bits * int64(des.Second) / bandwidth)
+}
+
+// transmit sends pkt from node over link lid. Must run on node's engine.
+func (s *Sim) transmit(node model.NodeID, lid model.LinkID, pkt Packet) {
+	l := &s.cfg.Net.Links[lid]
+	dirIdx := 2 * int(lid)
+	if l.B == node {
+		dirIdx++
+	}
+	dir := &s.dirs[dirIdx]
+	eng := s.ps.Engine(s.EngineOf(node))
+	now := eng.Now()
+	start := now
+	if dir.busyUntil > start {
+		start = dir.busyUntil
+	}
+	if int64(start-now) > s.queueNS[lid] {
+		dir.drops++
+		s.dropped[eng.ID()]++
+		return // tail drop
+	}
+	ser := serialization(pkt.Bits, l.Bandwidth)
+	dir.busyUntil = start + ser
+	dir.bits += uint64(pkt.Bits)
+	arrival := start + ser + des.Time(l.Latency)
+	next := l.Other(node)
+	if arrival >= s.cfg.End {
+		return // beyond horizon; nobody will process it
+	}
+	dstEng := s.EngineOf(next)
+	if dstEng == eng.ID() {
+		eng.Schedule(arrival, func(des.Time) { s.arrive(next, pkt) })
+	} else {
+		eng.ScheduleRemote(dstEng, arrival, func(des.Time) { s.arrive(next, pkt) })
+	}
+}
+
+// arrive processes a packet landing on node. Must run on node's engine.
+func (s *Sim) arrive(node model.NodeID, pkt Packet) {
+	s.nodeEvents[node]++
+	if node == pkt.Dst {
+		s.deliver(node, pkt)
+		return
+	}
+	pkt.ttl--
+	if pkt.ttl <= 0 {
+		s.dropped[s.EngineOf(node)]++
+		return // TTL exhausted (forwarding loop protection)
+	}
+	lid := s.cfg.Routes.NextLink(node, pkt.Dst)
+	if lid < 0 {
+		s.dropped[s.EngineOf(node)]++
+		return // no route
+	}
+	s.transmit(node, lid, pkt)
+}
+
+// inject starts a packet at its source node (host or router). Must run on
+// the source's engine.
+func (s *Sim) inject(pkt Packet) {
+	pkt.ttl = DefaultTTL
+	s.nodeEvents[pkt.Src]++
+	if pkt.Src == pkt.Dst {
+		s.deliver(pkt.Dst, pkt)
+		return
+	}
+	lid := s.cfg.Routes.NextLink(pkt.Src, pkt.Dst)
+	if lid < 0 {
+		s.dropped[s.EngineOf(pkt.Src)]++
+		return
+	}
+	s.transmit(pkt.Src, lid, pkt)
+}
+
+// SendUDP schedules a one-shot datagram of the given size from src at time
+// at. onDeliver (optional) runs on dst's engine when it lands.
+func (s *Sim) SendUDP(at des.Time, src, dst model.NodeID, bytes int64, onDeliver func(at des.Time)) {
+	s.ScheduleAt(src, at, func(des.Time) {
+		s.inject(Packet{Src: src, Dst: dst, Bits: bytes * 8, deliverCb: onDeliver})
+	})
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	pdes.Stats
+	// NodeEvents[n] is the number of kernel events attributed to node n —
+	// the per-router load profile PROF feeds back into the partitioner.
+	NodeEvents []uint64
+	// LinkBits[l] is the traffic carried by link l in bits (both
+	// directions).
+	LinkBits []uint64
+	// Dropped is the number of packets dropped (queue overflow or no
+	// route).
+	Dropped uint64
+	// Retransmissions counts TCP segments sent more than once.
+	Retransmissions uint64
+	// LinkDrops[l] is the number of packets tail-dropped at link l (both
+	// directions).
+	LinkDrops []uint64
+	// DeliveredBits is payload delivered to destination hosts.
+	DeliveredBits uint64
+	// FlowsStarted and FlowsCompleted count TCP transfers.
+	FlowsStarted, FlowsCompleted int
+	// LastCompletion is the time the final completed flow finished (the
+	// paper's application simulation time at app granularity).
+	LastCompletion des.Time
+}
+
+// Run executes the simulation and gathers results.
+func (s *Sim) Run() Result {
+	stats := s.ps.Run()
+	res := Result{
+		Stats:      stats,
+		NodeEvents: s.nodeEvents,
+		LinkBits:   make([]uint64, len(s.cfg.Net.Links)),
+		LinkDrops:  make([]uint64, len(s.cfg.Net.Links)),
+	}
+	for i := range s.cfg.Net.Links {
+		res.LinkBits[i] = s.dirs[2*i].bits + s.dirs[2*i+1].bits
+		res.LinkDrops[i] = s.dirs[2*i].drops + s.dirs[2*i+1].drops
+	}
+	for e := 0; e < s.cfg.Engines; e++ {
+		res.Dropped += s.dropped[e]
+		res.DeliveredBits += s.delivered[e]
+		res.Retransmissions += s.retrans[e]
+	}
+	for _, flows := range s.flowsByEngine {
+		for _, f := range flows {
+			res.FlowsStarted++
+			if f.done {
+				res.FlowsCompleted++
+				if f.completedAt > res.LastCompletion {
+					res.LastCompletion = f.completedAt
+				}
+			}
+		}
+	}
+	return res
+}
+
+// Engine exposes engine i (for tests and the online agent).
+func (s *Sim) Engine(i int) *pdes.Engine { return s.ps.Engine(i) }
+
+// Config returns the simulation's configuration.
+func (s *Sim) Config() Config { return s.cfg }

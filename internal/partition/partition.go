@@ -1,0 +1,582 @@
+// Package partition implements a multilevel k-way graph partitioner in the
+// style of METIS, which the paper uses inside MaSSF. The partitioner
+// minimizes the weighted edge cut subject to a node-weight balance
+// constraint, via the classic three phases:
+//
+//  1. coarsening by heavy-edge matching until the graph is small,
+//  2. initial partitioning by recursive greedy-growing bisection, and
+//  3. uncoarsening with greedy boundary (Kernighan–Lin/FM style) refinement
+//     at every level.
+//
+// The paper's observation that "METIS does a better job for smaller graphs"
+// (Section 4.3) holds for this implementation too, and is exercised by an
+// ablation bench.
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"massf/internal/graph"
+)
+
+// Options configures a partitioning run.
+type Options struct {
+	// Parts is the number of parts k. Must be ≥ 1.
+	Parts int
+	// Imbalance is the allowed relative overweight ε: every part must weigh
+	// at most (1+ε)·total/k (unless a single node already exceeds that).
+	// Default 0.05.
+	Imbalance float64
+	// Seed makes runs deterministic. Runs with the same seed and input
+	// produce identical partitions.
+	Seed int64
+	// CoarsenTo stops coarsening once the graph has at most this many
+	// nodes. Default max(64, 8·Parts).
+	CoarsenTo int
+	// DisableRefinement turns off boundary refinement during uncoarsening
+	// (ablation switch).
+	DisableRefinement bool
+	// Trials is the number of initial-partition attempts per bisection;
+	// the best cut wins. Default 4.
+	Trials int
+}
+
+func (o *Options) setDefaults() {
+	if o.Imbalance <= 0 {
+		o.Imbalance = 0.05
+	}
+	if o.CoarsenTo <= 0 {
+		o.CoarsenTo = 8 * o.Parts
+		if o.CoarsenTo < 64 {
+			o.CoarsenTo = 64
+		}
+	}
+	if o.Trials <= 0 {
+		o.Trials = 4
+	}
+}
+
+// Partition splits g into opts.Parts parts, returning part[i] ∈ [0, Parts)
+// for every node i. It returns an error for invalid options.
+func Partition(g *graph.Graph, opts Options) ([]int32, error) {
+	if opts.Parts < 1 {
+		return nil, fmt.Errorf("partition: invalid part count %d", opts.Parts)
+	}
+	if g.Len() == 0 {
+		return nil, errors.New("partition: empty graph")
+	}
+	opts.setDefaults()
+	n := g.Len()
+	if opts.Parts == 1 {
+		return make([]int32, n), nil
+	}
+	if opts.Parts >= n {
+		// One node per part; surplus parts stay empty.
+		part := make([]int32, n)
+		for i := range part {
+			part[i] = int32(i)
+		}
+		return part, nil
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// Phase 1: coarsen.
+	levels := []*level{{g: g}}
+	for levels[len(levels)-1].g.Len() > opts.CoarsenTo {
+		cur := levels[len(levels)-1]
+		next := coarsen(cur.g, rng)
+		if next == nil || float64(next.g.Len()) > 0.95*float64(cur.g.Len()) {
+			break // matching stalled
+		}
+		cur.next = next
+		levels = append(levels, next)
+	}
+
+	// Phase 2: initial k-way partition of the coarsest graph.
+	coarsest := levels[len(levels)-1].g
+	part := initialKWay(coarsest, opts, rng)
+
+	// Phase 3: uncoarsen and refine. Rebalancing runs even when refinement
+	// is disabled: the balance constraint is part of Partition's contract,
+	// the cut-improving moves are the ablatable part.
+	for i := len(levels) - 1; i >= 0; i-- {
+		if !opts.DisableRefinement {
+			refineKWay(levels[i].g, part, opts, rng)
+		}
+		rebalance(levels[i].g, part, opts)
+		if i > 0 {
+			// Project one level up: levels[i-1].next == levels[i].
+			fine := levels[i-1]
+			finePart := make([]int32, fine.g.Len())
+			for v := range finePart {
+				finePart[v] = part[fine.next.fineToCoarse[v]]
+			}
+			part = finePart
+		}
+	}
+	return part, nil
+}
+
+// level is one rung of the multilevel ladder.
+type level struct {
+	g            *graph.Graph
+	fineToCoarse []int32 // for levels > 0: mapping from the finer graph
+	next         *level
+}
+
+// coarsen performs one heavy-edge-matching pass and returns the coarse
+// level, or nil if no edges remain to match.
+func coarsen(g *graph.Graph, rng *rand.Rand) *level {
+	n := g.Len()
+	match := make([]int32, n)
+	for i := range match {
+		match[i] = -1
+	}
+	order := rng.Perm(n)
+	// Heavy-edge matching: match each unmatched node with its unmatched
+	// neighbor of maximum aggregate edge weight.
+	agg := map[int32]int64{}
+	for _, u := range order {
+		if match[u] >= 0 {
+			continue
+		}
+		for k := range agg {
+			delete(agg, k)
+		}
+		for _, e := range g.Adj[u] {
+			if match[e.To] < 0 {
+				agg[e.To] += e.Weight
+			}
+		}
+		best := int32(-1)
+		var bestW int64 = -1
+		for v, w := range agg {
+			if w > bestW || (w == bestW && v < best) {
+				best, bestW = v, w
+			}
+		}
+		if best >= 0 {
+			match[u] = best
+			match[best] = int32(u)
+		} else {
+			match[u] = int32(u) // matched with itself
+		}
+	}
+	// Number coarse nodes.
+	fineToCoarse := make([]int32, n)
+	for i := range fineToCoarse {
+		fineToCoarse[i] = -1
+	}
+	var count int32
+	for i := 0; i < n; i++ {
+		if fineToCoarse[i] >= 0 {
+			continue
+		}
+		fineToCoarse[i] = count
+		m := match[i]
+		if m >= 0 && int(m) != i {
+			fineToCoarse[m] = count
+		}
+		count++
+	}
+	if int(count) == n {
+		return nil
+	}
+	cg := graph.New(int(count))
+	for i := range cg.NodeWeight {
+		cg.NodeWeight[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		cg.NodeWeight[fineToCoarse[i]] += g.NodeWeight[i]
+	}
+	type pair struct{ a, b int32 }
+	type ew struct {
+		w   int64
+		lat int64
+	}
+	merged := map[pair]ew{}
+	for u := 0; u < n; u++ {
+		cu := fineToCoarse[u]
+		for _, e := range g.Adj[u] {
+			if int(e.To) < u {
+				continue
+			}
+			cv := fineToCoarse[e.To]
+			if cu == cv {
+				continue
+			}
+			k := pair{cu, cv}
+			if k.a > k.b {
+				k.a, k.b = k.b, k.a
+			}
+			a, ok := merged[k]
+			if !ok || e.Latency < a.lat {
+				a.lat = e.Latency
+			}
+			a.w += e.Weight
+			merged[k] = a
+		}
+	}
+	keys := make([]pair, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].b < keys[j].b
+	})
+	for _, k := range keys {
+		a := merged[k]
+		cg.AddEdge(int(k.a), int(k.b), a.w, a.lat)
+	}
+	return &level{g: cg, fineToCoarse: fineToCoarse}
+}
+
+// initialKWay produces a k-way partition of the coarsest graph by recursive
+// bisection with proportional weight targets.
+func initialKWay(g *graph.Graph, opts Options, rng *rand.Rand) []int32 {
+	part := make([]int32, g.Len())
+	nodes := make([]int32, g.Len())
+	for i := range nodes {
+		nodes[i] = int32(i)
+	}
+	recursiveBisect(g, nodes, 0, opts.Parts, part, opts, rng)
+	return part
+}
+
+// recursiveBisect assigns the nodes in `nodes` to parts [lo, lo+k).
+func recursiveBisect(g *graph.Graph, nodes []int32, lo, k int, part []int32, opts Options, rng *rand.Rand) {
+	if k == 1 {
+		for _, v := range nodes {
+			part[v] = int32(lo)
+		}
+		return
+	}
+	k1 := k / 2
+	k2 := k - k1
+	var total int64
+	for _, v := range nodes {
+		total += g.NodeWeight[v]
+	}
+	target1 := total * int64(k1) / int64(k)
+	left, right := bisect(g, nodes, target1, opts, rng)
+	recursiveBisect(g, left, lo, k1, part, opts, rng)
+	recursiveBisect(g, right, lo+k1, k2, part, opts, rng)
+}
+
+// bisect splits nodes into two sets, the first weighing ≈target1, using
+// greedy region growing from several random seeds plus an FM sweep, keeping
+// the split with the smallest cut.
+func bisect(g *graph.Graph, nodes []int32, target1 int64, opts Options, rng *rand.Rand) (left, right []int32) {
+	inSet := make(map[int32]bool, len(nodes))
+	for _, v := range nodes {
+		inSet[v] = true
+	}
+	var bestSide map[int32]bool
+	var bestCut int64 = -1
+	for trial := 0; trial < opts.Trials; trial++ {
+		side := growRegion(g, nodes, inSet, target1, rng)
+		fmSweep(g, nodes, inSet, side, target1, opts.Imbalance)
+		cut := cutOf(g, nodes, inSet, side)
+		if bestCut < 0 || cut < bestCut {
+			bestCut = cut
+			bestSide = side
+		}
+	}
+	for _, v := range nodes {
+		if bestSide[v] {
+			left = append(left, v)
+		} else {
+			right = append(right, v)
+		}
+	}
+	// Guard against degenerate empty sides.
+	if len(left) == 0 && len(right) > 1 {
+		left = append(left, right[len(right)-1])
+		right = right[:len(right)-1]
+	}
+	if len(right) == 0 && len(left) > 1 {
+		right = append(right, left[len(left)-1])
+		left = left[:len(left)-1]
+	}
+	return left, right
+}
+
+// growRegion grows side-0 from a random seed, always absorbing the frontier
+// node with maximum connectivity into the region, until the target weight
+// is reached. Returns the membership set of side 0.
+func growRegion(g *graph.Graph, nodes []int32, inSet map[int32]bool, target int64, rng *rand.Rand) map[int32]bool {
+	side := make(map[int32]bool, len(nodes)/2)
+	if len(nodes) == 0 || target <= 0 {
+		return side
+	}
+	seed := nodes[rng.Intn(len(nodes))]
+	side[seed] = true
+	weight := g.NodeWeight[seed]
+	// gain[v] = total edge weight from v into the region.
+	gain := map[int32]int64{}
+	addNeighbors := func(u int32) {
+		for _, e := range g.Adj[u] {
+			if inSet[e.To] && !side[e.To] {
+				gain[e.To] += e.Weight
+			}
+		}
+	}
+	addNeighbors(seed)
+	for weight < target {
+		var best int32 = -1
+		var bestGain int64 = -1
+		for v, gw := range gain {
+			if gw > bestGain || (gw == bestGain && v < best) {
+				best, bestGain = v, gw
+			}
+		}
+		if best < 0 {
+			// Region's component exhausted; jump to an unreached node.
+			var jump int32 = -1
+			for _, v := range nodes {
+				if !side[v] {
+					jump = v
+					break
+				}
+			}
+			if jump < 0 {
+				break
+			}
+			best = jump
+		}
+		side[best] = true
+		weight += g.NodeWeight[best]
+		delete(gain, best)
+		addNeighbors(best)
+	}
+	return side
+}
+
+// fmSweep runs greedy boundary moves between the two sides of a bisection,
+// accepting the best prefix of moves (single FM pass, repeated while it
+// improves).
+func fmSweep(g *graph.Graph, nodes []int32, inSet, side map[int32]bool, target1 int64, eps float64) {
+	var total int64
+	for _, v := range nodes {
+		total += g.NodeWeight[v]
+	}
+	maxSide0 := int64(float64(target1) * (1 + eps))
+	minSide0 := int64(float64(target1) * (1 - eps))
+	w0 := int64(0)
+	for _, v := range nodes {
+		if side[v] {
+			w0 += g.NodeWeight[v]
+		}
+	}
+	for pass := 0; pass < 4; pass++ {
+		improved := false
+		for _, v := range nodes {
+			var internal, external int64
+			for _, e := range g.Adj[v] {
+				if !inSet[e.To] {
+					continue
+				}
+				if side[e.To] == side[v] {
+					internal += e.Weight
+				} else {
+					external += e.Weight
+				}
+			}
+			gain := external - internal
+			if gain <= 0 {
+				continue
+			}
+			nw := g.NodeWeight[v]
+			if side[v] {
+				if w0-nw < minSide0 {
+					continue
+				}
+				side[v] = false
+				w0 -= nw
+			} else {
+				if w0+nw > maxSide0 {
+					continue
+				}
+				side[v] = true
+				w0 += nw
+			}
+			improved = true
+		}
+		if !improved {
+			break
+		}
+	}
+}
+
+// cutOf returns the cut weight of the bisection described by side over the
+// induced subgraph on inSet.
+func cutOf(g *graph.Graph, nodes []int32, inSet, side map[int32]bool) int64 {
+	var cut int64
+	for _, u := range nodes {
+		for _, e := range g.Adj[u] {
+			if e.To <= u || !inSet[e.To] {
+				continue
+			}
+			if side[u] != side[e.To] {
+				cut += e.Weight
+			}
+		}
+	}
+	return cut
+}
+
+// refineKWay improves an existing k-way partition by greedy boundary moves:
+// each boundary node may move to the adjacent part with the highest positive
+// gain, subject to the balance constraint. Several passes run until no move
+// helps.
+func refineKWay(g *graph.Graph, part []int32, opts Options, rng *rand.Rand) {
+	n := g.Len()
+	k := opts.Parts
+	partWeight := make([]int64, k)
+	var total int64
+	for v := 0; v < n; v++ {
+		partWeight[part[v]] += g.NodeWeight[v]
+		total += g.NodeWeight[v]
+	}
+	maxW := int64(float64(total) / float64(k) * (1 + opts.Imbalance))
+	order := rng.Perm(n)
+	conn := make(map[int32]int64, 8)
+	for pass := 0; pass < 8; pass++ {
+		moves := 0
+		for _, vi := range order {
+			v := int32(vi)
+			home := part[v]
+			if len(g.Adj[v]) == 0 {
+				continue
+			}
+			for p := range conn {
+				delete(conn, p)
+			}
+			boundary := false
+			for _, e := range g.Adj[v] {
+				conn[part[e.To]] += e.Weight
+				if part[e.To] != home {
+					boundary = true
+				}
+			}
+			if !boundary {
+				continue
+			}
+			internal := conn[home]
+			bestPart := int32(-1)
+			var bestGain int64
+			nw := g.NodeWeight[v]
+			for p, w := range conn {
+				if p == home {
+					continue
+				}
+				gain := w - internal
+				better := gain > bestGain ||
+					(gain == bestGain && bestPart >= 0 && partWeight[p] < partWeight[bestPart])
+				if gain >= 0 && better && partWeight[p]+nw <= maxW {
+					// Also allow zero-gain moves that strictly improve
+					// balance from an overweight home part.
+					if gain == 0 && partWeight[home] <= maxW {
+						continue
+					}
+					bestPart, bestGain = p, gain
+				}
+			}
+			if bestPart >= 0 {
+				partWeight[home] -= nw
+				partWeight[bestPart] += nw
+				part[v] = bestPart
+				moves++
+			}
+		}
+		if moves == 0 {
+			break
+		}
+	}
+}
+
+// rebalance moves nodes out of overweight parts until every part weighs at
+// most (1+ε)·total/k, or no single movable node can fix the remaining
+// overweight. Moves prefer boundary nodes with the smallest cut penalty and
+// target the lightest part.
+func rebalance(g *graph.Graph, part []int32, opts Options) {
+	n := g.Len()
+	k := opts.Parts
+	partWeight := make([]int64, k)
+	var total int64
+	for v := 0; v < n; v++ {
+		partWeight[part[v]] += g.NodeWeight[v]
+		total += g.NodeWeight[v]
+	}
+	maxW := int64(float64(total) / float64(k) * (1 + opts.Imbalance))
+	for iter := 0; iter < 4*n; iter++ {
+		// Heaviest overweight part and lightest part.
+		heavy, light := 0, 0
+		for p := 1; p < k; p++ {
+			if partWeight[p] > partWeight[heavy] {
+				heavy = p
+			}
+			if partWeight[p] < partWeight[light] {
+				light = p
+			}
+		}
+		if partWeight[heavy] <= maxW || heavy == light {
+			return
+		}
+		// Pick the node in `heavy` whose move to `light` costs the least
+		// cut, without making `light` overweight. Prefer small nodes that
+		// still fit.
+		best := int32(-1)
+		var bestCost int64
+		for v := 0; v < n; v++ {
+			if part[v] != int32(heavy) {
+				continue
+			}
+			nw := g.NodeWeight[v]
+			if partWeight[light]+nw > maxW && nw < partWeight[heavy]-maxW {
+				continue
+			}
+			var cost int64
+			for _, e := range g.Adj[v] {
+				if part[e.To] == int32(heavy) {
+					cost += e.Weight
+				} else if part[e.To] == int32(light) {
+					cost -= e.Weight
+				}
+			}
+			if best < 0 || cost < bestCost {
+				best, bestCost = int32(v), cost
+			}
+		}
+		if best < 0 {
+			return
+		}
+		partWeight[heavy] -= g.NodeWeight[best]
+		partWeight[light] += g.NodeWeight[best]
+		part[best] = int32(light)
+	}
+}
+
+// Balance returns max part weight divided by average part weight for a
+// partition into nparts (1.0 is perfect). Empty parts make this large.
+func Balance(g *graph.Graph, part []int32, nparts int) float64 {
+	stats := g.EvaluatePartition(part, nparts)
+	var total, max int64
+	for _, w := range stats.PartWeight {
+		total += w
+		if w > max {
+			max = w
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	avg := float64(total) / float64(nparts)
+	return float64(max) / avg
+}

@@ -1,0 +1,354 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"massf/internal/graph"
+)
+
+// grid returns an r×c grid graph with unit weights and the given latency.
+func grid(r, c int, latency int64) *graph.Graph {
+	g := graph.New(r * c)
+	id := func(i, j int) int { return i*c + j }
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if j+1 < c {
+				g.AddEdge(id(i, j), id(i, j+1), 1, latency)
+			}
+			if i+1 < r {
+				g.AddEdge(id(i, j), id(i+1, j), 1, latency)
+			}
+		}
+	}
+	return g
+}
+
+// powerLaw returns a preferential-attachment graph of n nodes.
+func powerLaw(n int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	targets := []int{0}
+	for i := 1; i < n; i++ {
+		t := targets[rng.Intn(len(targets))]
+		g.AddEdge(i, t, int64(1+rng.Intn(10)), int64(1+rng.Intn(1000)))
+		targets = append(targets, t, i)
+	}
+	return g
+}
+
+func checkValid(t *testing.T, g *graph.Graph, part []int32, k int) {
+	t.Helper()
+	if len(part) != g.Len() {
+		t.Fatalf("partition length %d != %d", len(part), g.Len())
+	}
+	for i, p := range part {
+		if p < 0 || int(p) >= k {
+			t.Fatalf("node %d in invalid part %d (k=%d)", i, p, k)
+		}
+	}
+}
+
+func TestPartitionInvalidOptions(t *testing.T) {
+	g := grid(2, 2, 10)
+	if _, err := Partition(g, Options{Parts: 0}); err == nil {
+		t.Error("Parts=0 accepted")
+	}
+	if _, err := Partition(graph.New(0), Options{Parts: 2}); err == nil {
+		t.Error("empty graph accepted")
+	}
+}
+
+func TestPartitionSinglePart(t *testing.T) {
+	g := grid(3, 3, 10)
+	part, err := Partition(g, Options{Parts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range part {
+		if p != 0 {
+			t.Fatal("k=1 must place everything in part 0")
+		}
+	}
+}
+
+func TestPartitionMorePartsThanNodes(t *testing.T) {
+	g := grid(2, 2, 10)
+	part, err := Partition(g, Options{Parts: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, g, part, 10)
+	seen := map[int32]bool{}
+	for _, p := range part {
+		if seen[p] {
+			t.Fatal("k ≥ n must give each node its own part")
+		}
+		seen[p] = true
+	}
+}
+
+func TestPartitionGridBalanced(t *testing.T) {
+	g := grid(16, 16, 10)
+	for _, k := range []int{2, 4, 8} {
+		part, err := Partition(g, Options{Parts: k, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkValid(t, g, part, k)
+		if b := Balance(g, part, k); b > 1.15 {
+			t.Errorf("k=%d balance %.3f exceeds 1.15", k, b)
+		}
+	}
+}
+
+func TestPartitionGridCutQuality(t *testing.T) {
+	// A 16×16 grid bisected optimally cuts 16 edges; accept ≤ 2.5× that.
+	g := grid(16, 16, 10)
+	part, err := Partition(g, Options{Parts: 2, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := g.EvaluatePartition(part, 2)
+	if stats.EdgeCut > 40 {
+		t.Errorf("grid bisection cut %d, want ≤ 40 (optimal 16)", stats.EdgeCut)
+	}
+}
+
+func TestPartitionBeatsRandomCut(t *testing.T) {
+	g := powerLaw(2000, 3)
+	k := 8
+	part, err := Partition(g, Options{Parts: k, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ours := g.EvaluatePartition(part, k).EdgeCut
+	rng := rand.New(rand.NewSource(99))
+	randPart := make([]int32, g.Len())
+	for i := range randPart {
+		randPart[i] = int32(rng.Intn(k))
+	}
+	random := g.EvaluatePartition(randPart, k).EdgeCut
+	if ours*2 > random {
+		t.Errorf("partitioner cut %d not clearly better than random cut %d", ours, random)
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	g := powerLaw(500, 7)
+	a, err := Partition(g, Options{Parts: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Partition(g, Options{Parts: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different partitions")
+		}
+	}
+}
+
+func TestPartitionRespectsNodeWeights(t *testing.T) {
+	// Two heavy nodes must land in different parts for balance.
+	g := graph.New(10)
+	g.NodeWeight[0] = 100
+	g.NodeWeight[5] = 100
+	for i := 0; i < 9; i++ {
+		g.AddEdge(i, i+1, 1, 10)
+	}
+	part, err := Partition(g, Options{Parts: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part[0] == part[5] {
+		t.Error("both heavy nodes in the same part")
+	}
+}
+
+func TestRefinementImprovesOrMatchesCut(t *testing.T) {
+	g := powerLaw(1500, 13)
+	base, err := Partition(g, Options{Parts: 8, Seed: 2, DisableRefinement: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, err := Partition(g, Options{Parts: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cutBase := g.EvaluatePartition(base, 8).EdgeCut
+	cutRef := g.EvaluatePartition(refined, 8).EdgeCut
+	if cutRef > cutBase {
+		t.Errorf("refinement worsened cut: %d → %d", cutBase, cutRef)
+	}
+}
+
+func TestPartitionDisconnectedGraph(t *testing.T) {
+	g := graph.New(40)
+	for i := 0; i < 19; i++ {
+		g.AddEdge(i, i+1, 1, 10)
+	}
+	for i := 20; i < 39; i++ {
+		g.AddEdge(i, i+1, 1, 10)
+	}
+	part, err := Partition(g, Options{Parts: 4, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, g, part, 4)
+	if b := Balance(g, part, 4); b > 1.3 {
+		t.Errorf("disconnected balance %.3f too high", b)
+	}
+}
+
+func TestPartitionStarGraph(t *testing.T) {
+	// Star: hub with 100 leaves. Any k-way split is fine, but it must not
+	// crash and must remain balanced-ish.
+	g := graph.New(101)
+	for i := 1; i <= 100; i++ {
+		g.AddEdge(0, i, 1, 10)
+	}
+	part, err := Partition(g, Options{Parts: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, g, part, 4)
+	if b := Balance(g, part, 4); b > 1.2 {
+		t.Errorf("star balance %.3f", b)
+	}
+}
+
+func TestBalancePerfect(t *testing.T) {
+	g := grid(2, 2, 1)
+	if b := Balance(g, []int32{0, 0, 1, 1}, 2); b != 1.0 {
+		t.Errorf("Balance = %v, want 1.0", b)
+	}
+}
+
+// Property: every partition output is valid (right length, in-range ids)
+// and, when k ≤ n, uses every part at least once for connected graphs with
+// n ≫ k.
+func TestQuickPartitionValidity(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		k := 2 + int(kRaw)%7
+		g := powerLaw(200+int(seed%100+100)%300, seed)
+		part, err := Partition(g, Options{Parts: k, Seed: seed})
+		if err != nil {
+			return false
+		}
+		used := map[int32]bool{}
+		for _, p := range part {
+			if p < 0 || int(p) >= k {
+				return false
+			}
+			used[p] = true
+		}
+		return len(used) == k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: balance constraint is honored within a small slack for
+// unit-weight graphs.
+func TestQuickBalanceBound(t *testing.T) {
+	f := func(seed int64) bool {
+		g := powerLaw(400, seed)
+		part, err := Partition(g, Options{Parts: 8, Seed: seed})
+		if err != nil {
+			return false
+		}
+		return Balance(g, part, 8) <= 1.25
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPartition20kPowerLaw(b *testing.B) {
+	g := powerLaw(20000, 17)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Partition(g, Options{Parts: 90, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPartitionGrid(b *testing.B) {
+	g := grid(100, 100, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Partition(g, Options{Parts: 16, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestOptionsCoarsenTo(t *testing.T) {
+	g := powerLaw(2000, 21)
+	// A very high CoarsenTo disables coarsening levels; partitioning must
+	// still work.
+	part, err := Partition(g, Options{Parts: 4, Seed: 1, CoarsenTo: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := Balance(g, part, 4); b > 1.3 {
+		t.Errorf("balance %v without coarsening", b)
+	}
+}
+
+func TestOptionsImbalanceHonored(t *testing.T) {
+	g := powerLaw(1000, 22)
+	for _, eps := range []float64{0.02, 0.05, 0.20} {
+		part, err := Partition(g, Options{Parts: 5, Seed: 2, Imbalance: eps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Balance ≤ 1+ε with slack for indivisible nodes.
+		if b := Balance(g, part, 5); b > 1+eps+0.10 {
+			t.Errorf("ε=%v: balance %v", eps, b)
+		}
+	}
+}
+
+func TestOptionsTrials(t *testing.T) {
+	g := powerLaw(800, 23)
+	// More initial-partition trials never hurt the cut on average; just
+	// verify both settings produce valid partitions and the 8-trial cut
+	// is not drastically worse.
+	p1, err := Partition(g, Options{Parts: 6, Seed: 3, Trials: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p8, err := Partition(g, Options{Parts: 6, Seed: 3, Trials: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := g.EvaluatePartition(p1, 6).EdgeCut
+	c8 := g.EvaluatePartition(p8, 6).EdgeCut
+	if c8 > c1*2 {
+		t.Errorf("8-trial cut %d much worse than 1-trial %d", c8, c1)
+	}
+}
+
+func TestPartitionHeterogeneousWeightsBalance(t *testing.T) {
+	// Power-law node weights: balance within tolerance measured by
+	// weight, not count.
+	rng := rand.New(rand.NewSource(24))
+	g := powerLaw(600, 24)
+	for i := range g.NodeWeight {
+		g.NodeWeight[i] = int64(1 + rng.Intn(50))
+	}
+	part, err := Partition(g, Options{Parts: 6, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := Balance(g, part, 6); b > 1.25 {
+		t.Errorf("weighted balance %v", b)
+	}
+}

@@ -1,0 +1,367 @@
+// Package pdes implements MaSSF's parallel conservative discrete event
+// simulation engine: N logical "simulation engine nodes", each owning one
+// des.Kernel, advancing in lockstep windows of length MLL (the minimum
+// cross-partition link latency). Within a window every engine processes its
+// local events independently; events destined for other engines always
+// carry timestamps at or beyond the next window (the conservative
+// lookahead guarantee provided by the partitioner's MLL), so they are
+// exchanged at the barrier between windows.
+//
+// Engines are goroutines with a real barrier, so the simulation truly runs
+// in parallel on the host. Because the paper's platform is a 128-node
+// TeraGrid cluster we cannot reproduce, the engine additionally computes a
+// modeled execution time per window — max over engines of (events ×
+// per-event cost + remote sends × per-send cost) plus the cluster
+// synchronization cost C(N) — which is the quantity the paper's simulation
+// time, load imbalance, and parallel efficiency metrics are built from (see
+// DESIGN.md substitution #1).
+package pdes
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"massf/internal/cluster"
+	"massf/internal/des"
+)
+
+// Config configures a parallel simulation.
+type Config struct {
+	// Engines is the number of simulation engine nodes N. Paper: 90.
+	Engines int
+	// Window is the barrier window length — the achieved MLL of the
+	// partition. Must be > 0.
+	Window des.Time
+	// End is the simulated time horizon.
+	End des.Time
+	// Sync models the cluster's global synchronization cost. Defaults to
+	// the TeraGrid Figure 5 model.
+	Sync cluster.SyncCostModel
+	// EventCost is the modeled CPU cost of processing one simulation
+	// event. Default 15 µs (packet-level event on 2004 Itanium-2).
+	EventCost des.Time
+	// RemoteCost is the modeled cost of shipping one event across engine
+	// nodes (MPI send + marshalling). Default 10 µs.
+	RemoteCost des.Time
+	// Seed feeds each engine's deterministic RNG.
+	Seed int64
+	// SeriesBuckets caps the length of the per-window load series kept
+	// for Figure 3 (windows are aggregated into at most this many
+	// buckets). Default 512.
+	SeriesBuckets int
+	// RealTimeFactor paces the simulation against the wall clock for
+	// online (live traffic) use: 0 runs as fast as possible; 1.0 is the
+	// paper's real-time mode (one simulated second per wall second); 8.0
+	// is its 8× slowdown mode. A window never starts before
+	// start + windowStart×factor of wall time.
+	RealTimeFactor float64
+}
+
+func (c *Config) setDefaults() {
+	if c.Sync == nil {
+		c.Sync = cluster.DefaultTeraGrid()
+	}
+	if c.EventCost <= 0 {
+		c.EventCost = 15 * des.Microsecond
+	}
+	if c.RemoteCost <= 0 {
+		c.RemoteCost = 10 * des.Microsecond
+	}
+	if c.SeriesBuckets <= 0 {
+		c.SeriesBuckets = 512
+	}
+}
+
+// remoteEvent is an event shipped between engines at a barrier.
+type remoteEvent struct {
+	at  des.Time
+	h   des.Handler
+	seq uint64
+	src int32
+}
+
+// Engine is one simulation engine node. Event handlers scheduled on an
+// engine run on that engine's goroutine; they may freely touch state owned
+// by the engine and must use ScheduleRemote for anything owned elsewhere.
+type Engine struct {
+	id  int
+	sim *Sim
+	k   des.Kernel
+	rng *rand.Rand
+
+	outbox    [][]remoteEvent // destination engine → pending events
+	seq       uint64
+	windowEnd des.Time
+
+	events      uint64 // total events processed
+	remoteSends uint64
+	winEvents   uint64 // events in the current window
+	winRemote   uint64
+}
+
+// ID returns the engine's index in [0, Engines).
+func (e *Engine) ID() int { return e.id }
+
+// Now returns the engine's current simulated time.
+func (e *Engine) Now() des.Time { return e.k.Now() }
+
+// Rand returns the engine's deterministic RNG. Only use from the engine's
+// own handlers.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Schedule enqueues a local event.
+func (e *Engine) Schedule(at des.Time, h des.Handler) *des.Event { return e.k.Schedule(at, h) }
+
+// After enqueues a local event after a delay.
+func (e *Engine) After(d des.Time, h des.Handler) *des.Event { return e.k.After(d, h) }
+
+// Cancel cancels a local event.
+func (e *Engine) Cancel(ev *des.Event) { e.k.Cancel(ev) }
+
+// ScheduleRemote enqueues an event on engine dst at time at. When dst is
+// the local engine it schedules directly. For a true remote destination,
+// at must not precede the end of the current window — the conservative
+// guarantee the partitioner's MLL provides; violating it panics, as it
+// would silently corrupt causality on a real PDES.
+func (e *Engine) ScheduleRemote(dst int, at des.Time, h des.Handler) {
+	if dst == e.id {
+		e.k.Schedule(at, h)
+		return
+	}
+	if at < e.windowEnd {
+		panic(fmt.Sprintf("pdes: remote event at %v violates window end %v (MLL too large for this cut)", at, e.windowEnd))
+	}
+	e.outbox[dst] = append(e.outbox[dst], remoteEvent{at: at, h: h, seq: e.seq, src: int32(e.id)})
+	e.seq++
+	e.remoteSends++
+	e.winRemote++
+}
+
+// Stats summarizes a completed run.
+type Stats struct {
+	// Engines is N.
+	Engines int
+	// Windows is the number of barrier windows executed.
+	Windows int
+	// Window is the MLL used.
+	Window des.Time
+	// TotalEvents is the sum of kernel events over all engines.
+	TotalEvents uint64
+	// EngineEvents[e] is the event count of engine e (the per-node
+	// "kernel event rate" counters of Section 4.1).
+	EngineEvents []uint64
+	// RemoteEvents is the number of events shipped between engines.
+	RemoteEvents uint64
+	// LoadSeries[b][e] is engine e's event count in time bucket b — the
+	// Figure 3 load-over-lifetime series.
+	LoadSeries [][]uint64
+	// BucketWidth is the simulated time per LoadSeries bucket.
+	BucketWidth des.Time
+	// ModeledTimeNS is the modeled wall-clock execution time on the
+	// simulated cluster: Σ over windows of max(maxBusy_w, C(N)). The
+	// synchronization (a tree allreduce) overlaps with event processing,
+	// so a window costs whichever is larger — busy time on the most
+	// loaded engine, or the barrier itself. This matches the paper's
+	// measured behaviour (TOP2 at MLL ≈ sync cost still completes, at
+	// poor but nonzero efficiency).
+	ModeledTimeNS int64
+	// ModeledBusyNS is the Σ over windows of the max per-engine busy
+	// time, ignoring synchronization (a lower bound on ModeledTimeNS).
+	ModeledBusyNS int64
+	// SyncPerWindowNS is C(N).
+	SyncPerWindowNS int64
+	// WallTime is the real elapsed time of the run on the host.
+	WallTime time.Duration
+}
+
+// Sim is a configured parallel simulation.
+type Sim struct {
+	cfg     Config
+	engines []*Engine
+}
+
+// New creates a simulation with cfg.Engines engines. Initial events are
+// seeded by calling Engine.Schedule before Run (the kernels sit at t=0).
+func New(cfg Config) (*Sim, error) {
+	if cfg.Engines < 1 {
+		return nil, fmt.Errorf("pdes: need ≥ 1 engine, got %d", cfg.Engines)
+	}
+	if cfg.Window <= 0 {
+		return nil, fmt.Errorf("pdes: window must be positive, got %v", cfg.Window)
+	}
+	if cfg.End <= 0 {
+		return nil, fmt.Errorf("pdes: end must be positive, got %v", cfg.End)
+	}
+	cfg.setDefaults()
+	s := &Sim{cfg: cfg}
+	for i := 0; i < cfg.Engines; i++ {
+		e := &Engine{
+			id:     i,
+			sim:    s,
+			rng:    rand.New(rand.NewSource(cfg.Seed + int64(i)*7919)),
+			outbox: make([][]remoteEvent, cfg.Engines),
+		}
+		s.engines = append(s.engines, e)
+	}
+	return s, nil
+}
+
+// Engine returns engine i.
+func (s *Sim) Engine(i int) *Engine { return s.engines[i] }
+
+// Engines returns N.
+func (s *Sim) Engines() int { return s.cfg.Engines }
+
+// Run executes the simulation to the configured horizon and returns stats.
+// It blocks until every engine finishes.
+func (s *Sim) Run() Stats {
+	cfg := s.cfg
+	n := cfg.Engines
+	totalWindows := int((cfg.End + cfg.Window - 1) / cfg.Window)
+	buckets := cfg.SeriesBuckets
+	if buckets > totalWindows {
+		buckets = totalWindows
+	}
+	series := make([][]uint64, buckets)
+	for b := range series {
+		series[b] = make([]uint64, n)
+	}
+	syncCost := cfg.Sync.SyncCost(n)
+	// Per-window engine publications, guarded by the barrier: busy time
+	// (for the modeled-time reduction) and next pending event time (for
+	// idle-window fast-forward).
+	busyScratch := make([]int64, n)
+	nextTimes := make([]des.Time, n)
+	// Accumulators owned by engine 0 during the run.
+	var executedWindows int
+	var modeledBusy, modeledTime int64
+
+	bar := cluster.NewBarrier(n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		e := s.engines[i]
+		go func() {
+			defer wg.Done()
+			for w := 0; w < totalWindows; {
+				if cfg.RealTimeFactor > 0 {
+					// Online pacing: never run ahead of the wall clock
+					// (scaled by the slowdown factor).
+					target := start.Add(time.Duration(float64(w) * float64(cfg.Window) * cfg.RealTimeFactor))
+					if d := time.Until(target); d > 0 {
+						time.Sleep(d)
+					}
+				}
+				wEnd := des.Time(w+1) * cfg.Window
+				if wEnd > cfg.End {
+					wEnd = cfg.End
+				}
+				e.windowEnd = wEnd
+				before := e.k.Processed()
+				e.k.RunUntil(wEnd)
+				e.winEvents = e.k.Processed() - before
+				e.events += e.winEvents
+				busyScratch[e.id] = int64(e.winEvents)*int64(cfg.EventCost) +
+					int64(e.winRemote)*int64(cfg.RemoteCost)
+				if buckets > 0 {
+					b := w * buckets / totalWindows
+					series[b][e.id] += e.winEvents
+				}
+				e.winRemote = 0
+				bar.Await()
+				// Exchange phase: collect events addressed to this engine,
+				// deterministically ordered, then publish the next local
+				// event time for the fast-forward decision.
+				var incoming []remoteEvent
+				for _, src := range s.engines {
+					if len(src.outbox[e.id]) > 0 {
+						incoming = append(incoming, src.outbox[e.id]...)
+					}
+				}
+				sort.Slice(incoming, func(a, b int) bool {
+					x, y := incoming[a], incoming[b]
+					if x.at != y.at {
+						return x.at < y.at
+					}
+					if x.src != y.src {
+						return x.src < y.src
+					}
+					return x.seq < y.seq
+				})
+				for _, re := range incoming {
+					e.k.Schedule(re.at, re.h)
+				}
+				nextTimes[e.id] = e.k.NextEventTime()
+				if e.id == 0 {
+					// One engine reduces the window's modeled cost:
+					// max(busiest engine, synchronization) — the barrier
+					// allreduce overlaps with event processing.
+					var m int64
+					for _, b := range busyScratch {
+						if b > m {
+							m = b
+						}
+					}
+					executedWindows++
+					modeledBusy += m
+					if m < syncCost {
+						m = syncCost
+					}
+					modeledTime += m
+				}
+				bar.Await()
+				// Clear my outboxes (consumers copied them between the
+				// two barriers) and fast-forward over globally idle
+				// windows: every engine computes the same global next
+				// event time from the published values.
+				for d := range e.outbox {
+					e.outbox[d] = e.outbox[d][:0]
+				}
+				globalNext := des.EndOfTime
+				for _, t := range nextTimes {
+					if t < globalNext {
+						globalNext = t
+					}
+				}
+				w++
+				if globalNext > des.Time(w)*cfg.Window {
+					skip := int(globalNext / cfg.Window)
+					if skip > w {
+						w = skip
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	stats := Stats{
+		Engines:         n,
+		Windows:         executedWindows,
+		Window:          cfg.Window,
+		EngineEvents:    make([]uint64, n),
+		LoadSeries:      series,
+		SyncPerWindowNS: syncCost,
+		WallTime:        wall,
+		ModeledBusyNS:   modeledBusy,
+		ModeledTimeNS:   modeledTime,
+	}
+	if buckets > 0 {
+		stats.BucketWidth = cfg.End / des.Time(buckets)
+	}
+	for i, e := range s.engines {
+		stats.EngineEvents[i] = e.events
+		stats.TotalEvents += e.events
+		stats.RemoteEvents += e.remoteSends
+	}
+	return stats
+}
+
+// EventCost returns the configured modeled per-event cost, used by metrics
+// to estimate the best sequential time.
+func (s *Sim) EventCost() des.Time { return s.cfg.EventCost }

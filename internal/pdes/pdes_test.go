@@ -1,0 +1,337 @@
+package pdes
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"massf/internal/cluster"
+	"massf/internal/des"
+)
+
+func newSim(t *testing.T, engines int, window, end des.Time) *Sim {
+	t.Helper()
+	s, err := New(Config{Engines: engines, Window: window, End: end, Sync: cluster.Fixed{CostNS: 1000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Engines: 0, Window: 1, End: 1}); err == nil {
+		t.Error("0 engines accepted")
+	}
+	if _, err := New(Config{Engines: 1, Window: 0, End: 1}); err == nil {
+		t.Error("0 window accepted")
+	}
+	if _, err := New(Config{Engines: 1, Window: 1, End: 0}); err == nil {
+		t.Error("0 end accepted")
+	}
+}
+
+func TestSingleEngineRunsAllEvents(t *testing.T) {
+	s := newSim(t, 1, des.Millisecond, 10*des.Millisecond)
+	count := 0
+	for i := 0; i < 25; i++ {
+		at := des.Time(i) * 400 * des.Microsecond
+		s.Engine(0).Schedule(at, func(des.Time) { count++ })
+	}
+	stats := s.Run()
+	if count != 25 {
+		t.Errorf("executed %d events, want 25", count)
+	}
+	if stats.TotalEvents != 25 {
+		t.Errorf("TotalEvents = %d, want 25", stats.TotalEvents)
+	}
+	if stats.Windows != 10 {
+		t.Errorf("Windows = %d, want 10", stats.Windows)
+	}
+}
+
+func TestEventAtHorizonNotExecuted(t *testing.T) {
+	s := newSim(t, 1, des.Millisecond, 5*des.Millisecond)
+	ran := false
+	s.Engine(0).Schedule(5*des.Millisecond, func(des.Time) { ran = true })
+	s.Run()
+	if ran {
+		t.Error("event at the horizon executed; horizon is exclusive")
+	}
+}
+
+func TestRemoteEventDelivery(t *testing.T) {
+	s := newSim(t, 4, des.Millisecond, 20*des.Millisecond)
+	var deliveredAt des.Time
+	// Engine 0 at t=0.2ms sends an event to engine 3 at t=1.5ms (≥ window
+	// end 1ms: legal).
+	s.Engine(0).Schedule(200*des.Microsecond, func(now des.Time) {
+		s.Engine(0).ScheduleRemote(3, 1500*des.Microsecond, func(at des.Time) {
+			deliveredAt = at
+		})
+	})
+	stats := s.Run()
+	if deliveredAt != 1500*des.Microsecond {
+		t.Errorf("remote event ran at %v, want 1.5ms", deliveredAt)
+	}
+	if stats.RemoteEvents != 1 {
+		t.Errorf("RemoteEvents = %d, want 1", stats.RemoteEvents)
+	}
+}
+
+func TestRemoteToSelfIsLocal(t *testing.T) {
+	s := newSim(t, 2, des.Millisecond, 5*des.Millisecond)
+	ran := false
+	s.Engine(1).Schedule(100*des.Microsecond, func(now des.Time) {
+		// Same-engine "remote" below the window end is fine.
+		s.Engine(1).ScheduleRemote(1, 200*des.Microsecond, func(des.Time) { ran = true })
+	})
+	stats := s.Run()
+	if !ran {
+		t.Error("self-remote event not delivered")
+	}
+	if stats.RemoteEvents != 0 {
+		t.Errorf("self delivery counted as remote: %d", stats.RemoteEvents)
+	}
+}
+
+func TestRemoteCausalityViolationPanics(t *testing.T) {
+	s := newSim(t, 2, des.Millisecond, 5*des.Millisecond)
+	panicked := make(chan bool, 1)
+	s.Engine(0).Schedule(500*des.Microsecond, func(now des.Time) {
+		defer func() { panicked <- recover() != nil }()
+		// 0.8ms < window end 1ms: violates the conservative guarantee.
+		s.Engine(0).ScheduleRemote(1, 800*des.Microsecond, func(des.Time) {})
+	})
+	s.Run()
+	if !<-panicked {
+		t.Error("causality violation did not panic")
+	}
+}
+
+func TestPingPongAcrossEngines(t *testing.T) {
+	// Two engines bounce an event back and forth, one hop per window.
+	s := newSim(t, 2, des.Millisecond, 50*des.Millisecond)
+	var hops int32
+	var bounce func(me int)
+	bounce = func(me int) {
+		e := s.Engine(me)
+		e.Schedule(e.Now(), func(now des.Time) {})
+		atomic.AddInt32(&hops, 1)
+		other := 1 - me
+		at := s.Engine(me).Now() + des.Millisecond
+		if at < 49*des.Millisecond {
+			s.Engine(me).ScheduleRemote(other, at, func(des.Time) { bounce(other) })
+		}
+	}
+	s.Engine(0).Schedule(0, func(des.Time) { bounce(0) })
+	s.Run()
+	if hops < 40 {
+		t.Errorf("ping-pong made %d hops, want ≈49", hops)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() (uint64, []uint64) {
+		s := newSim(t, 4, des.Millisecond, 30*des.Millisecond)
+		// Each engine generates random local work and random remote sends.
+		for i := 0; i < 4; i++ {
+			e := s.Engine(i)
+			var gen func(now des.Time)
+			gen = func(now des.Time) {
+				next := now + des.Time(e.Rand().Intn(500)+100)*des.Microsecond
+				if next >= 29*des.Millisecond {
+					return
+				}
+				dst := e.Rand().Intn(4)
+				at := next + des.Millisecond
+				e.ScheduleRemote(dst, at, func(des.Time) {})
+				e.Schedule(next, gen)
+			}
+			e.Schedule(0, gen)
+		}
+		st := s.Run()
+		return st.TotalEvents, st.EngineEvents
+	}
+	t1, e1 := run()
+	t2, e2 := run()
+	if t1 != t2 {
+		t.Fatalf("TotalEvents differ: %d vs %d", t1, t2)
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("engine %d events differ: %d vs %d", i, e1[i], e2[i])
+		}
+	}
+}
+
+func TestModeledTimeAccounting(t *testing.T) {
+	cost := 10 * des.Microsecond
+	s, err := New(Config{
+		Engines: 2, Window: des.Millisecond, End: 2 * des.Millisecond,
+		Sync: cluster.Fixed{CostNS: 5000}, EventCost: cost, RemoteCost: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window 1: engine 0 processes 3 events, engine 1 processes 1.
+	// Window 2: engine 1 processes 5 events.
+	for i := 0; i < 3; i++ {
+		s.Engine(0).Schedule(des.Time(i)*des.Microsecond, func(des.Time) {})
+	}
+	s.Engine(1).Schedule(0, func(des.Time) {})
+	for i := 0; i < 5; i++ {
+		s.Engine(1).Schedule(des.Millisecond+des.Time(i), func(des.Time) {})
+	}
+	stats := s.Run()
+	wantBusy := int64(3*10000 + 5*10000) // max per window × cost
+	if stats.ModeledBusyNS != wantBusy {
+		t.Errorf("ModeledBusyNS = %d, want %d", stats.ModeledBusyNS, wantBusy)
+	}
+	// Sync (5µs) overlaps with computation: both windows are busier than
+	// the barrier, so modeled time equals busy time here.
+	if stats.ModeledTimeNS != wantBusy {
+		t.Errorf("ModeledTimeNS = %d, want %d", stats.ModeledTimeNS, wantBusy)
+	}
+	if stats.SyncPerWindowNS != 5000 {
+		t.Errorf("SyncPerWindowNS = %d, want 5000", stats.SyncPerWindowNS)
+	}
+}
+
+func TestLoadSeriesShape(t *testing.T) {
+	s, err := New(Config{
+		Engines: 2, Window: des.Millisecond, End: 100 * des.Millisecond,
+		Sync: cluster.Fixed{CostNS: 1}, SeriesBuckets: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Engine 0 busy only in the first half.
+	for i := 0; i < 50; i++ {
+		s.Engine(0).Schedule(des.Time(i)*des.Millisecond, func(des.Time) {})
+	}
+	stats := s.Run()
+	if len(stats.LoadSeries) != 10 {
+		t.Fatalf("series has %d buckets, want 10", len(stats.LoadSeries))
+	}
+	firstHalf, secondHalf := uint64(0), uint64(0)
+	for b := 0; b < 5; b++ {
+		firstHalf += stats.LoadSeries[b][0]
+	}
+	for b := 5; b < 10; b++ {
+		secondHalf += stats.LoadSeries[b][0]
+	}
+	if firstHalf != 50 || secondHalf != 0 {
+		t.Errorf("load series halves = %d/%d, want 50/0", firstHalf, secondHalf)
+	}
+	if stats.BucketWidth != 10*des.Millisecond {
+		t.Errorf("BucketWidth = %v, want 10ms", stats.BucketWidth)
+	}
+}
+
+func TestManyEnginesStress(t *testing.T) {
+	// 32 engines flooding random remote events; checks barrier + exchange
+	// correctness under real concurrency (run with -race in CI).
+	s := newSim(t, 32, des.Millisecond, 20*des.Millisecond)
+	var delivered int64
+	for i := 0; i < 32; i++ {
+		e := s.Engine(i)
+		var gen func(now des.Time)
+		gen = func(now des.Time) {
+			for j := 0; j < 3; j++ {
+				dst := e.Rand().Intn(32)
+				at := now + des.Millisecond + des.Time(e.Rand().Intn(1000))*des.Microsecond
+				if at < 20*des.Millisecond {
+					e.ScheduleRemote(dst, at, func(des.Time) { atomic.AddInt64(&delivered, 1) })
+				}
+			}
+			if next := now + 500*des.Microsecond; next < 20*des.Millisecond {
+				e.Schedule(next, gen)
+			}
+		}
+		e.Schedule(0, gen)
+	}
+	stats := s.Run()
+	if delivered == 0 {
+		t.Fatal("no remote deliveries")
+	}
+	if stats.TotalEvents == 0 || stats.Engines != 32 {
+		t.Fatalf("bad stats: %+v", stats)
+	}
+}
+
+func BenchmarkBarrierWindows8Engines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, _ := New(Config{
+			Engines: 8, Window: des.Millisecond, End: 100 * des.Millisecond,
+			Sync: cluster.Fixed{CostNS: 1},
+		})
+		s.Run()
+	}
+}
+
+func TestIdleWindowFastForward(t *testing.T) {
+	// Two far-apart events: the engine must not execute the ~10k empty
+	// windows between them.
+	s := newSim(t, 2, des.Millisecond, 10*des.Second)
+	ran := 0
+	s.Engine(0).Schedule(des.Millisecond/2, func(des.Time) { ran++ })
+	s.Engine(1).Schedule(9*des.Second+des.Millisecond/2, func(des.Time) { ran++ })
+	stats := s.Run()
+	if ran != 2 {
+		t.Fatalf("events ran = %d, want 2", ran)
+	}
+	if stats.Windows > 10 {
+		t.Errorf("executed %d windows; idle fast-forward broken (want ≤ 10)", stats.Windows)
+	}
+	if stats.TotalEvents != 2 {
+		t.Errorf("TotalEvents = %d", stats.TotalEvents)
+	}
+}
+
+func TestFastForwardRespectsRemoteEvents(t *testing.T) {
+	// Engine 0 sends a remote event far in the future; the fast-forward
+	// must land exactly on (not beyond) its window.
+	s := newSim(t, 2, des.Millisecond, 5*des.Second)
+	var deliveredAt des.Time
+	s.Engine(0).Schedule(100*des.Microsecond, func(des.Time) {
+		s.Engine(0).ScheduleRemote(1, 4*des.Second+300*des.Microsecond, func(at des.Time) {
+			deliveredAt = at
+		})
+	})
+	stats := s.Run()
+	if deliveredAt != 4*des.Second+300*des.Microsecond {
+		t.Fatalf("remote event at %v", deliveredAt)
+	}
+	if stats.Windows > 5 {
+		t.Errorf("executed %d windows, want ≤ 5", stats.Windows)
+	}
+}
+
+func TestFastForwardPreservesDeterminism(t *testing.T) {
+	// Sparse random traffic across engines must give identical results
+	// regardless of scheduling pressure (run twice).
+	exec := func() (uint64, int) {
+		s := newSim(t, 4, des.Millisecond, 3*des.Second)
+		for i := 0; i < 4; i++ {
+			e := s.Engine(i)
+			var gen func(now des.Time)
+			gen = func(now des.Time) {
+				gap := des.Time(e.Rand().Intn(200)+1) * des.Millisecond
+				next := now + gap
+				if next >= 3*des.Second-des.Millisecond {
+					return
+				}
+				dst := e.Rand().Intn(4)
+				e.ScheduleRemote(dst, next+des.Millisecond, func(des.Time) {})
+				e.Schedule(next, gen)
+			}
+			e.Schedule(0, gen)
+		}
+		st := s.Run()
+		return st.TotalEvents, st.Windows
+	}
+	e1, w1 := exec()
+	e2, w2 := exec()
+	if e1 != e2 || w1 != w2 {
+		t.Fatalf("nondeterministic with fast-forward: (%d,%d) vs (%d,%d)", e1, w1, e2, w2)
+	}
+}

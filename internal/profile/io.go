@@ -1,0 +1,89 @@
+// Profile (de)serialization, so the profiling run (cmd/massf -profile-out)
+// and the partitioning tool (cmd/partition -profile) can exchange measured
+// traffic through a file, the way MaSSF feeds monitoring output back into
+// the mapper.
+package profile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"massf/internal/des"
+)
+
+const magic = "massf-profile v1"
+
+// Write serializes the profile in a line-oriented text format. Zero
+// entries are omitted.
+func (p *Profile) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%s\n", magic)
+	fmt.Fprintf(bw, "horizon %d\n", int64(p.Horizon))
+	fmt.Fprintf(bw, "nodes %d\n", len(p.NodeEvents))
+	fmt.Fprintf(bw, "links %d\n", len(p.LinkBits))
+	for i, v := range p.NodeEvents {
+		if v != 0 {
+			fmt.Fprintf(bw, "n %d %d\n", i, v)
+		}
+	}
+	for i, v := range p.LinkBits {
+		if v != 0 {
+			fmt.Fprintf(bw, "l %d %d\n", i, v)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a profile written by Write.
+func Read(r io.Reader) (*Profile, error) {
+	br := bufio.NewReader(r)
+	var header string
+	if _, err := fmt.Fscanf(br, "%16s v1\n", &header); err != nil || header+" v1" != magic {
+		// Re-read robustly: scan the first line.
+		return nil, fmt.Errorf("profile: bad magic")
+	}
+	var horizon int64
+	var nodes, links int
+	if _, err := fmt.Fscanf(br, "horizon %d\n", &horizon); err != nil {
+		return nil, fmt.Errorf("profile: horizon: %w", err)
+	}
+	if _, err := fmt.Fscanf(br, "nodes %d\n", &nodes); err != nil {
+		return nil, fmt.Errorf("profile: nodes: %w", err)
+	}
+	if _, err := fmt.Fscanf(br, "links %d\n", &links); err != nil {
+		return nil, fmt.Errorf("profile: links: %w", err)
+	}
+	if nodes < 0 || links < 0 || nodes > 1<<28 || links > 1<<28 {
+		return nil, fmt.Errorf("profile: implausible sizes %d/%d", nodes, links)
+	}
+	p := New(nodes, links)
+	p.Horizon = des.Time(horizon)
+	for {
+		var kind string
+		var idx int
+		var val uint64
+		n, err := fmt.Fscanf(br, "%1s %d %d\n", &kind, &idx, &val)
+		if err == io.EOF || n == 0 {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("profile: entry: %w", err)
+		}
+		switch kind {
+		case "n":
+			if idx < 0 || idx >= nodes {
+				return nil, fmt.Errorf("profile: node index %d out of range", idx)
+			}
+			p.NodeEvents[idx] = val
+		case "l":
+			if idx < 0 || idx >= links {
+				return nil, fmt.Errorf("profile: link index %d out of range", idx)
+			}
+			p.LinkBits[idx] = val
+		default:
+			return nil, fmt.Errorf("profile: unknown entry kind %q", kind)
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,80 @@
+// Package profile holds the traffic profiles that the PROF/HPROF mapping
+// approaches feed back into the partitioner: per-node kernel event counts
+// and per-link traffic volumes measured during an initial profiling
+// simulation run on a naive partition (Section 3.3: "profiling involves an
+// initial simulation experiment using a naive initial partition and
+// traffic monitoring").
+package profile
+
+import (
+	"fmt"
+
+	"massf/internal/des"
+	"massf/internal/netsim"
+)
+
+// Profile is measured load information from one or more profiling runs.
+type Profile struct {
+	// NodeEvents[n] is the number of simulation events node n generated.
+	NodeEvents []uint64
+	// LinkBits[l] is the traffic carried by link l, in bits.
+	LinkBits []uint64
+	// Horizon is the total profiled simulation time.
+	Horizon des.Time
+}
+
+// New returns an empty profile for a network of the given size.
+func New(nodes, links int) *Profile {
+	return &Profile{
+		NodeEvents: make([]uint64, nodes),
+		LinkBits:   make([]uint64, links),
+	}
+}
+
+// FromResult captures a profile from a completed simulation run.
+func FromResult(res *netsim.Result, horizon des.Time) *Profile {
+	return &Profile{
+		NodeEvents: append([]uint64(nil), res.NodeEvents...),
+		LinkBits:   append([]uint64(nil), res.LinkBits...),
+		Horizon:    horizon,
+	}
+}
+
+// Merge accumulates another profile (e.g. a second profiling run) into p.
+// The profiles must describe the same network.
+func (p *Profile) Merge(other *Profile) error {
+	if len(p.NodeEvents) != len(other.NodeEvents) || len(p.LinkBits) != len(other.LinkBits) {
+		return fmt.Errorf("profile: size mismatch (%d/%d nodes, %d/%d links)",
+			len(p.NodeEvents), len(other.NodeEvents), len(p.LinkBits), len(other.LinkBits))
+	}
+	for i, v := range other.NodeEvents {
+		p.NodeEvents[i] += v
+	}
+	for i, v := range other.LinkBits {
+		p.LinkBits[i] += v
+	}
+	p.Horizon += other.Horizon
+	return nil
+}
+
+// NodeWeight returns the partitioner node weight for node n: measured
+// events with add-one smoothing, so idle nodes keep a positive weight (a
+// requirement of the partitioner and a hedge against traffic drift between
+// the profiling and production runs).
+func (p *Profile) NodeWeight(n int) int64 {
+	return int64(p.NodeEvents[n]) + 1
+}
+
+// LinkBytes returns the measured traffic on link l in bytes.
+func (p *Profile) LinkBytes(l int) int64 {
+	return int64(p.LinkBits[l] / 8)
+}
+
+// TotalEvents sums all node events.
+func (p *Profile) TotalEvents() uint64 {
+	var t uint64
+	for _, v := range p.NodeEvents {
+		t += v
+	}
+	return t
+}

@@ -1,0 +1,115 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+
+	"massf/internal/des"
+	"massf/internal/netsim"
+	"massf/internal/pdes"
+)
+
+func TestNewAndWeights(t *testing.T) {
+	p := New(3, 2)
+	if len(p.NodeEvents) != 3 || len(p.LinkBits) != 2 {
+		t.Fatal("wrong sizes")
+	}
+	if p.NodeWeight(0) != 1 {
+		t.Errorf("empty node weight = %d, want 1 (add-one smoothing)", p.NodeWeight(0))
+	}
+	p.NodeEvents[1] = 41
+	if p.NodeWeight(1) != 42 {
+		t.Errorf("node weight = %d, want 42", p.NodeWeight(1))
+	}
+	p.LinkBits[0] = 8000
+	if p.LinkBytes(0) != 1000 {
+		t.Errorf("link bytes = %d, want 1000", p.LinkBytes(0))
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := New(2, 1)
+	b := New(2, 1)
+	a.NodeEvents[0] = 5
+	b.NodeEvents[0] = 7
+	b.LinkBits[0] = 100
+	a.Horizon = des.Second
+	b.Horizon = 2 * des.Second
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.NodeEvents[0] != 12 || a.LinkBits[0] != 100 || a.Horizon != 3*des.Second {
+		t.Errorf("merge wrong: %+v", a)
+	}
+	if a.TotalEvents() != 12 {
+		t.Errorf("TotalEvents = %d, want 12", a.TotalEvents())
+	}
+}
+
+func TestMergeMismatch(t *testing.T) {
+	if err := New(2, 1).Merge(New(3, 1)); err == nil {
+		t.Error("node mismatch accepted")
+	}
+	if err := New(2, 1).Merge(New(2, 2)); err == nil {
+		t.Error("link mismatch accepted")
+	}
+}
+
+func TestFromResult(t *testing.T) {
+	res := &netsim.Result{
+		Stats:      pdes.Stats{},
+		NodeEvents: []uint64{1, 2, 3},
+		LinkBits:   []uint64{10, 20},
+	}
+	p := FromResult(res, 5*des.Second)
+	if p.TotalEvents() != 6 || p.Horizon != 5*des.Second {
+		t.Errorf("FromResult wrong: %+v", p)
+	}
+	// Must be a copy, not an alias.
+	res.NodeEvents[0] = 99
+	if p.NodeEvents[0] != 1 {
+		t.Error("FromResult aliases the result slices")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	p := New(5, 3)
+	p.NodeEvents[0] = 10
+	p.NodeEvents[4] = 99
+	p.LinkBits[1] = 12345
+	p.Horizon = 7 * des.Second
+	var sb strings.Builder
+	if err := p.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, sb.String())
+	}
+	if back.Horizon != p.Horizon {
+		t.Errorf("horizon %v != %v", back.Horizon, p.Horizon)
+	}
+	for i := range p.NodeEvents {
+		if back.NodeEvents[i] != p.NodeEvents[i] {
+			t.Fatalf("node %d: %d != %d", i, back.NodeEvents[i], p.NodeEvents[i])
+		}
+	}
+	for i := range p.LinkBits {
+		if back.LinkBits[i] != p.LinkBits[i] {
+			t.Fatalf("link %d mismatch", i)
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"wrong v1\nhorizon 0\nnodes 1\nlinks 1\n",
+		"massf-profile v1\nhorizon 0\nnodes 2\nlinks 1\nn 5 1\n",
+		"massf-profile v1\nhorizon 0\nnodes 2\nlinks 1\nx 0 1\n",
+	} {
+		if _, err := Read(strings.NewReader(bad)); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}

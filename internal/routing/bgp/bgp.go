@@ -1,0 +1,354 @@
+// Package bgp implements BGP4 policy routing at the AS level: route
+// announcements carrying AS-path, local preference, MED and next hop, the
+// sequential best-route decision process, and the import/export policies of
+// Section 5.1.1 of the paper (customer > peer > provider local preference;
+// no-valley export filtering derived from commercial relationships).
+//
+// The protocol runs as a message-driven path-vector computation over the AS
+// adjacencies until convergence. Gao–Rexford conditions hold for networks
+// produced by package mabrite (hierarchical provider/customer relations,
+// core clique), so convergence is guaranteed; the implementation also
+// carries a safety bound on message count. One speaker per AS stands in for
+// the paper's per-border-router sessions (see DESIGN.md substitution #4);
+// policy behaviour — "connectivity does not equal reachability" — is fully
+// preserved.
+package bgp
+
+import (
+	"fmt"
+	"slices"
+
+	"massf/internal/model"
+)
+
+// Local preference values implementing the paper's import policy rule:
+// "Customer routes have the highest local preference, and peer routes have
+// higher local preference than providers."
+const (
+	PrefCustomer = 100
+	PrefPeer     = 90
+	PrefProvider = 80
+	PrefLocal    = 200 // own prefix beats everything
+)
+
+// Route is one BGP route toward a destination AS.
+type Route struct {
+	// Dest is the destination AS (stands in for its prefix).
+	Dest int32
+	// Path is the AS path; Path[0] is the neighbor the route was learned
+	// from and Path[len-1] == Dest. Empty for a locally originated route.
+	Path []int32
+	// LocalPref is assigned by the import policy.
+	LocalPref int
+	// MED is the multi-exit discriminator carried on the announcement.
+	MED int
+	// LearnedFrom is the relationship toward the announcing neighbor;
+	// it drives the export policy. RelCustomer for locally originated
+	// routes so they export everywhere.
+	LearnedFrom model.Relationship
+}
+
+// NextHopAS returns the neighbor AS the route forwards through, or the
+// destination itself for local routes.
+func (r *Route) NextHopAS() int32 {
+	if len(r.Path) == 0 {
+		return r.Dest
+	}
+	return r.Path[0]
+}
+
+// better reports whether a beats b under the BGP decision process: highest
+// local preference, then shortest AS path, then lowest MED, then lowest
+// next-hop AS id (the deterministic tiebreak standing in for router id).
+func better(a, b *Route) bool {
+	if b == nil {
+		return true
+	}
+	if a.LocalPref != b.LocalPref {
+		return a.LocalPref > b.LocalPref
+	}
+	if len(a.Path) != len(b.Path) {
+		return len(a.Path) < len(b.Path)
+	}
+	if a.MED != b.MED {
+		return a.MED < b.MED
+	}
+	return a.NextHopAS() < b.NextHopAS()
+}
+
+// exportable implements the export policy: a route may be announced to a
+// neighbor with relationship rel (from the local AS's view) iff it is
+// locally originated or customer-learned, or the neighbor is a customer
+// ("Export all routes to customers").
+func exportable(r *Route, rel model.Relationship) bool {
+	if rel == model.RelCustomer {
+		return true
+	}
+	return r.LearnedFrom == model.RelCustomer
+}
+
+// prefFor implements the import policy's local-preference assignment by
+// next-hop AS relationship.
+func prefFor(rel model.Relationship) int {
+	switch rel {
+	case model.RelCustomer:
+		return PrefCustomer
+	case model.RelPeer:
+		return PrefPeer
+	default:
+		return PrefProvider
+	}
+}
+
+// RIB is the converged routing state: every AS's best route to every
+// destination AS.
+type RIB struct {
+	best [][]*Route // [as][dest]
+	// Messages is the number of BGP update messages exchanged before
+	// convergence — a measure of protocol work reported by benches.
+	Messages int
+}
+
+// Best returns AS as's best route toward dest, or nil if dest is
+// unreachable under policy.
+func (r *RIB) Best(as, dest int32) *Route { return r.best[as][dest] }
+
+// NextHopAS returns the next-hop AS from as toward dest. ok is false when
+// no policy-compliant route exists.
+func (r *RIB) NextHopAS(as, dest int32) (int32, bool) {
+	rt := r.best[as][dest]
+	if rt == nil {
+		return 0, false
+	}
+	return rt.NextHopAS(), true
+}
+
+// Path returns the full AS path from as to dest (excluding as itself), or
+// nil if unreachable.
+func (r *RIB) Path(as, dest int32) []int32 {
+	rt := r.best[as][dest]
+	if rt == nil {
+		return nil
+	}
+	return rt.Path
+}
+
+// update is one BGP message in flight: an announcement (route != nil) or a
+// withdrawal (route == nil) for dest, sent from one AS to another.
+type update struct {
+	from, to int32
+	dest     int32
+	route    *Route // as announced (path NOT yet prepended with `from`)
+}
+
+// Simulator is the incremental BGP protocol state machine: adj-RIBs-in per
+// session, best routes, and a queue of in-flight updates. Beyond the batch
+// Converge, it supports the dynamic studies the paper's future work calls
+// for (BGP beacons: timed announcements and withdrawals of a prefix).
+type Simulator struct {
+	net   *model.Network
+	rib   *RIB
+	adjIn []map[int32][]*Route
+	queue []update
+}
+
+// NewSimulator builds an idle simulator: no prefixes originated, empty
+// RIBs.
+func NewSimulator(net *model.Network) *Simulator {
+	n := len(net.ASes)
+	s := &Simulator{
+		net:   net,
+		rib:   &RIB{best: make([][]*Route, n)},
+		adjIn: make([]map[int32][]*Route, n),
+	}
+	for as := 0; as < n; as++ {
+		s.rib.best[as] = make([]*Route, n)
+		s.adjIn[as] = make(map[int32][]*Route, len(net.ASes[as].Neighbors))
+		for _, nb := range net.ASes[as].Neighbors {
+			s.adjIn[as][nb.AS] = make([]*Route, n)
+		}
+	}
+	return s
+}
+
+// RIB exposes the simulator's current routing state (live view).
+func (s *Simulator) RIB() *RIB { return s.rib }
+
+// Announce originates AS as's own prefix: the local route is installed and
+// announcements queue to every neighbor. No-op if already announced.
+func (s *Simulator) Announce(as int32) {
+	if s.rib.best[as][as] != nil {
+		return
+	}
+	s.rib.best[as][as] = &Route{Dest: as, LocalPref: PrefLocal, LearnedFrom: model.RelCustomer}
+	for _, nb := range s.net.ASes[as].Neighbors {
+		s.queue = append(s.queue, update{from: as, to: nb.AS, dest: as, route: &Route{Dest: as}})
+	}
+}
+
+// Withdraw retracts AS as's own prefix, queueing withdrawals to every
+// neighbor. No-op if not announced.
+func (s *Simulator) Withdraw(as int32) {
+	if s.rib.best[as][as] == nil {
+		return
+	}
+	s.rib.best[as][as] = nil
+	for _, nb := range s.net.ASes[as].Neighbors {
+		s.queue = append(s.queue, update{from: as, to: nb.AS, dest: as})
+	}
+}
+
+func (s *Simulator) relOf(as, nb int32) model.Relationship {
+	r, ok := s.net.ASes[as].NeighborTo(nb)
+	if !ok {
+		panic(fmt.Sprintf("bgp: no adjacency %d → %d", as, nb))
+	}
+	return r.Rel
+}
+
+// Run processes queued updates until the protocol is quiescent, returning
+// the number of messages exchanged in this burst. It panics if the count
+// exceeds a safety bound (divergence would mean a policy bug).
+func (s *Simulator) Run() int {
+	n := len(s.net.ASes)
+	bound := 2000 * n * n
+	burst := 0
+	for len(s.queue) > 0 {
+		u := s.queue[0]
+		s.queue = s.queue[1:]
+		s.rib.Messages++
+		burst++
+		if burst > bound {
+			panic("bgp: message bound exceeded; protocol diverging")
+		}
+		s.process(u)
+	}
+	return burst
+}
+
+// process applies one update: import policy, decision process, export.
+func (s *Simulator) process(u update) {
+	rel := s.relOf(u.to, u.from)
+	var imported *Route
+	if u.route != nil {
+		// Import policy: loop rejection, then local preference.
+		path := append([]int32{u.from}, u.route.Path...)
+		if slices.Contains(path, u.to) {
+			imported = nil // AS-path loop → deny
+		} else {
+			imported = &Route{
+				Dest:        u.dest,
+				Path:        path,
+				LocalPref:   prefFor(rel),
+				MED:         u.route.MED,
+				LearnedFrom: rel,
+			}
+		}
+		if imported == nil && s.adjIn[u.to][u.from][u.dest] == nil {
+			return // denied and nothing to withdraw
+		}
+	}
+	s.adjIn[u.to][u.from][u.dest] = imported
+
+	// Decision process: best across all neighbors (own prefix wins
+	// implicitly via PrefLocal).
+	if u.dest == u.to && s.rib.best[u.to][u.dest] != nil {
+		return // never replace a locally originated route
+	}
+	old := s.rib.best[u.to][u.dest]
+	var best *Route
+	for _, nb := range s.net.ASes[u.to].Neighbors {
+		if cand := s.adjIn[u.to][nb.AS][u.dest]; cand != nil && better(cand, best) {
+			best = cand
+		}
+	}
+	if routesEqual(old, best) {
+		return
+	}
+	s.rib.best[u.to][u.dest] = best
+	// Propagate the change under the export policy.
+	for _, nb := range s.net.ASes[u.to].Neighbors {
+		outRel := s.relOf(u.to, nb.AS)
+		switch {
+		case best != nil && exportable(best, outRel):
+			s.queue = append(s.queue, update{
+				from: u.to, to: nb.AS, dest: u.dest,
+				route: &Route{Dest: u.dest, Path: best.Path, MED: best.MED},
+			})
+		case old != nil && exportable(old, outRel):
+			// Previously announced, now unexportable or gone.
+			s.queue = append(s.queue, update{from: u.to, to: nb.AS, dest: u.dest})
+		}
+	}
+}
+
+// Converge runs the BGP protocol over the AS graph of net until no updates
+// remain and returns the converged RIB.
+func Converge(net *model.Network) *RIB {
+	s := NewSimulator(net)
+	for as := range net.ASes {
+		s.Announce(int32(as))
+	}
+	s.Run()
+	return s.rib
+}
+
+func routesEqual(a, b *Route) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.LocalPref == b.LocalPref && a.MED == b.MED && slices.Equal(a.Path, b.Path)
+}
+
+// ValleyFree reports whether an AS path obeys the valley-free property
+// under the relationships in net: zero or more customer→provider steps,
+// at most one peer step, then zero or more provider→customer steps. The
+// path is given as seen from its first element toward the destination.
+func ValleyFree(net *model.Network, from int32, path []int32) bool {
+	const (
+		up = iota
+		peered
+		down
+	)
+	phase := up
+	cur := from
+	for _, next := range path {
+		nb, ok := net.ASes[cur].NeighborTo(next)
+		if !ok {
+			return false
+		}
+		switch nb.Rel {
+		case model.RelProvider: // cur → its provider: an up step
+			if phase != up {
+				return false
+			}
+		case model.RelPeer:
+			if phase != up {
+				return false
+			}
+			phase = peered
+		case model.RelCustomer: // cur → its customer: a down step
+			phase = down
+		}
+		cur = next
+	}
+	return true
+}
+
+// Reachability returns, for every ordered AS pair, whether a policy
+// route exists, plus the count of unreachable pairs — quantifying
+// "connectivity does not equal reachability".
+func (r *RIB) Reachability() (reachable [][]bool, unreachablePairs int) {
+	n := len(r.best)
+	reachable = make([][]bool, n)
+	for a := 0; a < n; a++ {
+		reachable[a] = make([]bool, n)
+		for d := 0; d < n; d++ {
+			reachable[a][d] = r.best[a][d] != nil
+			if a != d && !reachable[a][d] {
+				unreachablePairs++
+			}
+		}
+	}
+	return reachable, unreachablePairs
+}

@@ -1,0 +1,175 @@
+// Dynamic BGP studies — the validation experiments the paper's Section 7
+// proposes as future work:
+//
+//   - BGP beacons [Mao et al., IMC'03]: a prefix announced and withdrawn
+//     on a schedule, observing the protocol's dynamic behaviour (update
+//     storms, path hunting on withdrawal).
+//   - Static route-table comparison: similarity of route entries between
+//     two configurations, e.g. the generated policy routing versus
+//     unconstrained shortest-AS-path routing, quantifying policy-induced
+//     path inflation.
+package bgp
+
+import (
+	"massf/internal/model"
+)
+
+// BeaconCycle records one announce/withdraw round of a beacon experiment.
+type BeaconCycle struct {
+	// AnnounceMsgs is the number of BGP updates triggered by the
+	// announcement; WithdrawMsgs by the withdrawal. Withdrawals typically
+	// cost more (path hunting explores alternate routes before giving
+	// up).
+	AnnounceMsgs, WithdrawMsgs int
+	// ReachableAfterAnnounce and ReachableAfterWithdraw count ASes with a
+	// route to the beacon prefix at each quiescent point.
+	ReachableAfterAnnounce, ReachableAfterWithdraw int
+}
+
+// RunBeacon converges the network, then flaps beaconAS's prefix for the
+// given number of cycles, returning per-cycle statistics.
+func RunBeacon(net *model.Network, beaconAS int32, cycles int) []BeaconCycle {
+	s := NewSimulator(net)
+	for as := range net.ASes {
+		s.Announce(int32(as))
+	}
+	s.Run()
+	out := make([]BeaconCycle, 0, cycles)
+	for c := 0; c < cycles; c++ {
+		var cyc BeaconCycle
+		s.Withdraw(beaconAS)
+		cyc.WithdrawMsgs = s.Run()
+		cyc.ReachableAfterWithdraw = s.reachableTo(beaconAS)
+		s.Announce(beaconAS)
+		cyc.AnnounceMsgs = s.Run()
+		cyc.ReachableAfterAnnounce = s.reachableTo(beaconAS)
+		out = append(out, cyc)
+	}
+	return out
+}
+
+// reachableTo counts ASes (excluding dest itself) holding a route to dest.
+func (s *Simulator) reachableTo(dest int32) int {
+	count := 0
+	for as := range s.net.ASes {
+		if int32(as) != dest && s.rib.best[as][dest] != nil {
+			count++
+		}
+	}
+	return count
+}
+
+// Comparison quantifies the similarity of two RIBs over the same AS set —
+// the paper's proposed static validation ("the similarity of route entries
+// in BGP routing table").
+type Comparison struct {
+	// Pairs is the number of ordered (src, dst) pairs compared (src≠dst,
+	// reachable in at least one RIB).
+	Pairs int
+	// SamePath counts pairs with identical AS paths; SameNextHop pairs
+	// with the same next-hop AS.
+	SamePath, SameNextHop int
+	// OnlyA / OnlyB count pairs reachable in exactly one of the RIBs.
+	OnlyA, OnlyB int
+	// InflationA is the mean ratio of A's path length to B's over pairs
+	// reachable in both (> 1 means A's paths are longer).
+	InflationA float64
+}
+
+// Compare computes the similarity of RIBs a and b.
+func Compare(a, b *RIB) Comparison {
+	var cmp Comparison
+	n := len(a.best)
+	var ratioSum float64
+	var ratioCount int
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			pa, pb := a.Path(int32(src), int32(dst)), b.Path(int32(src), int32(dst))
+			switch {
+			case pa == nil && pb == nil:
+				continue
+			case pb == nil:
+				cmp.OnlyA++
+			case pa == nil:
+				cmp.OnlyB++
+			default:
+				if pathsEqual(pa, pb) {
+					cmp.SamePath++
+				}
+				if pa[0] == pb[0] {
+					cmp.SameNextHop++
+				}
+				ratioSum += float64(len(pa)) / float64(len(pb))
+				ratioCount++
+			}
+			cmp.Pairs++
+		}
+	}
+	if ratioCount > 0 {
+		cmp.InflationA = ratioSum / float64(ratioCount)
+	}
+	return cmp
+}
+
+func pathsEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ShortestPathRIB builds the policy-free baseline: every AS routes to
+// every other over the fewest AS hops, ignoring relationships (what a
+// naive simulator without BGP policy support would compute). Comparing it
+// against Converge's RIB measures policy-induced path inflation.
+func ShortestPathRIB(net *model.Network) *RIB {
+	n := len(net.ASes)
+	rib := &RIB{best: make([][]*Route, n)}
+	for src := 0; src < n; src++ {
+		rib.best[src] = make([]*Route, n)
+		rib.best[src][src] = &Route{Dest: int32(src), LocalPref: PrefLocal, LearnedFrom: model.RelCustomer}
+		// BFS from src over AS adjacencies; reconstruct paths.
+		prev := make([]int32, n)
+		for i := range prev {
+			prev[i] = -1
+		}
+		queue := []int32{int32(src)}
+		visited := make([]bool, n)
+		visited[src] = true
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, nb := range net.ASes[cur].Neighbors {
+				if !visited[nb.AS] {
+					visited[nb.AS] = true
+					prev[nb.AS] = cur
+					queue = append(queue, nb.AS)
+				}
+			}
+		}
+		for dst := 0; dst < n; dst++ {
+			if dst == src || !visited[dst] {
+				continue
+			}
+			// Walk back from dst to src, then reverse.
+			var rev []int32
+			for cur := int32(dst); cur != int32(src); cur = prev[cur] {
+				rev = append(rev, cur)
+			}
+			path := make([]int32, len(rev))
+			for i := range rev {
+				path[i] = rev[len(rev)-1-i]
+			}
+			rib.best[src][dst] = &Route{Dest: int32(dst), Path: path, LocalPref: PrefCustomer}
+		}
+	}
+	return rib
+}

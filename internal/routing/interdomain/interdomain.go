@@ -1,0 +1,168 @@
+// Package interdomain combines per-AS OSPF domains with a converged BGP4
+// RIB into a single hop-by-hop forwarding function for multi-AS networks —
+// the routing substrate the paper's multi-AS experiments run on (Section 5).
+// For single-AS networks it degenerates to plain OSPF.
+//
+// Forwarding rules:
+//
+//   - Intra-AS traffic follows the AS's OSPF shortest paths.
+//   - In non-stub ASes, external traffic routes (OSPF) toward the border
+//     router that terminates the BGP best route's next-hop adjacency, then
+//     crosses the inter-AS link.
+//   - In Stub ASes, internal routers carry default routes only (Section
+//     5.1.2 step 6c: "use default routing to hosts outside local AS"):
+//     external traffic flows to the AS's default border router, which exits
+//     through its own inter-AS adjacencies — the BGP next hop when it
+//     terminates locally, otherwise a provider uplink. This mirrors real
+//     stub-AS operation, where the huge external BGP table is never
+//     injected into OSPF.
+//
+// Stubs never transit traffic (their only export is their own prefix), so
+// the mixed default-route/RIB forwarding above is loop-free.
+package interdomain
+
+import (
+	"massf/internal/model"
+	"massf/internal/routing/bgp"
+	"massf/internal/routing/ospf"
+)
+
+// Router resolves next-hop forwarding decisions over a multi-AS network.
+// It is safe for concurrent use after New returns (lookups may lazily add
+// OSPF tables under the domain's lock).
+type Router struct {
+	net     *model.Network
+	domains []*ospf.Domain
+	rib     *bgp.RIB
+}
+
+// New converges BGP over net's AS graph and builds one OSPF domain per AS.
+func New(net *model.Network) *Router {
+	r := &Router{net: net, domains: make([]*ospf.Domain, len(net.ASes))}
+	for i := range net.ASes {
+		as := &net.ASes[i]
+		members := make([]model.NodeID, 0, len(as.Routers)+len(as.Hosts))
+		members = append(members, as.Routers...)
+		members = append(members, as.Hosts...)
+		r.domains[i] = ospf.NewDomain(net, members)
+	}
+	if len(net.ASes) > 1 {
+		r.rib = bgp.Converge(net)
+	}
+	return r
+}
+
+// RIB exposes the converged BGP state (nil for single-AS networks).
+func (r *Router) RIB() *bgp.RIB { return r.rib }
+
+// Domain returns the OSPF domain of AS as.
+func (r *Router) Domain(as int32) *ospf.Domain { return r.domains[as] }
+
+// NextLink returns the link on which cur forwards a packet destined to
+// dst, or -1 if the packet should be dropped (no route — with BGP policy
+// routing, connectivity does not equal reachability).
+func (r *Router) NextLink(cur, dst model.NodeID) model.LinkID {
+	if cur == dst {
+		return -1
+	}
+	curNode := &r.net.Nodes[cur]
+	dstAS := r.net.Nodes[dst].AS
+	// Hosts have a single access link; everything leaves through it.
+	if curNode.Kind == model.Host {
+		inc := r.net.Incident(cur)
+		if len(inc) == 0 {
+			return -1
+		}
+		return inc[0]
+	}
+	if curNode.AS == dstAS {
+		return r.domains[curNode.AS].NextLink(cur, dst)
+	}
+	as := &r.net.ASes[curNode.AS]
+	if as.Class == model.ASStub && as.DefaultBorder >= 0 {
+		return r.stubForward(as, cur, dstAS, dst)
+	}
+	return r.ribForward(as, cur, dstAS)
+}
+
+// ribForward routes toward the BGP best route's egress border.
+func (r *Router) ribForward(as *model.AS, cur model.NodeID, dstAS int32) model.LinkID {
+	if r.rib == nil {
+		return -1
+	}
+	nh, ok := r.rib.NextHopAS(as.ID, dstAS)
+	if !ok {
+		return -1 // policy-unreachable
+	}
+	nb, ok := as.NeighborTo(nh)
+	if !ok {
+		return -1
+	}
+	if cur == nb.LocalBorder {
+		return nb.Link
+	}
+	return r.domains[as.ID].NextLink(cur, nb.LocalBorder)
+}
+
+// stubForward implements default routing inside Stub ASes.
+func (r *Router) stubForward(as *model.AS, cur model.NodeID, dstAS int32, dst model.NodeID) model.LinkID {
+	if cur != as.DefaultBorder {
+		return r.domains[as.ID].NextLink(cur, as.DefaultBorder)
+	}
+	// At the default border: exit through a local adjacency. Prefer the
+	// RIB next hop when its link terminates here, then any provider
+	// uplink, then any local adjacency whose neighbor AS has a route.
+	var ribNH int32 = -1
+	if r.rib != nil {
+		if nh, ok := r.rib.NextHopAS(as.ID, dstAS); ok {
+			ribNH = nh
+		} else {
+			return -1 // policy-unreachable even at AS level
+		}
+	}
+	var provider, reachable model.LinkID = -1, -1
+	for _, nb := range as.Neighbors {
+		if nb.LocalBorder != cur {
+			continue
+		}
+		if nb.AS == ribNH {
+			return nb.Link
+		}
+		if nb.Rel == model.RelProvider && provider < 0 {
+			provider = nb.Link
+		}
+		if r.rib != nil && reachable < 0 {
+			if nb.AS == dstAS {
+				reachable = nb.Link
+			} else if _, ok := r.rib.NextHopAS(nb.AS, dstAS); ok && nb.Rel != model.RelPeer {
+				reachable = nb.Link
+			}
+		}
+	}
+	if provider >= 0 {
+		return provider
+	}
+	return reachable
+}
+
+// Prepare precomputes the OSPF tables the simulation will need: shortest
+// path trees toward every traffic destination within its AS, and toward
+// every border router (including default borders) in every AS.
+func (r *Router) Prepare(dests []model.NodeID) {
+	perAS := make([][]model.NodeID, len(r.net.ASes))
+	for _, d := range dests {
+		as := r.net.Nodes[d].AS
+		perAS[as] = append(perAS[as], d)
+	}
+	for i := range r.net.ASes {
+		as := &r.net.ASes[i]
+		targets := perAS[i]
+		for _, nb := range as.Neighbors {
+			targets = append(targets, nb.LocalBorder)
+		}
+		if as.DefaultBorder >= 0 {
+			targets = append(targets, as.DefaultBorder)
+		}
+		r.domains[i].Prepare(targets)
+	}
+}

@@ -1,0 +1,177 @@
+// Package ospf implements shortest-path intra-domain routing over the
+// virtual network — the paper's flat OSPF routing for single-AS networks
+// and the interior gateway protocol inside every AS of a multi-AS network.
+//
+// Routing state is organized per destination: a Dijkstra shortest-path tree
+// rooted at the destination gives every member node its next-hop link
+// toward it. Trees are computed lazily and cached (a 20,000-router network
+// never needs all 400M pairs, only the destinations traffic actually
+// targets), using link latency as the OSPF cost metric.
+package ospf
+
+import (
+	"container/heap"
+	"sync"
+
+	"massf/internal/model"
+)
+
+// Domain is one OSPF routing domain: a set of member nodes within which
+// shortest paths are computed. Links with both endpoints inside the member
+// set are part of the domain.
+type Domain struct {
+	net     *model.Network
+	members []bool // nil ⇒ every node is a member
+
+	mu     sync.RWMutex
+	tables map[model.NodeID][]int32 // dst → per-node next-hop link id (-1 unknown)
+}
+
+// NewDomain creates a domain over the given member nodes. A nil or empty
+// members slice means the whole network is one domain (the single-AS case).
+func NewDomain(net *model.Network, members []model.NodeID) *Domain {
+	d := &Domain{net: net, tables: make(map[model.NodeID][]int32)}
+	if len(members) > 0 {
+		d.members = make([]bool, len(net.Nodes))
+		for _, m := range members {
+			d.members[m] = true
+		}
+	}
+	return d
+}
+
+// contains reports whether node n belongs to the domain.
+func (d *Domain) contains(n model.NodeID) bool {
+	return d.members == nil || d.members[n]
+}
+
+// NextLink returns the link on which cur forwards a packet destined to dst,
+// or -1 if cur has no route (outside domain, disconnected, or cur == dst).
+func (d *Domain) NextLink(cur, dst model.NodeID) model.LinkID {
+	if cur == dst || !d.contains(cur) || !d.contains(dst) {
+		return -1
+	}
+	d.mu.RLock()
+	table, ok := d.tables[dst]
+	d.mu.RUnlock()
+	if !ok {
+		table = d.computeAndStore(dst)
+	}
+	return model.LinkID(table[cur])
+}
+
+// Distance returns the shortest-path latency (ns) from cur to dst within
+// the domain, or -1 if unreachable. Used for egress selection (hot-potato
+// style MED) and by tests.
+func (d *Domain) Distance(cur, dst model.NodeID) int64 {
+	if !d.contains(cur) || !d.contains(dst) {
+		return -1
+	}
+	if cur == dst {
+		return 0
+	}
+	d.mu.RLock()
+	table, ok := d.tables[dst]
+	d.mu.RUnlock()
+	if !ok {
+		table = d.computeAndStore(dst)
+	}
+	// Walk the tree summing latencies.
+	var total int64
+	for cur != dst {
+		lid := table[cur]
+		if lid < 0 {
+			return -1
+		}
+		l := &d.net.Links[lid]
+		total += l.Latency
+		cur = l.Other(cur)
+	}
+	return total
+}
+
+// Prepare precomputes shortest-path trees for the given destinations. Call
+// during setup so the simulation's hot path only reads.
+func (d *Domain) Prepare(dests []model.NodeID) {
+	for _, dst := range dests {
+		if !d.contains(dst) {
+			continue
+		}
+		d.mu.RLock()
+		_, ok := d.tables[dst]
+		d.mu.RUnlock()
+		if !ok {
+			d.computeAndStore(dst)
+		}
+	}
+}
+
+// CachedTables reports how many destination trees are cached.
+func (d *Domain) CachedTables() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.tables)
+}
+
+func (d *Domain) computeAndStore(dst model.NodeID) []int32 {
+	table := d.spt(dst)
+	d.mu.Lock()
+	if existing, ok := d.tables[dst]; ok {
+		d.mu.Unlock()
+		return existing
+	}
+	d.tables[dst] = table
+	d.mu.Unlock()
+	return table
+}
+
+// pqItem is a priority-queue entry for Dijkstra.
+type pqItem struct {
+	node model.NodeID
+	dist int64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int           { return len(q) }
+func (q pq) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+
+// spt runs Dijkstra rooted at dst and records, for every reachable member
+// node, the first link on its shortest path toward dst.
+func (d *Domain) spt(dst model.NodeID) []int32 {
+	n := len(d.net.Nodes)
+	dist := make([]int64, n)
+	next := make([]int32, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = -1
+		next[i] = -1
+	}
+	dist[dst] = 0
+	q := pq{{dst, 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(pqItem)
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		for _, lid := range d.net.Incident(u) {
+			l := &d.net.Links[lid]
+			v := l.Other(u)
+			if !d.contains(v) || done[v] {
+				continue
+			}
+			nd := it.dist + l.Latency
+			if dist[v] < 0 || nd < dist[v] {
+				dist[v] = nd
+				next[v] = int32(lid) // v forwards toward dst over this link
+				heap.Push(&q, pqItem{v, nd})
+			}
+		}
+	}
+	return next
+}

@@ -1,0 +1,208 @@
+package ospf
+
+import (
+	"testing"
+	"testing/quick"
+
+	"massf/internal/model"
+	"massf/internal/topology"
+)
+
+// lineNet builds a chain 0—1—2—…—(n-1) with the given per-hop latency.
+func lineNet(n int, lat int64) *model.Network {
+	net := &model.Network{}
+	for i := 0; i < n; i++ {
+		net.AddNode(model.Router, 0, float64(i), 0)
+	}
+	for i := 0; i < n-1; i++ {
+		net.AddLink(model.NodeID(i), model.NodeID(i+1), lat, model.Bps1G)
+	}
+	return net
+}
+
+// walk follows next-hop decisions from src to dst, returning the hop count
+// or -1 on a routing failure or loop.
+func walk(d *Domain, net *model.Network, src, dst model.NodeID) int {
+	cur := src
+	for hops := 0; hops <= len(net.Nodes); hops++ {
+		if cur == dst {
+			return hops
+		}
+		lid := d.NextLink(cur, dst)
+		if lid < 0 {
+			return -1
+		}
+		cur = net.Links[lid].Other(cur)
+	}
+	return -1
+}
+
+func TestNextLinkOnChain(t *testing.T) {
+	net := lineNet(5, 1000)
+	d := NewDomain(net, nil)
+	if hops := walk(d, net, 0, 4); hops != 4 {
+		t.Errorf("walk 0→4 took %d hops, want 4", hops)
+	}
+	if hops := walk(d, net, 4, 0); hops != 4 {
+		t.Errorf("walk 4→0 took %d hops, want 4", hops)
+	}
+}
+
+func TestNextLinkSelf(t *testing.T) {
+	net := lineNet(3, 1000)
+	d := NewDomain(net, nil)
+	if d.NextLink(1, 1) != -1 {
+		t.Error("NextLink(x, x) should be -1")
+	}
+}
+
+func TestShortestPathPreferred(t *testing.T) {
+	// Triangle with a shortcut: 0—1 (10), 1—2 (10), 0—2 (100). 0→2 must
+	// go through 1 (cost 20 < 100).
+	net := &model.Network{}
+	for i := 0; i < 3; i++ {
+		net.AddNode(model.Router, 0, 0, 0)
+	}
+	net.AddLink(0, 1, 10, model.Bps1G)
+	net.AddLink(1, 2, 10, model.Bps1G)
+	direct := net.AddLink(0, 2, 100, model.Bps1G)
+	d := NewDomain(net, nil)
+	lid := d.NextLink(0, 2)
+	if lid == direct {
+		t.Error("routing chose the expensive direct link")
+	}
+	if got := d.Distance(0, 2); got != 20 {
+		t.Errorf("Distance(0,2) = %d, want 20", got)
+	}
+}
+
+func TestDistanceUnreachableAndSelf(t *testing.T) {
+	net := lineNet(2, 5)
+	iso := net.AddNode(model.Router, 0, 9, 9) // no links
+	d := NewDomain(net, nil)
+	if got := d.Distance(0, iso); got != -1 {
+		t.Errorf("Distance to isolated node = %d, want -1", got)
+	}
+	if got := d.Distance(1, 1); got != 0 {
+		t.Errorf("Distance(x,x) = %d, want 0", got)
+	}
+}
+
+func TestDomainMembershipRestrictsRouting(t *testing.T) {
+	// Chain 0—1—2—3; domain = {0,1}. Routing to 3 must fail, and routing
+	// within the domain must work.
+	net := lineNet(4, 1000)
+	d := NewDomain(net, []model.NodeID{0, 1})
+	if d.NextLink(0, 3) != -1 {
+		t.Error("routed to a node outside the domain")
+	}
+	if d.NextLink(0, 1) < 0 {
+		t.Error("failed to route inside the domain")
+	}
+}
+
+func TestDomainExcludesTransitThroughNonMembers(t *testing.T) {
+	// 0—1—2 plus 0—2 expensive direct link; domain {0, 2} only. The cheap
+	// path transits non-member 1 and must not be used.
+	net := &model.Network{}
+	for i := 0; i < 3; i++ {
+		net.AddNode(model.Router, 0, 0, 0)
+	}
+	net.AddLink(0, 1, 1, model.Bps1G)
+	net.AddLink(1, 2, 1, model.Bps1G)
+	direct := net.AddLink(0, 2, 100, model.Bps1G)
+	d := NewDomain(net, []model.NodeID{0, 2})
+	if got := d.NextLink(0, 2); got != direct {
+		t.Errorf("NextLink = %d, want direct link %d (member-only path)", got, direct)
+	}
+}
+
+func TestPrepareCaches(t *testing.T) {
+	net := lineNet(10, 100)
+	d := NewDomain(net, nil)
+	d.Prepare([]model.NodeID{3, 7})
+	if got := d.CachedTables(); got != 2 {
+		t.Errorf("cached tables = %d, want 2", got)
+	}
+	// NextLink must not add more for prepared destinations.
+	d.NextLink(0, 3)
+	if got := d.CachedTables(); got != 2 {
+		t.Errorf("cached tables after lookup = %d, want 2", got)
+	}
+}
+
+func TestConcurrentLookupsRace(t *testing.T) {
+	net := lineNet(50, 100)
+	d := NewDomain(net, nil)
+	done := make(chan bool)
+	for g := 0; g < 8; g++ {
+		g := g
+		go func() {
+			for i := 0; i < 200; i++ {
+				dst := model.NodeID((g*7 + i) % 50)
+				src := model.NodeID(i % 50)
+				if src != dst {
+					d.NextLink(src, dst)
+				}
+			}
+			done <- true
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}
+
+// Property: on a random connected topology, every router can walk to every
+// traffic destination without loops, and the walked latency equals
+// Distance.
+func TestQuickRoutingSound(t *testing.T) {
+	f := func(seed int64) bool {
+		net, err := topology.GenerateFlat(topology.FlatOptions{Routers: 60, Hosts: 10, Seed: seed})
+		if err != nil {
+			return false
+		}
+		d := NewDomain(net, nil)
+		for s := 0; s < 10; s++ {
+			src := model.NodeID(s * 6 % len(net.Nodes))
+			dst := model.NodeID((s*13 + 5) % len(net.Nodes))
+			if src == dst {
+				continue
+			}
+			cur := src
+			var walked int64
+			ok := false
+			for hops := 0; hops <= len(net.Nodes); hops++ {
+				if cur == dst {
+					ok = true
+					break
+				}
+				lid := d.NextLink(cur, dst)
+				if lid < 0 {
+					return false
+				}
+				walked += net.Links[lid].Latency
+				cur = net.Links[lid].Other(cur)
+			}
+			if !ok || walked != d.Distance(src, dst) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSPT2000Routers(b *testing.B) {
+	net, err := topology.GenerateFlat(topology.FlatOptions{Routers: 2000, Hosts: 0, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := NewDomain(net, nil)
+		d.Prepare([]model.NodeID{model.NodeID(i % 2000)})
+	}
+}

@@ -1,0 +1,57 @@
+// Virtual-CPU-backed workflow execution: when a HostCPUs set is supplied,
+// task compute time runs through each host's processor-sharing virtual CPU
+// instead of a fixed delay, so tasks co-located on one host contend for
+// cycles — MicroGrid's coupled compute + network resource model.
+package traffic
+
+import (
+	"fmt"
+
+	"massf/internal/des"
+	"massf/internal/model"
+	"massf/internal/netsim"
+	"massf/internal/vcpu"
+)
+
+// HostCPUs maps hosts to virtual CPUs. Build it during setup (before the
+// simulation runs) with NewHostCPUs; lookups at runtime are read-only.
+type HostCPUs struct {
+	cpus map[model.NodeID]*vcpu.CPU
+}
+
+// NewHostCPUs creates virtual CPUs for the given hosts on their owning
+// engines. speed maps a host to its relative CPU speed; nil means 1.0
+// everywhere.
+func NewHostCPUs(s *netsim.Sim, hosts []model.NodeID, speed func(model.NodeID) float64) *HostCPUs {
+	h := &HostCPUs{cpus: make(map[model.NodeID]*vcpu.CPU, len(hosts))}
+	for _, host := range hosts {
+		sp := 1.0
+		if speed != nil {
+			sp = speed(host)
+		}
+		h.cpus[host] = vcpu.New(s.Engine(s.EngineOf(host)), sp)
+	}
+	return h
+}
+
+// Get returns the CPU of host n, or nil if none was configured.
+func (h *HostCPUs) Get(n model.NodeID) *vcpu.CPU {
+	if h == nil {
+		return nil
+	}
+	return h.cpus[n]
+}
+
+// InstallWorkflowCPU is InstallWorkflow with task compute executed on the
+// hosts' virtual CPUs. Every task host must have a CPU in cpus.
+func InstallWorkflowCPU(s *netsim.Sim, w Workflow, start des.Time, cpus *HostCPUs) (*WorkflowStats, error) {
+	if cpus == nil {
+		return InstallWorkflow(s, w, start)
+	}
+	for i, t := range w.Tasks {
+		if cpus.Get(t.Host) == nil {
+			return nil, fmt.Errorf("traffic: task %d host %d has no virtual CPU", i, t.Host)
+		}
+	}
+	return installWorkflow(s, w, start, cpus)
+}

@@ -1,0 +1,157 @@
+// Package traffic generates the paper's workloads on top of the packet
+// simulator (Section 4.2):
+//
+//   - Background traffic: clients continuously sending HTTP file requests
+//     to servers — mean 5 s think time, mean 50 KB responses.
+//   - Foreground "Grid application" traffic: communication models of the
+//     ScaLapack and GridNPB 3.0 (Helical Chain, Visualization Pipeline,
+//     Mixed Bag) applications the paper executes live through WrapSocket.
+//     The models reproduce the applications' traffic patterns — iterative
+//     broadcast/gather for ScaLapack, workflow data-flow graphs for
+//     GridNPB — which is the part the load balance results depend on (see
+//     DESIGN.md substitution #2).
+//
+// All callbacks respect engine ownership: a handler only ever runs on the
+// engine owning the host it touches, using receiver-side flow callbacks to
+// chain request → response → next request across partitions.
+package traffic
+
+import (
+	"math"
+	"math/rand"
+
+	"massf/internal/des"
+	"massf/internal/model"
+	"massf/internal/netsim"
+)
+
+// HTTPConfig describes the background workload.
+type HTTPConfig struct {
+	// Clients and Servers are host node ids. Each client repeatedly picks
+	// a uniformly random server.
+	Clients, Servers []model.NodeID
+	// MeanGap is the mean exponential think time between a response
+	// finishing and the next request. Paper: 5 s.
+	MeanGap des.Time
+	// MeanFileBytes is the mean exponential response size. Paper: 50 KB.
+	MeanFileBytes int64
+	// RequestBytes is the fixed HTTP request size. Default 500.
+	RequestBytes int64
+	// ParetoAlpha, when > 0, draws response sizes from a Pareto
+	// distribution with this shape instead of the exponential — the
+	// heavy-tailed web object sizes of the SURGE/web-workload literature.
+	// Values in (1, 2] give infinite-variance tails; 1.2 is typical.
+	ParetoAlpha float64
+	// ZipfS, when > 0, skews server popularity with a Zipf distribution
+	// of this exponent (clients prefer low-indexed servers) instead of
+	// uniform choice. 0.8–1.2 matches observed web server popularity.
+	ZipfS float64
+	// Seed drives the per-client deterministic RNGs.
+	Seed int64
+}
+
+func (c *HTTPConfig) setDefaults() {
+	if c.MeanGap <= 0 {
+		c.MeanGap = 5 * des.Second
+	}
+	if c.MeanFileBytes <= 0 {
+		c.MeanFileBytes = 50_000
+	}
+	if c.RequestBytes <= 0 {
+		c.RequestBytes = 500
+	}
+}
+
+// HTTPStats counts workload activity; fields are aggregated after Run (the
+// per-client counters are only written by the owning engines during it).
+type HTTPStats struct {
+	Requests  []uint64 // per client
+	Responses []uint64 // per client (fully received files)
+}
+
+// TotalRequests sums the per-client request counters.
+func (st *HTTPStats) TotalRequests() uint64 { return sum(st.Requests) }
+
+// TotalResponses sums the per-client response counters.
+func (st *HTTPStats) TotalResponses() uint64 { return sum(st.Responses) }
+
+func sum(v []uint64) uint64 {
+	var t uint64
+	for _, x := range v {
+		t += x
+	}
+	return t
+}
+
+// InstallHTTP wires the background workload into the simulation. Call
+// before Run. Each client starts its first request at a random fraction of
+// the think time so load ramps smoothly.
+func InstallHTTP(s *netsim.Sim, cfg HTTPConfig) *HTTPStats {
+	cfg.setDefaults()
+	stats := &HTTPStats{
+		Requests:  make([]uint64, len(cfg.Clients)),
+		Responses: make([]uint64, len(cfg.Clients)),
+	}
+	if len(cfg.Servers) == 0 {
+		return stats
+	}
+	for ci, client := range cfg.Clients {
+		ci, client := ci, client
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(ci)*104729))
+		var zipf *rand.Zipf
+		if cfg.ZipfS > 1 {
+			zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(cfg.Servers)-1))
+		}
+		var issue func(at des.Time)
+		issue = func(at des.Time) {
+			var server model.NodeID
+			if zipf != nil {
+				server = cfg.Servers[zipf.Uint64()]
+			} else {
+				server = cfg.Servers[rng.Intn(len(cfg.Servers))]
+			}
+			size := drawSize(rng, cfg)
+			if size < 1000 {
+				size = 1000
+			}
+			stats.Requests[ci]++
+			// Request flow; when it fully arrives at the server, the
+			// server sends the file; when the file fully arrives back,
+			// the client thinks and repeats. Every callback runs on the
+			// engine owning the host it manipulates.
+			s.StartFlowRecv(at, client, server, cfg.RequestBytes, nil,
+				func(reqArrived des.Time) {
+					s.StartFlowRecv(reqArrived, server, client, size, nil,
+						func(respArrived des.Time) {
+							stats.Responses[ci]++
+							gap := des.Time(rng.ExpFloat64() * float64(cfg.MeanGap))
+							issue(respArrived + gap)
+						})
+				})
+		}
+		first := des.Time(rng.Float64() * float64(cfg.MeanGap))
+		s.ScheduleAt(client, first, func(at des.Time) { issue(at) })
+	}
+	return stats
+}
+
+// drawSize samples a response size: exponential by default, Pareto when
+// configured. The Pareto scale is chosen so the mean matches
+// MeanFileBytes (for α > 1, mean = α·xm/(α−1)); draws are capped at
+// 1000× the mean so a single pathological object cannot absorb the run.
+func drawSize(rng *rand.Rand, cfg HTTPConfig) int64 {
+	if cfg.ParetoAlpha <= 1 {
+		return int64(rng.ExpFloat64() * float64(cfg.MeanFileBytes))
+	}
+	a := cfg.ParetoAlpha
+	xm := float64(cfg.MeanFileBytes) * (a - 1) / a
+	u := rng.Float64()
+	if u == 0 {
+		u = 1e-12
+	}
+	size := xm / math.Pow(u, 1/a)
+	if max := 1000 * float64(cfg.MeanFileBytes); size > max {
+		size = max
+	}
+	return int64(size)
+}

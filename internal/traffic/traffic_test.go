@@ -1,0 +1,397 @@
+package traffic
+
+import (
+	"math/rand"
+	"testing"
+
+	"massf/internal/cluster"
+	"massf/internal/des"
+	"massf/internal/model"
+	"massf/internal/netsim"
+	"massf/internal/routing/ospf"
+	"massf/internal/topology"
+)
+
+// testNet builds a small flat network and returns the sim plus its hosts.
+func testNet(t *testing.T, routers, hosts, engines int, part []int32, end des.Time) (*netsim.Sim, []model.NodeID) {
+	t.Helper()
+	net, err := topology.GenerateFlat(topology.FlatOptions{Routers: routers, Hosts: hosts, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single-engine tests never cut a link, so the window can be large;
+	// multi-engine callers pass a latency-aware partition and window.
+	s, err := netsim.New(netsim.Config{
+		Net: net, Routes: ospf.NewDomain(net, nil), Part: part, Engines: engines,
+		Window: 10 * des.Millisecond, End: end, Sync: cluster.Fixed{CostNS: 100}, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hs []model.NodeID
+	for i := range net.Nodes {
+		if net.Nodes[i].Kind == model.Host {
+			hs = append(hs, model.NodeID(i))
+		}
+	}
+	return s, hs
+}
+
+func TestHTTPGeneratesTraffic(t *testing.T) {
+	s, hosts := testNet(t, 40, 12, 1, nil, 20*des.Second)
+	stats := InstallHTTP(s, HTTPConfig{
+		Clients: hosts[:8], Servers: hosts[8:],
+		MeanGap: des.Second, MeanFileBytes: 20_000, Seed: 1,
+	})
+	res := s.Run()
+	if stats.TotalRequests() == 0 {
+		t.Fatal("no HTTP requests issued")
+	}
+	if stats.TotalResponses() == 0 {
+		t.Fatal("no HTTP responses completed")
+	}
+	// Each client averages roughly one request per think-time+transfer.
+	if got := stats.TotalResponses(); got < 40 {
+		t.Errorf("responses = %d, want ≥ 40 over 20s × 8 clients at 1s gaps", got)
+	}
+	if res.FlowsCompleted == 0 || res.DeliveredBits == 0 {
+		t.Error("no flow completions recorded by the simulator")
+	}
+}
+
+func TestHTTPNoServers(t *testing.T) {
+	s, hosts := testNet(t, 10, 3, 1, nil, des.Second)
+	stats := InstallHTTP(s, HTTPConfig{Clients: hosts, Servers: nil, MeanGap: des.Second})
+	s.Run()
+	if stats.TotalRequests() != 0 {
+		t.Error("requests issued with no servers")
+	}
+}
+
+func TestHTTPDeterministic(t *testing.T) {
+	run := func() uint64 {
+		s, hosts := testNet(t, 30, 10, 1, nil, 10*des.Second)
+		stats := InstallHTTP(s, HTTPConfig{Clients: hosts[:6], Servers: hosts[6:], MeanGap: des.Second, Seed: 3})
+		s.Run()
+		return stats.TotalResponses()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same seed produced %d then %d responses", a, b)
+	}
+}
+
+func TestWorkflowValidate(t *testing.T) {
+	h := model.NodeID(0)
+	cases := []struct {
+		name string
+		w    Workflow
+		ok   bool
+	}{
+		{"empty", Workflow{Name: "e"}, false},
+		{"single", Workflow{Name: "s", Tasks: []Task{{Host: h}}}, true},
+		{"chain", Workflow{Name: "c", Tasks: []Task{{Host: h, Succ: []int{1}}, {Host: h}}}, true},
+		{"self-loop", Workflow{Name: "l", Tasks: []Task{{Host: h, Succ: []int{0}}}}, false},
+		{"out-of-range", Workflow{Name: "o", Tasks: []Task{{Host: h, Succ: []int{5}}}}, false},
+		{"two-sinks", Workflow{Name: "t", Tasks: []Task{{Host: h, Succ: []int{1}}, {Host: h}, {Host: h}}}, false},
+		{"cycle", Workflow{Name: "y", Tasks: []Task{{Host: h, Succ: []int{1}}, {Host: h, Succ: []int{2, 3}}, {Host: h, Succ: []int{1}}, {Host: h}}}, false},
+	}
+	for _, c := range cases {
+		err := c.w.Validate()
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: invalid workflow accepted", c.name)
+		}
+	}
+}
+
+func TestBuiltinWorkflowsValid(t *testing.T) {
+	hosts := []model.NodeID{0, 1, 2, 3, 4, 5, 6}
+	for _, w := range append(GridNPB(hosts), ScaLapack(hosts, DefaultScaLapack())) {
+		if err := w.Validate(); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+		if w.Sink() < 0 {
+			t.Errorf("%s: no sink", w.Name)
+		}
+		if len(w.Sources()) == 0 {
+			t.Errorf("%s: no sources", w.Name)
+		}
+	}
+}
+
+func TestScaLapackShape(t *testing.T) {
+	hosts := []model.NodeID{10, 11, 12}
+	w := ScaLapack(hosts, DefaultScaLapack())
+	if len(w.Tasks) != 4 { // root + 2 workers + gather
+		t.Fatalf("tasks = %d, want 4", len(w.Tasks))
+	}
+	if len(w.Tasks[0].Succ) != 2 {
+		t.Errorf("root broadcasts to %d workers, want 2", len(w.Tasks[0].Succ))
+	}
+	if w.Tasks[0].Host != 10 || w.Tasks[3].Host != 10 {
+		t.Error("root and gather must run on hosts[0]")
+	}
+}
+
+func TestWorkflowRunsAndLoops(t *testing.T) {
+	s, hosts := testNet(t, 30, 8, 1, nil, 30*des.Second)
+	w := GridNPBHC(hosts[:3])
+	stats, err := InstallWorkflow(s, w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if stats.Rounds < 2 {
+		t.Fatalf("HC completed %d rounds in 30s, want ≥ 2 (looping broken)", stats.Rounds)
+	}
+	if stats.FirstFinish <= 0 || stats.LastFinish <= stats.FirstFinish {
+		t.Errorf("finish times wrong: first %v last %v", stats.FirstFinish, stats.LastFinish)
+	}
+	// 9 tasks × 120ms compute alone is ≥ 1.08s per round.
+	if stats.FirstFinish < des.Second {
+		t.Errorf("first round finished in %v, faster than its compute time", stats.FirstFinish)
+	}
+}
+
+func TestScaLapackRuns(t *testing.T) {
+	s, hosts := testNet(t, 30, 8, 1, nil, 20*des.Second)
+	stats, err := InstallWorkflow(s, ScaLapack(hosts[:5], DefaultScaLapack()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	if stats.Rounds < 3 {
+		t.Fatalf("ScaLapack completed %d rounds, want ≥ 3", stats.Rounds)
+	}
+	if res.FlowsCompleted == 0 {
+		t.Error("no flows recorded")
+	}
+}
+
+func TestWorkflowAcrossEnginesMatchesSequential(t *testing.T) {
+	// Same workflow on 1 engine vs 4 engines: round counts must agree.
+	runIt := func(engines int) int {
+		net, err := topology.GenerateFlat(topology.FlatOptions{Routers: 40, Hosts: 8, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Latency-aware partition: merge components joined by links below
+		// 1 ms, spread components round-robin; cut links are then ≥ 1 ms.
+		window := des.Time(10 * des.Millisecond)
+		var part []int32
+		if engines > 1 {
+			window = des.Millisecond
+			parent := make([]int, len(net.Nodes))
+			for i := range parent {
+				parent[i] = i
+			}
+			var find func(int) int
+			find = func(x int) int {
+				for parent[x] != x {
+					parent[x] = parent[parent[x]]
+					x = parent[x]
+				}
+				return x
+			}
+			for i := range net.Links {
+				l := &net.Links[i]
+				if l.Latency < int64(des.Millisecond) {
+					parent[find(int(l.A))] = find(int(l.B))
+				}
+			}
+			part = make([]int32, len(net.Nodes))
+			compEngine := map[int]int32{}
+			next := int32(0)
+			for i := range part {
+				r := find(i)
+				if _, ok := compEngine[r]; !ok {
+					compEngine[r] = next % int32(engines)
+					next++
+				}
+				part[i] = compEngine[r]
+			}
+		}
+		s, err := netsim.New(netsim.Config{
+			Net: net, Routes: ospf.NewDomain(net, nil), Part: part, Engines: engines,
+			Window: window, End: 15 * des.Second, Sync: cluster.Fixed{CostNS: 10}, Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var hosts []model.NodeID
+		for i := range net.Nodes {
+			if net.Nodes[i].Kind == model.Host {
+				hosts = append(hosts, model.NodeID(i))
+			}
+		}
+		stats, err := InstallWorkflow(s, GridNPBMB(hosts[:4]), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Run()
+		return stats.Rounds
+	}
+	seqRounds := runIt(1)
+	parRounds := runIt(4)
+	if seqRounds == 0 {
+		t.Fatal("no rounds completed")
+	}
+	if diff := seqRounds - parRounds; diff > 1 || diff < -1 {
+		t.Errorf("rounds diverge: sequential %d vs partitioned %d", seqRounds, parRounds)
+	}
+}
+
+func TestWorkflowOnVirtualCPUsChainEqualsDelay(t *testing.T) {
+	// A chain never runs two tasks concurrently, so executing its compute
+	// on a shared virtual CPU must cost exactly the same as fixed delays.
+	runHC := func(withCPU bool) des.Time {
+		s, hosts := testNet(t, 30, 8, 1, nil, 30*des.Second)
+		w := GridNPBHC(hosts[:1]) // all tasks on one host: no network, pure compute
+		var stats *WorkflowStats
+		var err error
+		if withCPU {
+			stats, err = InstallWorkflowCPU(s, w, 0, NewHostCPUs(s, hosts[:1], nil))
+		} else {
+			stats, err = InstallWorkflow(s, w, 0)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Run()
+		if stats.Rounds == 0 {
+			t.Fatal("no rounds")
+		}
+		return stats.FirstFinish
+	}
+	withCPU, plain := runHC(true), runHC(false)
+	diff := withCPU - plain
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > des.Millisecond {
+		t.Errorf("serial chain: CPU execution %v != delay execution %v", withCPU, plain)
+	}
+}
+
+func TestWorkflowCPUFanOutSlowdown(t *testing.T) {
+	// MB fans three tasks in parallel; stacked on one 1x CPU they run at
+	// 1/3 throughput, so the round takes longer than with plain delays on
+	// the same placement (where compute overlaps freely).
+	runMB := func(withCPU bool) des.Time {
+		s, hosts := testNet(t, 30, 8, 1, nil, 60*des.Second)
+		w := GridNPBMB(hosts[:1]) // all tasks on one host
+		var stats *WorkflowStats
+		var err error
+		if withCPU {
+			stats, err = InstallWorkflowCPU(s, w, 0, NewHostCPUs(s, hosts[:1], nil))
+		} else {
+			stats, err = InstallWorkflow(s, w, 0)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Run()
+		if stats.Rounds == 0 {
+			t.Fatal("no rounds")
+		}
+		return stats.FirstFinish
+	}
+	contended, free := runMB(true), runMB(false)
+	if contended <= free {
+		t.Errorf("CPU contention (%v) not slower than plain delays (%v)", contended, free)
+	}
+	// Processor sharing is work-conserving: the contended fan completes
+	// in exactly source + sum(branches) + sink compute.
+	want := npbCompute/4 + (npbCompute/2 + npbCompute + 2*npbCompute) + npbCompute/4
+	diff := contended - want
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > des.Millisecond {
+		t.Errorf("contended round %v, want ~%v (work conservation)", contended, want)
+	}
+}
+
+func TestInstallWorkflowCPUMissingHost(t *testing.T) {
+	s, hosts := testNet(t, 20, 5, 1, nil, des.Second)
+	w := GridNPBHC(hosts[:3])
+	cpus := NewHostCPUs(s, hosts[:1], nil) // missing CPUs for hosts 1,2
+	if _, err := InstallWorkflowCPU(s, w, 0, cpus); err == nil {
+		t.Error("missing CPU accepted")
+	}
+}
+
+func TestHostCPUsSpeedFunction(t *testing.T) {
+	s, hosts := testNet(t, 20, 5, 1, nil, des.Second)
+	cpus := NewHostCPUs(s, hosts[:2], func(n model.NodeID) float64 {
+		if n == hosts[0] {
+			return 4.0
+		}
+		return 1.0
+	})
+	if cpus.Get(hosts[0]).Speed() != 4.0 || cpus.Get(hosts[1]).Speed() != 1.0 {
+		t.Error("speed function not applied")
+	}
+	if cpus.Get(hosts[3]) != nil {
+		t.Error("phantom CPU")
+	}
+	var nilCPUs *HostCPUs
+	if nilCPUs.Get(hosts[0]) != nil {
+		t.Error("nil HostCPUs should return nil")
+	}
+}
+
+func TestHTTPParetoSizesHeavyTailed(t *testing.T) {
+	// Compare exponential vs Pareto draws: at matched means, Pareto must
+	// produce a fatter tail (more very large objects).
+	rngE := rand.New(rand.NewSource(1))
+	rngP := rand.New(rand.NewSource(1))
+	expCfg := HTTPConfig{MeanFileBytes: 50_000}
+	parCfg := HTTPConfig{MeanFileBytes: 50_000, ParetoAlpha: 1.2}
+	const n = 20000
+	bigE, bigP := 0, 0
+	var sumP float64
+	for i := 0; i < n; i++ {
+		if drawSize(rngE, expCfg) > 500_000 {
+			bigE++
+		}
+		p := drawSize(rngP, parCfg)
+		sumP += float64(p)
+		if p > 500_000 {
+			bigP++
+		}
+	}
+	if bigP <= bigE {
+		t.Errorf("Pareto tail (%d >500KB) not fatter than exponential (%d)", bigP, bigE)
+	}
+	// Mean within a factor ~3 of the target (heavy tails converge slowly).
+	mean := sumP / n
+	if mean < 20_000 || mean > 200_000 {
+		t.Errorf("Pareto mean %.0f too far from 50000", mean)
+	}
+}
+
+func TestHTTPZipfSkewsServerChoice(t *testing.T) {
+	s, hosts := testNet(t, 40, 20, 1, nil, 20*des.Second)
+	servers := hosts[10:]
+	stats := InstallHTTP(s, HTTPConfig{
+		Clients: hosts[:10], Servers: servers,
+		MeanGap: 500 * des.Millisecond, MeanFileBytes: 5_000, ZipfS: 1.5, Seed: 2,
+	})
+	// Count per-server deliveries via node events after the run.
+	res := s.Run()
+	if stats.TotalResponses() == 0 {
+		t.Fatal("no traffic")
+	}
+	first := res.NodeEvents[servers[0]]
+	var rest uint64
+	for _, sv := range servers[1:] {
+		rest += res.NodeEvents[sv]
+	}
+	if len(servers) > 2 && first*2 < rest/uint64(len(servers)-1)*3 {
+		t.Errorf("Zipf server 0 load %d not clearly above mean of others %d",
+			first, rest/uint64(len(servers)-1))
+	}
+}

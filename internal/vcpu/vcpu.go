@@ -1,0 +1,134 @@
+// Package vcpu models virtual computer resources: each host gets a CPU
+// with a relative speed, scheduled processor-sharing style — MicroGrid's
+// "soft real-time scheduler ... allocating CPU proportionately" (Section
+// 2.1 of the paper), which lets the simulation study applications whose
+// compute and communication interact (tasks co-located on one host slow
+// each other down, shifting the traffic pattern).
+//
+// A CPU belongs to one simulation engine's event context: all its methods
+// must be called from handlers running on the owning engine (or during
+// setup), like every other per-node state in the simulator.
+package vcpu
+
+import (
+	"fmt"
+
+	"massf/internal/des"
+)
+
+// Scheduler is the event-scheduling surface a CPU needs; *pdes.Engine
+// satisfies it.
+type Scheduler interface {
+	Now() des.Time
+	Schedule(at des.Time, h des.Handler) *des.Event
+	Cancel(e *des.Event)
+}
+
+// task is one unit of work in the processor-sharing queue.
+type task struct {
+	remaining float64 // reference CPU-seconds left
+	done      func(at des.Time)
+}
+
+// CPU is a processor-sharing virtual processor.
+type CPU struct {
+	sched Scheduler
+	speed float64 // 1.0 = reference speed
+
+	running    []*task
+	lastUpdate des.Time
+	timer      *des.Event
+}
+
+// New creates a CPU with the given relative speed (must be > 0).
+func New(sched Scheduler, speed float64) *CPU {
+	if speed <= 0 {
+		panic(fmt.Sprintf("vcpu: non-positive speed %v", speed))
+	}
+	return &CPU{sched: sched, speed: speed}
+}
+
+// Speed returns the CPU's relative speed.
+func (c *CPU) Speed() float64 { return c.speed }
+
+// Load returns the number of tasks currently sharing the CPU.
+func (c *CPU) Load() int { return len(c.running) }
+
+// Submit enqueues work CPU-seconds (at reference speed) and calls done on
+// the owning engine when the work completes. Zero or negative work
+// completes after a minimal tick.
+func (c *CPU) Submit(work des.Time, done func(at des.Time)) {
+	if work <= 0 {
+		work = 1
+	}
+	c.advance()
+	c.running = append(c.running, &task{remaining: float64(work), done: done})
+	c.rearm()
+}
+
+// advance charges elapsed time since the last update to the running tasks
+// (each gets speed/len of the CPU).
+func (c *CPU) advance() {
+	now := c.sched.Now()
+	if len(c.running) > 0 && now > c.lastUpdate {
+		share := float64(now-c.lastUpdate) * c.speed / float64(len(c.running))
+		for _, t := range c.running {
+			t.remaining -= share
+		}
+	}
+	c.lastUpdate = now
+}
+
+// rearm schedules the completion of the task with the least remaining
+// work.
+func (c *CPU) rearm() {
+	if c.timer != nil {
+		c.sched.Cancel(c.timer)
+		c.timer = nil
+	}
+	if len(c.running) == 0 {
+		return
+	}
+	min := c.running[0].remaining
+	for _, t := range c.running[1:] {
+		if t.remaining < min {
+			min = t.remaining
+		}
+	}
+	if min < 0 {
+		min = 0
+	}
+	// min reference-seconds at speed/len throughput. Floor at one tick:
+	// a zero delay would respin forever at the same timestamp when the
+	// remaining work sits between the completion epsilon and one tick.
+	delay := des.Time(min * float64(len(c.running)) / c.speed)
+	if delay < 1 {
+		delay = 1
+	}
+	c.timer = c.sched.Schedule(c.sched.Now()+delay, func(at des.Time) {
+		c.timer = nil
+		c.complete(at)
+	})
+}
+
+// complete finishes every task that has (numerically) run out of work.
+func (c *CPU) complete(at des.Time) {
+	c.advance()
+	const eps = 1.0 // sub-nanosecond slack
+	var still []*task
+	var finished []*task
+	for _, t := range c.running {
+		if t.remaining <= eps {
+			finished = append(finished, t)
+		} else {
+			still = append(still, t)
+		}
+	}
+	c.running = still
+	c.rearm()
+	for _, t := range finished {
+		if t.done != nil {
+			t.done(at)
+		}
+	}
+}

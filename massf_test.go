@@ -1,0 +1,201 @@
+package massf_test
+
+import (
+	"strings"
+	"testing"
+
+	"massf"
+)
+
+// TestFacadeEndToEnd exercises the full public API surface: generate,
+// route, profile, map, simulate, measure — the library's advertised
+// quickstart path.
+func TestFacadeEndToEnd(t *testing.T) {
+	net, err := massf.GenerateFlat(massf.FlatOptions{Routers: 200, Hosts: 60, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes := massf.NewRouting(net)
+
+	var hosts []massf.NodeID
+	for i := range net.Nodes {
+		if net.Nodes[i].Kind == massf.Host {
+			hosts = append(hosts, massf.NodeID(i))
+		}
+	}
+
+	// Profiling pass on one engine.
+	profSim, err := massf.NewSimulation(massf.SimConfig{
+		Net: net, Routes: routes, Engines: 1,
+		Window: massf.MaxMLL, End: 4 * massf.Second, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	massf.InstallHTTP(profSim, massf.HTTPConfig{
+		Clients: hosts[:30], Servers: hosts[30:40], MeanGap: massf.Second, Seed: 2,
+	})
+	profRes := profSim.Run()
+	prof := massf.ProfileFromResult(&profRes, 4*massf.Second)
+
+	// HPROF mapping.
+	mapping, err := massf.Map(net, massf.HPROF, massf.MappingConfig{Engines: 4, Seed: 3}, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mapping.MLL <= 0 {
+		t.Fatal("mapping has no MLL")
+	}
+
+	// Parallel run under the mapping.
+	sim, err := massf.NewSimulation(massf.SimConfig{
+		Net: net, Routes: routes, Part: mapping.Part, Engines: 4,
+		Window: mapping.MLL, End: 4 * massf.Second, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpStats := massf.InstallHTTP(sim, massf.HTTPConfig{
+		Clients: hosts[:30], Servers: hosts[30:40], MeanGap: massf.Second, Seed: 2,
+	})
+	ws, err := massf.InstallWorkflow(sim, massf.ScaLapackWorkflow(hosts[40:45], massf.DefaultScaLapack()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.Run()
+	if res.FlowsCompleted == 0 || httpStats.TotalResponses() == 0 {
+		t.Fatal("no traffic completed")
+	}
+	if ws.Rounds == 0 {
+		t.Fatal("application made no progress")
+	}
+	rep := massf.ReportFor("HPROF", &res, 15*massf.Microsecond)
+	if rep.Efficiency <= 0 || rep.SimTimeSec <= 0 {
+		t.Fatalf("degenerate report: %+v", rep)
+	}
+	if massf.LoadImbalance(res.EngineEvents) < 0 {
+		t.Fatal("negative imbalance")
+	}
+}
+
+func TestFacadeMultiASAndDML(t *testing.T) {
+	net, err := massf.GenerateMultiAS(massf.MultiASOptions{ASes: 6, RoutersPerAS: 10, Hosts: 20, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes := massf.NewRouting(net)
+	if routes.RIB() == nil {
+		t.Fatal("multi-AS routing has no BGP RIB")
+	}
+	var sb strings.Builder
+	if err := massf.SaveNetwork(&sb, net); err != nil {
+		t.Fatal(err)
+	}
+	back, err := massf.LoadNetwork(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Nodes) != len(net.Nodes) {
+		t.Fatal("DML round trip lost nodes")
+	}
+}
+
+func TestFacadeSyncModels(t *testing.T) {
+	tg := massf.TeraGridSync()
+	if tg.SyncCost(90) <= 0 {
+		t.Fatal("TeraGrid model broken")
+	}
+	if massf.MeasuredSync().SyncCost(1) != 0 {
+		t.Fatal("measured model should cost 0 for one engine")
+	}
+}
+
+func TestFacadeProfileIO(t *testing.T) {
+	p := &massf.Profile{NodeEvents: []uint64{1, 2}, LinkBits: []uint64{3}}
+	var sb strings.Builder
+	if err := p.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := massf.ReadProfile(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NodeEvents[1] != 2 || back.LinkBits[0] != 3 {
+		t.Fatal("profile round trip lost data")
+	}
+}
+
+func TestFacadeBGPDynamics(t *testing.T) {
+	net, err := massf.GenerateMultiAS(massf.MultiASOptions{ASes: 10, RoutersPerAS: 4, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := massf.NewBGPSimulator(net)
+	for as := range net.ASes {
+		sim.Announce(int32(as))
+	}
+	if sim.Run() == 0 {
+		t.Fatal("no BGP messages")
+	}
+	cycles := massf.RunBeacon(net, 2, 1)
+	if len(cycles) != 1 || cycles[0].AnnounceMsgs == 0 {
+		t.Fatalf("beacon: %+v", cycles)
+	}
+	policy := massf.NewRouting(net).RIB()
+	cmp := massf.CompareRIBs(policy, massf.ShortestPathRIB(net))
+	if cmp.Pairs == 0 || cmp.InflationA < 1 {
+		t.Fatalf("comparison: %+v", cmp)
+	}
+}
+
+func TestFacadeVirtualCPUWorkflow(t *testing.T) {
+	net, err := massf.GenerateFlat(massf.FlatOptions{Routers: 60, Hosts: 10, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := massf.NewSimulation(massf.SimConfig{
+		Net: net, Routes: massf.NewOSPF(net, nil), Engines: 1,
+		Window: massf.MaxMLL, End: 10 * massf.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hosts []massf.NodeID
+	for i := range net.Nodes {
+		if net.Nodes[i].Kind == massf.Host {
+			hosts = append(hosts, massf.NodeID(i))
+		}
+	}
+	cpus := massf.NewHostCPUs(sim, hosts, nil)
+	ws, err := massf.InstallWorkflowCPU(sim, massf.GridNPBWorkflows(hosts[:4])[0], 0, cpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	if ws.Rounds == 0 {
+		t.Fatal("no workflow rounds on virtual CPUs")
+	}
+}
+
+func TestFacadePlaceMapping(t *testing.T) {
+	net, err := massf.GenerateFlat(massf.FlatOptions{Routers: 150, Hosts: 30, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var apps []massf.NodeID
+	for i := range net.Nodes {
+		if net.Nodes[i].Kind == massf.Host {
+			apps = append(apps, massf.NodeID(i))
+			if len(apps) == 3 {
+				break
+			}
+		}
+	}
+	m, err := massf.Map(net, massf.PLACE, massf.MappingConfig{Engines: 4, AppHosts: apps, Seed: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Approach != massf.PLACE || len(m.Part) != len(net.Nodes) {
+		t.Fatalf("bad mapping: %+v", m.Approach)
+	}
+}

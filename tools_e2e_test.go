@@ -1,0 +1,96 @@
+package massf_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestToolsEndToEnd drives the command-line tools through the full
+// documented workflow: generate a topology with mabrite, inspect a
+// partition, run a profiling simulation with massf, and feed the profile
+// back into an HPROF run — the PROF feedback loop, through the binaries.
+func TestToolsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the CLI binaries")
+	}
+	dir := t.TempDir()
+	bin := func(name string) string { return filepath.Join(dir, name) }
+	for _, tool := range []string{"mabrite", "partition", "massf"} {
+		out, err := exec.Command("go", "build", "-o", bin(tool), "./cmd/"+tool).CombinedOutput()
+		if err != nil {
+			t.Fatalf("build %s: %v\n%s", tool, err, out)
+		}
+	}
+	run := func(name string, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(bin(name), args...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+		}
+		return string(out)
+	}
+
+	netFile := filepath.Join(dir, "net.dml")
+	profFile := filepath.Join(dir, "prof.txt")
+	partFile := filepath.Join(dir, "part.txt")
+
+	// 1. Generate a small multi-AS topology.
+	run("mabrite", "-as", "6", "-routers-per-as", "15", "-hosts", "60", "-o", netFile, "-stats")
+	if fi, err := os.Stat(netFile); err != nil || fi.Size() == 0 {
+		t.Fatalf("mabrite produced no DML: %v", err)
+	}
+
+	// 2. Profiling pass on one engine, capture the profile.
+	out := run("massf", "-net", netFile, "-approach", "RANDOM", "-engines", "1",
+		"-seconds", "2", "-app", "gridnpb", "-profile-out", profFile)
+	if !strings.Contains(out, "parallel efficiency") {
+		t.Fatalf("massf output missing metrics:\n%s", out)
+	}
+	if fi, err := os.Stat(profFile); err != nil || fi.Size() == 0 {
+		t.Fatalf("no profile captured: %v", err)
+	}
+
+	// 3. Partition with HPROF using the captured profile.
+	out = run("partition", "-net", netFile, "-approach", "HPROF", "-engines", "4",
+		"-profile", profFile, "-o", partFile)
+	if !strings.Contains(out, "achieved MLL") || !strings.Contains(out, "E = Es·Ec") {
+		t.Fatalf("partition output incomplete:\n%s", out)
+	}
+	data, err := os.ReadFile(partFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(string(data), "\n")
+	if lines != 6*15+60 {
+		t.Fatalf("partition file has %d lines, want %d (one per node)", lines, 6*15+60)
+	}
+
+	// 4. Full HPROF simulation with the profile.
+	out = run("massf", "-net", netFile, "-approach", "HPROF", "-engines", "4",
+		"-seconds", "2", "-app", "scalapack", "-profile", profFile)
+	for _, want := range []string{"approach             HPROF", "flows", "http", "app[0]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("massf HPROF output missing %q:\n%s", want, out)
+		}
+	}
+
+	// 5. Flat (single-AS) generation path.
+	flatFile := filepath.Join(dir, "flat.dml")
+	run("mabrite", "-flat", "-routers", "80", "-hosts", "20", "-o", flatFile)
+	out = run("partition", "-net", flatFile, "-approach", "HTOP", "-engines", "4")
+	if !strings.Contains(out, "HTOP") {
+		t.Fatalf("flat partition failed:\n%s", out)
+	}
+
+	// Error paths: unknown approach and missing file must fail.
+	if err := exec.Command(bin("partition"), "-net", netFile, "-approach", "BOGUS").Run(); err == nil {
+		t.Error("unknown approach accepted")
+	}
+	if err := exec.Command(bin("massf"), "-net", filepath.Join(dir, "missing.dml")).Run(); err == nil {
+		t.Error("missing network file accepted")
+	}
+}
