@@ -1,0 +1,31 @@
+# Verification entry points. `make check` is what CI (and a PR author)
+# should run: static checks, a full build, and the test suite under the
+# race detector, including the CLI/daemon end-to-end tests.
+
+GO ?= go
+
+.PHONY: check vet build test race bench smoke clean
+
+check: vet build race smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# End-to-end: the CLI workflow plus the massfd daemon over HTTP.
+smoke:
+	$(GO) test -count=1 -run 'TestToolsEndToEnd|TestMassfdSmoke' .
+
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+clean:
+	$(GO) clean ./...

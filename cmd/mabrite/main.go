@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"massf"
 )
@@ -23,11 +24,17 @@ func main() {
 		ases         = flag.Int("as", 20, "AS count (multi-AS mode)")
 		routersPerAS = flag.Int("routers-per-as", 100, "routers per AS (multi-AS mode)")
 		hosts        = flag.Int("hosts", 1000, "host count")
-		seed         = flag.Int64("seed", 1, "generator seed")
+		seed         = flag.Int64("seed", 0, "generator seed (0 = derive from the clock)")
 		out          = flag.String("o", "", "output DML file (default stdout)")
 		stats        = flag.Bool("stats", false, "print topology statistics to stderr")
 	)
 	flag.Parse()
+	if *seed == 0 {
+		*seed = time.Now().UnixNano()
+	}
+	// The effective seed makes any generated topology reproducible:
+	// re-run with -seed <value>.
+	fmt.Fprintf(os.Stderr, "mabrite: seed %d\n", *seed)
 
 	var net *massf.Network
 	var err error

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"massf"
 )
@@ -43,13 +44,16 @@ func main() {
 		servers   = flag.Int("servers", 0, "background HTTP servers (default: the rest)")
 		profPath  = flag.String("profile", "", "traffic profile input")
 		profOut   = flag.String("profile-out", "", "write the measured profile here")
-		seed      = flag.Int64("seed", 1, "simulation seed")
+		seed      = flag.Int64("seed", 0, "simulation seed (0 = derive from the clock)")
 		realTime  = flag.Float64("realtime", 0, "real-time pacing factor (0 = as fast as possible, 8 = paper's slowdown)")
 		eventCost = flag.Float64("event-cost-us", 15, "modeled per-event cost in µs")
 	)
 	flag.Parse()
 	if *netPath == "" {
 		fatal(fmt.Errorf("-net is required"))
+	}
+	if *seed == 0 {
+		*seed = time.Now().UnixNano()
 	}
 	a, ok := approaches[strings.ToUpper(*name)]
 	if !ok {
@@ -142,6 +146,7 @@ func main() {
 	rep := massf.ReportFor(a.String(), &res, cost)
 	fmt.Printf("approach             %v\n", a)
 	fmt.Printf("engines              %d\n", *engines)
+	fmt.Printf("seed                 %d\n", *seed)
 	fmt.Printf("achieved MLL         %v\n", mapping.MLL)
 	fmt.Printf("simulated horizon    %v\n", end)
 	fmt.Printf("events               %d (%d remote)\n", res.TotalEvents, res.RemoteEvents)

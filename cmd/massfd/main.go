@@ -1,0 +1,83 @@
+// Command massfd is the run-control daemon: an HTTP service that
+// accepts scenario submissions (inline DML networks or generator
+// parameters), executes them as concurrent parallel simulations under a
+// bounded worker pool, and exposes live observability — per-window
+// NDJSON streams per run and an aggregate Prometheus endpoint.
+//
+// Example session:
+//
+//	massfd -addr 127.0.0.1:8672 &
+//	curl -s localhost:8672/runs -d '{"flat":{"routers":200,"hosts":100},"engines":4,"seconds":2}'
+//	curl -s localhost:8672/runs/r0001/metrics          # live NDJSON
+//	curl -s localhost:8672/metrics                     # Prometheus
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"massf/internal/runctl"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8672", "listen address (use :0 for an ephemeral port)")
+		workers = flag.Int("workers", maxInt(1, runtime.NumCPU()/2), "maximum concurrent simulations")
+		ringCap = flag.Int("ring", 4096, "per-run window-record ring capacity")
+	)
+	flag.Parse()
+
+	mgr := runctl.NewManager(*workers, *ringCap)
+	srv := &http.Server{Handler: runctl.NewServer(mgr)}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "massfd:", err)
+		os.Exit(1)
+	}
+	// The resolved address on one parseable line, so scripts (and the
+	// e2e test) can use -addr 127.0.0.1:0.
+	log.Printf("massfd: listening on http://%s (workers=%d)", ln.Addr(), *workers)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("massfd: %v, shutting down", s)
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "massfd:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	ctx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
+	srv.Shutdown(ctx)
+	cancelHTTP()
+	ctx, cancelRuns := context.WithTimeout(context.Background(), 30*time.Second)
+	if err := mgr.Shutdown(ctx); err != nil {
+		log.Printf("massfd: runs did not drain: %v", err)
+	}
+	cancelRuns()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -106,10 +106,11 @@ func (q *eventQueue) Pop() any {
 // to use. A Kernel is not safe for concurrent use; in the parallel engine
 // each engine node drives its own kernel.
 type Kernel struct {
-	now       Time
-	queue     eventQueue
-	seq       uint64
-	processed uint64
+	now        Time
+	queue      eventQueue
+	seq        uint64
+	processed  uint64
+	maxPending int
 }
 
 // Now returns the current simulated time.
@@ -123,6 +124,11 @@ func (k *Kernel) Processed() uint64 { return k.processed }
 // Pending returns the number of events waiting in the queue.
 func (k *Kernel) Pending() int { return len(k.queue) }
 
+// MaxPending returns the high-water mark of the queue depth — the largest
+// Pending() value ever reached. The telemetry subsystem reports it as the
+// per-engine peak queue depth.
+func (k *Kernel) MaxPending() int { return k.maxPending }
+
 // Schedule enqueues handler to run at time at. It panics if at precedes the
 // current clock: a conservative simulator must never schedule into its past.
 // It returns the event, which can be cancelled with Cancel.
@@ -133,6 +139,9 @@ func (k *Kernel) Schedule(at Time, handler Handler) *Event {
 	e := &Event{At: at, Handler: handler, seq: k.seq, index: -1}
 	k.seq++
 	heap.Push(&k.queue, e)
+	if len(k.queue) > k.maxPending {
+		k.maxPending = len(k.queue)
+	}
 	return e
 }
 

@@ -17,6 +17,7 @@ import (
 	"massf/internal/netsim"
 	"massf/internal/profile"
 	"massf/internal/routing/interdomain"
+	"massf/internal/telemetry"
 	"massf/internal/topology"
 	"massf/internal/traffic"
 )
@@ -91,18 +92,25 @@ func FromEnv() Scale {
 // Workload selects the foreground application.
 type Workload int
 
-// The two foreground applications of the evaluation.
+// The two foreground applications of the evaluation, plus a
+// background-only workload (HTTP traffic with no foreground application,
+// used by the run-control daemon for load-only scenarios).
 const (
 	ScaLapack Workload = iota
 	GridNPB
+	HTTPOnly
 )
 
 // String implements fmt.Stringer.
 func (w Workload) String() string {
-	if w == ScaLapack {
+	switch w {
+	case ScaLapack:
 		return "ScaLapack"
+	case GridNPB:
+		return "GridNPB"
+	default:
+		return "http-only"
 	}
-	return "GridNPB"
 }
 
 // Setup is a built testbed: topology, routing, host roles, and (after
@@ -145,6 +153,15 @@ func BuildMultiAS(sc Scale) (*Setup, error) {
 		return nil, err
 	}
 	return finishSetup(sc, net, true)
+}
+
+// NewSetup builds a Setup from an already-constructed network — the
+// run-control daemon's entry point, where topologies may arrive as DML
+// uploads rather than through the built-in generators. Scale supplies the
+// host roles, engine count, horizon and seed; the topology fields of Scale
+// are ignored.
+func NewSetup(net *model.Network, sc Scale, multi bool) (*Setup, error) {
+	return finishSetup(sc, net, multi)
 }
 
 func finishSetup(sc Scale, net *model.Network, multi bool) (*Setup, error) {
@@ -202,6 +219,8 @@ func (st *Setup) install(s *netsim.Sim, w Workload) ([]*traffic.WorkflowStats, e
 		flows = []traffic.Workflow{traffic.ScaLapack(st.AppHosts, traffic.DefaultScaLapack())}
 	case GridNPB:
 		flows = traffic.GridNPB(st.AppHosts)
+	case HTTPOnly:
+		// Background web traffic only.
 	}
 	var stats []*traffic.WorkflowStats
 	for _, f := range flows {
@@ -256,13 +275,24 @@ type RunOutcome struct {
 	Apps    []*traffic.WorkflowStats
 }
 
-// RunMapping maps the network with approach a and executes the full
-// workload under that partition.
-func (st *Setup) RunMapping(a core.Approach, w Workload) (*RunOutcome, error) {
-	m, err := st.MapApproach(a)
-	if err != nil {
-		return nil, err
-	}
+// SimOptions extends BuildSim beyond the batch defaults: live telemetry,
+// real-time pacing for online runs, and load-series resolution.
+type SimOptions struct {
+	// Telemetry receives live observability data (nil disables it). Use
+	// one SimTelemetry per run.
+	Telemetry *telemetry.SimTelemetry
+	// RealTimeFactor paces the run against the wall clock (see
+	// pdes.Config.RealTimeFactor); 0 runs as fast as possible.
+	RealTimeFactor float64
+	// SeriesBuckets caps the per-window load series length.
+	SeriesBuckets int
+}
+
+// BuildSim constructs (but does not run) the full simulation for mapping m
+// under workload w: the packet simulator on m's partition, background HTTP
+// plus the selected foreground application. The caller owns Run — and may
+// Stop it from another goroutine for cancellation.
+func (st *Setup) BuildSim(m *core.Mapping, w Workload, opt SimOptions) (*netsim.Sim, []*traffic.WorkflowStats, error) {
 	window := m.MLL
 	if window > core.MaxMLL {
 		window = core.MaxMLL
@@ -271,11 +301,27 @@ func (st *Setup) RunMapping(a core.Approach, w Workload) (*RunOutcome, error) {
 		Net: st.Net, Routes: st.Routes, Part: m.Part, Engines: st.Scale.Engines,
 		Window: window, End: st.Scale.Horizon,
 		Sync: st.Sync, EventCost: st.Scale.EventCost, Seed: st.Scale.Seed,
+		SeriesBuckets: opt.SeriesBuckets, RealTimeFactor: opt.RealTimeFactor,
+		Telemetry: opt.Telemetry,
 	})
+	if err != nil {
+		return nil, nil, err
+	}
+	apps, err := st.install(s, w)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, apps, nil
+}
+
+// RunMapping maps the network with approach a and executes the full
+// workload under that partition.
+func (st *Setup) RunMapping(a core.Approach, w Workload) (*RunOutcome, error) {
+	m, err := st.MapApproach(a)
 	if err != nil {
 		return nil, err
 	}
-	apps, err := st.install(s, w)
+	s, apps, err := st.BuildSim(m, w, SimOptions{})
 	if err != nil {
 		return nil, err
 	}

@@ -41,7 +41,23 @@ func LoadImbalance(engineEvents []uint64) float64 {
 // where T is the (modeled) parallel runtime and Tseq is estimated as
 // TotalEventNumber / MaximalEventRateOnEachNode — with a per-event cost c,
 // the maximal per-node event rate is 1/c, so Tseq = TotalEvents · c.
+//
+// By definition PE cannot exceed 1; the Tseq *estimate* can, though, when
+// the modeled parallel time omits costs the estimate charges (the
+// degenerate single-engine case: T excludes sync, yet remote costs are
+// zero, so Tseq = N·T exactly only if EventCost matches). The result is
+// therefore clamped to [0, 1]; use rawParallelEfficiency (via
+// Report.PEClamped) to detect that the clamp engaged.
 func ParallelEfficiency(totalEvents uint64, eventCost des.Time, engines int, parallelTimeNS int64) float64 {
+	pe := rawParallelEfficiency(totalEvents, eventCost, engines, parallelTimeNS)
+	if pe > 1 {
+		return 1
+	}
+	return pe
+}
+
+// rawParallelEfficiency is the unclamped PE estimate.
+func rawParallelEfficiency(totalEvents uint64, eventCost des.Time, engines int, parallelTimeNS int64) float64 {
 	if parallelTimeNS <= 0 || engines <= 0 {
 		return 0
 	}
@@ -62,8 +78,13 @@ type Report struct {
 	AchievedMLLms float64
 	// Imbalance is the normalized load imbalance (Figures 8 and 12).
 	Imbalance float64
-	// Efficiency is PE(N, L) (Figures 9 and 13).
+	// Efficiency is PE(N, L) (Figures 9 and 13), clamped to [0, 1].
 	Efficiency float64
+	// PEClamped flags that the raw efficiency estimate exceeded 1 and was
+	// clamped — the Tseq estimate overshot the modeled parallel time
+	// (typically the degenerate single-engine case, where no
+	// synchronization or remote cost is charged).
+	PEClamped bool
 	// WallSec is the real host wall-clock time of the run (informational;
 	// the host is not a 90-node cluster).
 	WallSec float64
@@ -73,16 +94,22 @@ type Report struct {
 
 // FromStats assembles a Report from engine statistics.
 func FromStats(approach string, st pdes.Stats, eventCost des.Time) Report {
-	return Report{
+	raw := rawParallelEfficiency(st.TotalEvents, eventCost, st.Engines, st.ModeledTimeNS)
+	rep := Report{
 		Approach:      approach,
 		SimTimeSec:    float64(st.ModeledTimeNS) / 1e9,
 		AchievedMLLms: st.Window.Millis(),
 		Imbalance:     LoadImbalance(st.EngineEvents),
-		Efficiency:    ParallelEfficiency(st.TotalEvents, eventCost, st.Engines, st.ModeledTimeNS),
+		Efficiency:    raw,
 		WallSec:       st.WallTime.Seconds(),
 		TotalEvents:   st.TotalEvents,
 		RemoteEvents:  st.RemoteEvents,
 	}
+	if raw > 1 {
+		rep.Efficiency = 1
+		rep.PEClamped = true
+	}
+	return rep
 }
 
 // Improvement returns the relative improvement of b over a for a

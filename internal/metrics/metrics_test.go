@@ -144,3 +144,46 @@ func TestQuickPEBounded(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestParallelEfficiencyClamped(t *testing.T) {
+	// Degenerate single-engine case: the modeled parallel time can
+	// undershoot the Tseq estimate (no sync cost, no remote cost), which
+	// would naively report PE > 1.
+	events := uint64(1000)
+	cost := 15 * des.Microsecond
+	short := int64(events) * int64(cost) / 2 // "parallel" time half of Tseq
+	if pe := ParallelEfficiency(events, cost, 1, short); pe != 1 {
+		t.Errorf("PE = %v, want clamp to 1", pe)
+	}
+	// Exactly Tseq on one engine: PE = 1, no clamp needed.
+	exact := int64(events) * int64(cost)
+	if pe := ParallelEfficiency(events, cost, 1, exact); pe != 1 {
+		t.Errorf("PE = %v, want exactly 1", pe)
+	}
+	// A realistic multi-engine run stays untouched.
+	if pe := ParallelEfficiency(events, cost, 4, exact); pe != 0.25 {
+		t.Errorf("PE = %v, want 0.25", pe)
+	}
+}
+
+func TestFromStatsFlagsClampedPE(t *testing.T) {
+	st := pdes.Stats{
+		Engines:       1,
+		Window:        des.Millisecond,
+		TotalEvents:   1000,
+		EngineEvents:  []uint64{1000},
+		ModeledTimeNS: int64(1000) * int64(15*des.Microsecond) / 2,
+	}
+	rep := FromStats("RANDOM", st, 15*des.Microsecond)
+	if rep.Efficiency != 1 || !rep.PEClamped {
+		t.Errorf("Efficiency = %v, PEClamped = %v; want 1, true", rep.Efficiency, rep.PEClamped)
+	}
+	st.ModeledTimeNS = int64(1000) * int64(15*des.Microsecond) * 2
+	rep = FromStats("RANDOM", st, 15*des.Microsecond)
+	if rep.PEClamped {
+		t.Error("PEClamped set on a sub-1 efficiency")
+	}
+	if rep.Efficiency != 0.5 {
+		t.Errorf("Efficiency = %v, want 0.5", rep.Efficiency)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"massf/internal/des"
 	"massf/internal/model"
 	"massf/internal/pdes"
+	"massf/internal/telemetry"
 )
 
 // Routes resolves hop-by-hop forwarding: the link on which cur forwards a
@@ -55,6 +56,12 @@ type Config struct {
 	// QueueBytes is the per-link-direction buffer. Default 131072 (128
 	// KB), i.e. ≈1 ms at 1 Gbps.
 	QueueBytes int64
+	// Telemetry, when non-nil, receives live observability data: the
+	// engine-level per-window records (see pdes.Config.Telemetry) plus
+	// network counters — transmitted link bits (utilization), queue
+	// drops, TCP retransmissions, delivered payload, and flow counts.
+	// Nil disables all instrumentation.
+	Telemetry *telemetry.SimTelemetry
 }
 
 // linkDir is the mutable state of one link direction, owned by the engine
@@ -92,6 +99,7 @@ type Sim struct {
 	cfg  Config
 	ps   *pdes.Sim
 	part []int32
+	tel  *telemetry.SimTelemetry
 
 	dirs       []linkDir // 2*link+dirIndex
 	nodeEvents []uint64  // per-node kernel event counts (profiling)
@@ -134,6 +142,7 @@ func New(cfg Config) (*Sim, error) {
 		Sync: cfg.Sync, EventCost: cfg.EventCost, RemoteCost: cfg.RemoteCost,
 		Seed: cfg.Seed, SeriesBuckets: cfg.SeriesBuckets,
 		RealTimeFactor: cfg.RealTimeFactor,
+		Telemetry:      cfg.Telemetry,
 	})
 	if err != nil {
 		return nil, err
@@ -142,6 +151,7 @@ func New(cfg Config) (*Sim, error) {
 		cfg:           cfg,
 		ps:            ps,
 		part:          part,
+		tel:           cfg.Telemetry,
 		dirs:          make([]linkDir, 2*len(cfg.Net.Links)),
 		nodeEvents:    make([]uint64, len(cfg.Net.Nodes)),
 		queueNS:       make([]int64, len(cfg.Net.Links)),
@@ -188,11 +198,17 @@ func (s *Sim) transmit(node model.NodeID, lid model.LinkID, pkt Packet) {
 	if int64(start-now) > s.queueNS[lid] {
 		dir.drops++
 		s.dropped[eng.ID()]++
+		if s.tel != nil {
+			s.tel.Drops.Inc()
+		}
 		return // tail drop
 	}
 	ser := serialization(pkt.Bits, l.Bandwidth)
 	dir.busyUntil = start + ser
 	dir.bits += uint64(pkt.Bits)
+	if s.tel != nil {
+		s.tel.LinkBits.Add(uint64(pkt.Bits))
+	}
 	arrival := start + ser + des.Time(l.Latency)
 	next := l.Other(node)
 	if arrival >= s.cfg.End {
@@ -216,11 +232,17 @@ func (s *Sim) arrive(node model.NodeID, pkt Packet) {
 	pkt.ttl--
 	if pkt.ttl <= 0 {
 		s.dropped[s.EngineOf(node)]++
+		if s.tel != nil {
+			s.tel.Drops.Inc()
+		}
 		return // TTL exhausted (forwarding loop protection)
 	}
 	lid := s.cfg.Routes.NextLink(node, pkt.Dst)
 	if lid < 0 {
 		s.dropped[s.EngineOf(node)]++
+		if s.tel != nil {
+			s.tel.Drops.Inc()
+		}
 		return // no route
 	}
 	s.transmit(node, lid, pkt)
@@ -238,6 +260,9 @@ func (s *Sim) inject(pkt Packet) {
 	lid := s.cfg.Routes.NextLink(pkt.Src, pkt.Dst)
 	if lid < 0 {
 		s.dropped[s.EngineOf(pkt.Src)]++
+		if s.tel != nil {
+			s.tel.Drops.Inc()
+		}
 		return
 	}
 	s.transmit(pkt.Src, lid, pkt)
@@ -311,6 +336,11 @@ func (s *Sim) Run() Result {
 
 // Engine exposes engine i (for tests and the online agent).
 func (s *Sim) Engine(i int) *pdes.Engine { return s.ps.Engine(i) }
+
+// Stop requests cooperative cancellation of a running simulation: the
+// engines exit at the next barrier and Run returns partial results with
+// Stats.Stopped set. Safe from any goroutine.
+func (s *Sim) Stop() { s.ps.Stop() }
 
 // Config returns the simulation's configuration.
 func (s *Sim) Config() Config { return s.cfg }

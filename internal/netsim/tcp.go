@@ -91,6 +91,9 @@ func (s *Sim) StartFlowRecv(at des.Time, src, dst model.NodeID, bytes int64, onC
 	}
 	eng := s.EngineOf(src)
 	s.flowsByEngine[eng] = append(s.flowsByEngine[eng], f)
+	if s.tel != nil {
+		s.tel.FlowsStarted.Inc()
+	}
 	s.ScheduleAt(src, at, func(des.Time) { s.sendWindow(f) })
 }
 
@@ -132,6 +135,9 @@ func (s *Sim) sendSeg(f *flow, seq int32, fresh bool) {
 	} else {
 		f.sendTime[seq] = 0
 		s.retrans[eng.ID()]++
+		if s.tel != nil {
+			s.tel.Retransmits.Inc()
+		}
 	}
 	s.nodeEvents[f.src]++
 	pkt := Packet{Src: f.src, Dst: f.dst, Bits: f.segBits(seq), Seq: seq, flow: f, ttl: DefaultTTL}
@@ -245,6 +251,9 @@ func (s *Sim) onAck(f *flow, pkt Packet) {
 		if f.ackedTo >= f.totalPkts {
 			f.done = true
 			f.completedAt = now
+			if s.tel != nil {
+				s.tel.FlowsDone.Inc()
+			}
 			if f.rtoEvent != nil {
 				eng.Cancel(f.rtoEvent)
 				f.rtoEvent = nil
@@ -310,9 +319,15 @@ func (s *Sim) deliver(node model.NodeID, pkt Packet) {
 		s.onAck(pkt.flow, pkt)
 	case pkt.flow != nil:
 		s.delivered[eng] += uint64(pkt.Bits)
+		if s.tel != nil {
+			s.tel.DeliveredBits.Add(uint64(pkt.Bits))
+		}
 		s.onData(pkt.flow, pkt)
 	default:
 		s.delivered[eng] += uint64(pkt.Bits)
+		if s.tel != nil {
+			s.tel.DeliveredBits.Add(uint64(pkt.Bits))
+		}
 		if pkt.deliverCb != nil {
 			pkt.deliverCb(s.ps.Engine(eng).Now())
 		}

@@ -22,10 +22,12 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"massf/internal/cluster"
 	"massf/internal/des"
+	"massf/internal/telemetry"
 )
 
 // Config configures a parallel simulation.
@@ -58,6 +60,13 @@ type Config struct {
 	// is its 8× slowdown mode. A window never starts before
 	// start + windowStart×factor of wall time.
 	RealTimeFactor float64
+	// Telemetry, when non-nil, receives live observability data: one
+	// WindowRecord per executed barrier window (per-engine event counts,
+	// barrier wait, cross-partition exchange volume, queue depths) plus
+	// aggregate counters. Nil disables instrumentation; the engine loop
+	// then pays only a nil check per window. Use one SimTelemetry per
+	// run — Run closes its window ring on completion.
+	Telemetry *telemetry.SimTelemetry
 }
 
 func (c *Config) setDefaults() {
@@ -175,13 +184,26 @@ type Stats struct {
 	SyncPerWindowNS int64
 	// WallTime is the real elapsed time of the run on the host.
 	WallTime time.Duration
+	// MaxPending[e] is the high-water mark of engine e's event queue.
+	MaxPending []int
+	// Stopped reports that the run was cancelled via Sim.Stop before
+	// reaching the configured horizon.
+	Stopped bool
 }
 
 // Sim is a configured parallel simulation.
 type Sim struct {
 	cfg     Config
 	engines []*Engine
+	stop    atomic.Bool
 }
+
+// Stop requests cooperative cancellation: every engine exits at the next
+// barrier (within one window of simulated time), Run returns with
+// Stats.Stopped set, and partial statistics are reported. Safe to call
+// from any goroutine, before or during Run; calling it more than once is a
+// no-op.
+func (s *Sim) Stop() { s.stop.Store(true) }
 
 // New creates a simulation with cfg.Engines engines. Initial events are
 // seeded by calling Engine.Schedule before Run (the kernels sit at t=0).
@@ -238,6 +260,25 @@ func (s *Sim) Run() Stats {
 	// Accumulators owned by engine 0 during the run.
 	var executedWindows int
 	var modeledBusy, modeledTime int64
+	// stopScratch carries engine 0's reading of the stop flag to every
+	// engine so they all break at the same barrier (written between the
+	// two barriers, read after the second — the same synchronization
+	// discipline as busyScratch). stopped is engine-0-owned.
+	var stopScratch, stopped bool
+	// Telemetry scratch, allocated only when instrumentation is on: each
+	// engine publishes its window's event count, remote-send count, queue
+	// depth, and the wait it observed at the previous window's barrier.
+	tel := cfg.Telemetry
+	var evScratch []uint64
+	var remScratch []uint64
+	var waitScratch []int64
+	var depthScratch []int
+	if tel != nil {
+		evScratch = make([]uint64, n)
+		remScratch = make([]uint64, n)
+		waitScratch = make([]int64, n)
+		depthScratch = make([]int, n)
+	}
 
 	bar := cluster.NewBarrier(n)
 	var wg sync.WaitGroup
@@ -247,6 +288,11 @@ func (s *Sim) Run() Stats {
 		e := s.engines[i]
 		go func() {
 			defer wg.Done()
+			// lastWait is this engine's wait at the previous window's
+			// barrier; lastTick (engine 0 only) marks the wall-clock time
+			// of the previous published window.
+			var lastWait int64
+			lastTick := start
 			for w := 0; w < totalWindows; {
 				if cfg.RealTimeFactor > 0 {
 					// Online pacing: never run ahead of the wall clock
@@ -271,8 +317,21 @@ func (s *Sim) Run() Stats {
 					b := w * buckets / totalWindows
 					series[b][e.id] += e.winEvents
 				}
+				if tel != nil {
+					evScratch[e.id] = e.winEvents
+					remScratch[e.id] = e.winRemote
+					waitScratch[e.id] = lastWait
+					depthScratch[e.id] = e.k.Pending()
+				}
 				e.winRemote = 0
-				bar.Await()
+				if tel != nil {
+					t0 := time.Now()
+					bar.Await()
+					lastWait = int64(time.Since(t0))
+					tel.BarrierWait.Observe(lastWait)
+				} else {
+					bar.Await()
+				}
 				// Exchange phase: collect events addressed to this engine,
 				// deterministically ordered, then publish the next local
 				// event time for the fast-forward decision.
@@ -308,12 +367,26 @@ func (s *Sim) Run() Stats {
 					}
 					executedWindows++
 					modeledBusy += m
+					if tel != nil {
+						now := time.Now()
+						wall := int64(now.Sub(lastTick))
+						lastTick = now
+						s.publishWindow(tel, w, wEnd, wall, m,
+							evScratch, remScratch, waitScratch, depthScratch)
+					}
 					if m < syncCost {
 						m = syncCost
 					}
 					modeledTime += m
+					stopScratch = s.stop.Load()
 				}
 				bar.Await()
+				if stopScratch {
+					if e.id == 0 {
+						stopped = true
+					}
+					return
+				}
 				// Clear my outboxes (consumers copied them between the
 				// two barriers) and fast-forward over globally idle
 				// windows: every engine computes the same global next
@@ -350,6 +423,8 @@ func (s *Sim) Run() Stats {
 		WallTime:        wall,
 		ModeledBusyNS:   modeledBusy,
 		ModeledTimeNS:   modeledTime,
+		MaxPending:      make([]int, n),
+		Stopped:         stopped,
 	}
 	if buckets > 0 {
 		stats.BucketWidth = cfg.End / des.Time(buckets)
@@ -358,8 +433,56 @@ func (s *Sim) Run() Stats {
 		stats.EngineEvents[i] = e.events
 		stats.TotalEvents += e.events
 		stats.RemoteEvents += e.remoteSends
+		stats.MaxPending[i] = e.k.MaxPending()
+	}
+	if tel != nil {
+		// End the live stream: subscribers see the channel close and know
+		// the run is over (finished or cancelled).
+		tel.Windows.Close()
 	}
 	return stats
+}
+
+// publishWindow emits one window's telemetry: the WindowRecord trace entry
+// plus the aggregate counters. Runs on engine 0 between the two barriers,
+// where the scratch slices are stable.
+func (s *Sim) publishWindow(tel *telemetry.SimTelemetry, w int, wEnd des.Time, wallNS, maxBusy int64,
+	ev []uint64, rem []uint64, wait []int64, depth []int) {
+	n := len(ev)
+	rec := telemetry.WindowRecord{
+		Window:        w,
+		StartNS:       int64(des.Time(w) * s.cfg.Window),
+		EndNS:         int64(wEnd),
+		WallNS:        wallNS,
+		MaxBusyNS:     maxBusy,
+		Events:        append([]uint64(nil), ev...),
+		BarrierWaitNS: append([]int64(nil), wait...),
+		QueueDepth:    append([]int(nil), depth...),
+	}
+	var sumEv, sumRem uint64
+	var sumDepth, maxDepth int64
+	for i := 0; i < n; i++ {
+		sumEv += ev[i]
+		sumRem += rem[i]
+		sumDepth += int64(depth[i])
+		if int64(depth[i]) > maxDepth {
+			maxDepth = int64(depth[i])
+		}
+	}
+	rec.Remote = sumRem
+	tel.Windows.Append(rec)
+	tel.Events.Add(sumEv)
+	tel.RemoteEvents.Add(sumRem)
+	tel.WindowsDone.Inc()
+	tel.SimTimeNS.Set(int64(wEnd))
+	tel.QueueDepth.Set(sumDepth)
+	tel.PeakQueue.SetMax(maxDepth)
+	tel.WindowWall.Observe(wallNS)
+	if len(tel.EngineEvents) == n {
+		for i := 0; i < n; i++ {
+			tel.EngineEvents[i].Add(ev[i])
+		}
+	}
 }
 
 // EventCost returns the configured modeled per-event cost, used by metrics

@@ -3,9 +3,11 @@ package pdes
 import (
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"massf/internal/cluster"
 	"massf/internal/des"
+	"massf/internal/telemetry"
 )
 
 func newSim(t *testing.T, engines int, window, end des.Time) *Sim {
@@ -333,5 +335,167 @@ func TestFastForwardPreservesDeterminism(t *testing.T) {
 	e2, w2 := exec()
 	if e1 != e2 || w1 != w2 {
 		t.Fatalf("nondeterministic with fast-forward: (%d,%d) vs (%d,%d)", e1, w1, e2, w2)
+	}
+}
+
+func TestStopCancelsRun(t *testing.T) {
+	// A long simulation with constant work on every engine; Stop must end
+	// it within (roughly) a window and report partial stats.
+	s := newSim(t, 4, des.Millisecond, 100*des.Second)
+	for i := 0; i < 4; i++ {
+		e := s.Engine(i)
+		var gen func(now des.Time)
+		gen = func(now des.Time) {
+			if next := now + 100*des.Microsecond; next < 100*des.Second {
+				e.Schedule(next, gen)
+			}
+		}
+		e.Schedule(0, gen)
+	}
+	done := make(chan Stats, 1)
+	go func() { done <- s.Run() }()
+	time.Sleep(10 * time.Millisecond)
+	s.Stop()
+	stats := <-done
+	if !stats.Stopped {
+		t.Fatal("Stats.Stopped not set after Stop")
+	}
+	if stats.Windows >= 100000 {
+		t.Errorf("run executed all %d windows despite Stop", stats.Windows)
+	}
+	if stats.TotalEvents == 0 {
+		t.Error("no partial stats reported")
+	}
+}
+
+func TestStopBeforeRunExitsImmediately(t *testing.T) {
+	s := newSim(t, 2, des.Millisecond, 10*des.Second)
+	s.Engine(0).Schedule(0, func(des.Time) {})
+	s.Stop()
+	stats := s.Run()
+	if !stats.Stopped {
+		t.Error("pre-run Stop not honored")
+	}
+	if stats.Windows > 1 {
+		t.Errorf("executed %d windows after pre-run Stop", stats.Windows)
+	}
+}
+
+func TestTelemetryWindowRecords(t *testing.T) {
+	tel := telemetry.New(2, 128)
+	s, err := New(Config{
+		Engines: 2, Window: des.Millisecond, End: 5 * des.Millisecond,
+		Sync: cluster.Fixed{CostNS: 1000}, Telemetry: tel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Engine 0: one event per window. Engine 1: a remote send per window.
+	for w := 0; w < 5; w++ {
+		at := des.Time(w)*des.Millisecond + 100*des.Microsecond
+		s.Engine(0).Schedule(at, func(des.Time) {})
+	}
+	s.Engine(1).Schedule(0, func(now des.Time) {
+		s.Engine(1).ScheduleRemote(0, 2*des.Millisecond, func(des.Time) {})
+	})
+	stats := s.Run()
+
+	recs := tel.Windows.Snapshot()
+	if len(recs) != stats.Windows {
+		t.Fatalf("ring has %d records, stats saw %d windows", len(recs), stats.Windows)
+	}
+	var evSum, remSum uint64
+	for _, r := range recs {
+		if len(r.Events) != 2 || len(r.QueueDepth) != 2 || len(r.BarrierWaitNS) != 2 {
+			t.Fatalf("record slices wrong shape: %+v", r)
+		}
+		for _, e := range r.Events {
+			evSum += e
+		}
+		remSum += r.Remote
+		if r.EndNS <= r.StartNS {
+			t.Errorf("window bounds inverted: %+v", r)
+		}
+	}
+	if evSum != stats.TotalEvents {
+		t.Errorf("ring events %d != stats %d", evSum, stats.TotalEvents)
+	}
+	if remSum != stats.RemoteEvents || remSum != 1 {
+		t.Errorf("ring remote %d, stats %d, want 1", remSum, stats.RemoteEvents)
+	}
+	if got := tel.Events.Load(); got != stats.TotalEvents {
+		t.Errorf("events counter %d != %d", got, stats.TotalEvents)
+	}
+	if !tel.Windows.Closed() {
+		t.Error("window ring not closed at end of run")
+	}
+	if tel.SimTimeNS.Load() != int64(5*des.Millisecond) {
+		t.Errorf("sim time gauge = %d", tel.SimTimeNS.Load())
+	}
+	if tel.EngineEvents[0].Load()+tel.EngineEvents[1].Load() != stats.TotalEvents {
+		t.Error("per-engine counters do not sum to total")
+	}
+}
+
+func TestMaxPendingReported(t *testing.T) {
+	s := newSim(t, 2, des.Millisecond, 2*des.Millisecond)
+	for i := 0; i < 10; i++ {
+		s.Engine(1).Schedule(des.Time(i)*des.Microsecond, func(des.Time) {})
+	}
+	stats := s.Run()
+	if len(stats.MaxPending) != 2 || stats.MaxPending[1] < 10 {
+		t.Errorf("MaxPending = %v, want engine 1 ≥ 10", stats.MaxPending)
+	}
+}
+
+// TestScheduleRemoteHammerAllEngines hammers the cross-engine exchange
+// path from every engine simultaneously: each engine sends a burst to
+// every other engine every window, with telemetry enabled, under -race in
+// CI. Event conservation is checked exactly.
+func TestScheduleRemoteHammerAllEngines(t *testing.T) {
+	const (
+		engines = 8
+		horizon = 40 * des.Millisecond
+		burst   = 16
+	)
+	tel := telemetry.New(engines, 64)
+	s, err := New(Config{
+		Engines: engines, Window: des.Millisecond, End: horizon,
+		Sync: cluster.Fixed{CostNS: 100}, Telemetry: tel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sent, received atomic.Uint64
+	for i := 0; i < engines; i++ {
+		e := s.Engine(i)
+		var gen func(now des.Time)
+		gen = func(now des.Time) {
+			for b := 0; b < burst; b++ {
+				dst := (e.ID() + 1 + b%(engines-1)) % engines
+				at := now + des.Millisecond + des.Time(b)*des.Microsecond
+				if at < horizon {
+					sent.Add(1)
+					e.ScheduleRemote(dst, at, func(des.Time) { received.Add(1) })
+				}
+			}
+			if next := now + 500*des.Microsecond; next < horizon {
+				e.Schedule(next, gen)
+			}
+		}
+		e.Schedule(0, gen)
+	}
+	stats := s.Run()
+	if sent.Load() == 0 {
+		t.Fatal("hammer generated no remote events")
+	}
+	if received.Load() != sent.Load() {
+		t.Fatalf("remote events lost: sent %d, received %d", sent.Load(), received.Load())
+	}
+	if stats.RemoteEvents != sent.Load() {
+		t.Errorf("Stats.RemoteEvents = %d, want %d", stats.RemoteEvents, sent.Load())
+	}
+	if tel.RemoteEvents.Load() != sent.Load() {
+		t.Errorf("telemetry remote counter = %d, want %d", tel.RemoteEvents.Load(), sent.Load())
 	}
 }

@@ -1,0 +1,614 @@
+// Package runctl is the run-control core behind the massfd daemon: it
+// accepts scenario specifications (an uploaded DML network or generator
+// parameters), executes them as concurrent simulation runs under a
+// bounded worker pool, and exposes each run's live telemetry — the
+// per-window ring for NDJSON streaming and the metric registry for
+// Prometheus scrapes.
+package runctl
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"massf/internal/core"
+	"massf/internal/des"
+	"massf/internal/dml"
+	"massf/internal/experiments"
+	"massf/internal/mabrite"
+	"massf/internal/metrics"
+	"massf/internal/model"
+	"massf/internal/profile"
+	"massf/internal/telemetry"
+	"massf/internal/topology"
+)
+
+// FlatSpec asks for a generated single-AS power-law topology.
+type FlatSpec struct {
+	Routers int `json:"routers"`
+	Hosts   int `json:"hosts"`
+}
+
+// MultiASSpec asks for a generated multi-AS Internet-like topology.
+type MultiASSpec struct {
+	ASes         int `json:"ases"`
+	RoutersPerAS int `json:"routers_per_as"`
+	Hosts        int `json:"hosts"`
+}
+
+// Spec is a scenario submission. Exactly one of DML, Flat or MultiAS
+// selects the network; everything else has a default.
+type Spec struct {
+	// Name is an optional human label echoed back in listings.
+	Name string `json:"name,omitempty"`
+
+	// DML is an inline DML network description.
+	DML string `json:"dml,omitempty"`
+	// Flat generates a single-AS topology instead.
+	Flat *FlatSpec `json:"flat,omitempty"`
+	// MultiAS generates a multi-AS topology instead.
+	MultiAS *MultiASSpec `json:"multias,omitempty"`
+
+	// Approach is the mapping approach (RANDOM, TOP, TOP2, PLACE, PROF,
+	// PROF2, HTOP, HPROF). Default HTOP. Profile-based approaches run a
+	// sequential profiling pass first, doubling the run's cost.
+	Approach string `json:"approach,omitempty"`
+	// Engines is the simulated engine-node count. Default 4.
+	Engines int `json:"engines,omitempty"`
+	// Seconds is the simulated horizon. Default 2.
+	Seconds float64 `json:"seconds,omitempty"`
+	// App selects the foreground workload: scalapack, gridnpb or none
+	// (background HTTP only). Default none.
+	App string `json:"app,omitempty"`
+	// Clients/Servers size the background HTTP population (defaults:
+	// 80% / 20% of the hosts not claimed by the application).
+	Clients int `json:"clients,omitempty"`
+	Servers int `json:"servers,omitempty"`
+	// Seed is the simulation seed. Default 1.
+	Seed int64 `json:"seed,omitempty"`
+	// RealTimeFactor paces the run against the wall clock (0 = as fast
+	// as possible) — the paper's online-simulation mode.
+	RealTimeFactor float64 `json:"realtime,omitempty"`
+	// EventCostUS is the modeled per-event cost in microseconds.
+	// Default 15.
+	EventCostUS float64 `json:"event_cost_us,omitempty"`
+}
+
+// normalize applies defaults in place.
+func (s *Spec) normalize() {
+	if s.Approach == "" {
+		s.Approach = "HTOP"
+	}
+	if s.Engines == 0 {
+		s.Engines = 4
+	}
+	if s.Seconds == 0 {
+		s.Seconds = 2
+	}
+	if s.App == "" {
+		s.App = "none"
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.EventCostUS == 0 {
+		s.EventCostUS = 15
+	}
+}
+
+// validate rejects malformed specs before any work starts.
+func (s *Spec) validate() error {
+	sources := 0
+	if s.DML != "" {
+		sources++
+	}
+	if s.Flat != nil {
+		sources++
+	}
+	if s.MultiAS != nil {
+		sources++
+	}
+	if sources != 1 {
+		return fmt.Errorf("runctl: spec needs exactly one of dml, flat, multias (got %d)", sources)
+	}
+	if _, err := ParseApproach(s.Approach); err != nil {
+		return err
+	}
+	if _, err := parseWorkload(s.App); err != nil {
+		return err
+	}
+	if s.Engines < 1 || s.Engines > 1024 {
+		return fmt.Errorf("runctl: engines %d out of range [1, 1024]", s.Engines)
+	}
+	if s.Seconds < 0 || s.Seconds > 3600 {
+		return fmt.Errorf("runctl: seconds %g out of range (0, 3600]", s.Seconds)
+	}
+	if s.RealTimeFactor < 0 {
+		return fmt.Errorf("runctl: realtime factor must be ≥ 0")
+	}
+	return nil
+}
+
+// ParseApproach resolves a mapping-approach name (case-insensitive).
+func ParseApproach(name string) (core.Approach, error) {
+	switch strings.ToUpper(name) {
+	case "RANDOM":
+		return core.RANDOM, nil
+	case "TOP":
+		return core.TOP, nil
+	case "TOP2":
+		return core.TOP2, nil
+	case "PLACE":
+		return core.PLACE, nil
+	case "PROF":
+		return core.PROF, nil
+	case "PROF2":
+		return core.PROF2, nil
+	case "HTOP":
+		return core.HTOP, nil
+	case "HPROF":
+		return core.HPROF, nil
+	}
+	return 0, fmt.Errorf("runctl: unknown approach %q", name)
+}
+
+func parseWorkload(name string) (experiments.Workload, error) {
+	switch strings.ToLower(name) {
+	case "scalapack":
+		return experiments.ScaLapack, nil
+	case "gridnpb":
+		return experiments.GridNPB, nil
+	case "none", "http-only", "http":
+		return experiments.HTTPOnly, nil
+	}
+	return 0, fmt.Errorf("runctl: unknown app %q", name)
+}
+
+// State is a run's lifecycle phase.
+type State string
+
+// Run states. queued → running → done | failed | cancelled; a queued
+// run cancelled before a worker picks it up goes straight to cancelled.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether no further transitions can happen.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// NetSummary condenses the packet-level outcome of a finished run.
+type NetSummary struct {
+	FlowsStarted    int    `json:"flows_started"`
+	FlowsCompleted  int    `json:"flows_completed"`
+	Dropped         uint64 `json:"dropped"`
+	Retransmissions uint64 `json:"retransmissions"`
+	DeliveredBits   uint64 `json:"delivered_bits"`
+}
+
+// Run is one submitted scenario. Its telemetry bundle is live from
+// submission: the window ring streams while the simulation executes and
+// is closed when the run reaches a terminal state.
+type Run struct {
+	ID   string
+	Spec Spec
+	Tel  *telemetry.SimTelemetry
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	state     State
+	err       error
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	mllMS     float64
+	report    *metrics.Report
+	net       *NetSummary
+}
+
+// Cancel requests cooperative cancellation. Safe to call in any state;
+// a queued run never starts, a running run stops at the next barrier.
+func (r *Run) Cancel() { r.cancel() }
+
+// State returns the current lifecycle phase.
+func (r *Run) State() State {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state
+}
+
+func (r *Run) setRunning() {
+	r.mu.Lock()
+	r.state = StateRunning
+	r.started = time.Now()
+	r.mu.Unlock()
+}
+
+func (r *Run) setMLL(ms float64) {
+	r.mu.Lock()
+	r.mllMS = ms
+	r.mu.Unlock()
+}
+
+// finish records a terminal state exactly once (later calls are ignored,
+// so the panic-recovery path cannot overwrite a real outcome).
+func (r *Run) finish(st State, err error, rep *metrics.Report, sum *NetSummary) {
+	r.mu.Lock()
+	if !r.state.Terminal() {
+		r.state = st
+		r.err = err
+		r.report = rep
+		r.net = sum
+		r.finished = time.Now()
+	}
+	r.mu.Unlock()
+}
+
+// Info is the JSON snapshot of a run: spec echo, lifecycle, live
+// progress counters, and — once finished — the metrics report.
+type Info struct {
+	ID        string     `json:"id"`
+	Name      string     `json:"name,omitempty"`
+	State     State      `json:"state"`
+	Approach  string     `json:"approach"`
+	Engines   int        `json:"engines"`
+	Seconds   float64    `json:"seconds"`
+	App       string     `json:"app"`
+	Seed      int64      `json:"seed"`
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+	Error     string     `json:"error,omitempty"`
+
+	// Live progress, read from the run's telemetry.
+	MLLms      float64 `json:"mll_ms,omitempty"`
+	Windows    uint64  `json:"windows"`
+	Events     uint64  `json:"events"`
+	Remote     uint64  `json:"remote_events"`
+	SimTimeSec float64 `json:"sim_time_sec"`
+
+	Report *metrics.Report `json:"report,omitempty"`
+	Net    *NetSummary     `json:"net,omitempty"`
+}
+
+// Info snapshots the run.
+func (r *Run) Info() Info {
+	r.mu.Lock()
+	in := Info{
+		ID: r.ID, Name: r.Spec.Name, State: r.state,
+		Approach: strings.ToUpper(r.Spec.Approach), Engines: r.Spec.Engines,
+		Seconds: r.Spec.Seconds, App: r.Spec.App, Seed: r.Spec.Seed,
+		Submitted: r.submitted, MLLms: r.mllMS,
+		Report: r.report, Net: r.net,
+	}
+	if !r.started.IsZero() {
+		t := r.started
+		in.Started = &t
+	}
+	if !r.finished.IsZero() {
+		t := r.finished
+		in.Finished = &t
+	}
+	if r.err != nil {
+		in.Error = r.err.Error()
+	}
+	r.mu.Unlock()
+	in.Windows = r.Tel.WindowsDone.Load()
+	in.Events = r.Tel.Events.Load()
+	in.Remote = r.Tel.RemoteEvents.Load()
+	in.SimTimeSec = float64(r.Tel.SimTimeNS.Load()) / 1e9
+	return in
+}
+
+// Manager owns the run table and the worker pool.
+type Manager struct {
+	sem     chan struct{}
+	ringCap int
+
+	mu    sync.Mutex
+	runs  map[string]*Run
+	order []string
+	next  int
+	wg    sync.WaitGroup
+}
+
+// NewManager returns a manager executing at most workers simulations
+// concurrently (min 1), each with a window ring of ringCap records.
+func NewManager(workers, ringCap int) *Manager {
+	if workers < 1 {
+		workers = 1
+	}
+	if ringCap < 1 {
+		ringCap = 4096
+	}
+	return &Manager{
+		sem:     make(chan struct{}, workers),
+		ringCap: ringCap,
+		runs:    map[string]*Run{},
+	}
+}
+
+// Submit validates a spec, registers the run and launches its worker
+// goroutine. The returned run is already visible to Get/List.
+func (m *Manager) Submit(spec Spec) (*Run, error) {
+	spec.normalize()
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &Run{
+		Spec:      spec,
+		Tel:       telemetry.New(spec.Engines, m.ringCap),
+		ctx:       ctx,
+		cancel:    cancel,
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+	m.mu.Lock()
+	m.next++
+	r.ID = fmt.Sprintf("r%04d", m.next)
+	m.runs[r.ID] = r
+	m.order = append(m.order, r.ID)
+	m.wg.Add(1)
+	m.mu.Unlock()
+	go m.runLoop(r)
+	return r, nil
+}
+
+// Get returns a run by ID.
+func (m *Manager) Get(id string) (*Run, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.runs[id]
+	return r, ok
+}
+
+// List snapshots every run in submission order.
+func (m *Manager) List() []Info {
+	m.mu.Lock()
+	runs := make([]*Run, 0, len(m.order))
+	for _, id := range m.order {
+		runs = append(runs, m.runs[id])
+	}
+	m.mu.Unlock()
+	infos := make([]Info, len(runs))
+	for i, r := range runs {
+		infos[i] = r.Info()
+	}
+	return infos
+}
+
+// Cancel requests cancellation of a run by ID.
+func (m *Manager) Cancel(id string) (*Run, bool) {
+	r, ok := m.Get(id)
+	if !ok {
+		return nil, false
+	}
+	r.Cancel()
+	return r, true
+}
+
+// Shutdown cancels every run and waits for workers to drain, bounded by
+// ctx.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	for _, r := range m.runs {
+		r.cancel()
+	}
+	m.mu.Unlock()
+	done := make(chan struct{})
+	go func() { m.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Gather merges daemon-level gauges with every run's registry, each run
+// labeled run="<id>" — one scrape covers all concurrent simulations.
+func (m *Manager) Gather() []telemetry.Point {
+	m.mu.Lock()
+	runs := make([]*Run, 0, len(m.order))
+	for _, id := range m.order {
+		runs = append(runs, m.runs[id])
+	}
+	m.mu.Unlock()
+	counts := map[State]int{}
+	for _, r := range runs {
+		counts[r.State()]++
+	}
+	pts := make([]telemetry.Point, 0, 8+32*len(runs))
+	for _, st := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
+		pts = append(pts, telemetry.Point{
+			Name: "massfd_runs", Kind: "gauge",
+			Help:   "Number of runs by lifecycle state.",
+			Labels: map[string]string{"state": string(st)},
+			Value:  float64(counts[st]),
+		})
+	}
+	for _, r := range runs {
+		pts = append(pts, r.Tel.Reg.Gather(telemetry.Label{Key: "run", Value: r.ID})...)
+	}
+	return pts
+}
+
+// runLoop is a run's worker goroutine: wait for a pool slot (or
+// cancellation), execute, and record the terminal state. The telemetry
+// ring closes on every exit path so metric streams always terminate.
+func (m *Manager) runLoop(r *Run) {
+	defer m.wg.Done()
+	defer r.Tel.Windows.Close()
+	defer func() {
+		if p := recover(); p != nil {
+			r.finish(StateFailed, fmt.Errorf("runctl: run panicked: %v", p), nil, nil)
+		}
+	}()
+	select {
+	case <-r.ctx.Done():
+		r.finish(StateCancelled, nil, nil, nil)
+		return
+	case m.sem <- struct{}{}:
+	}
+	defer func() { <-m.sem }()
+	r.setRunning()
+	rep, sum, err := m.execute(r)
+	switch {
+	case err != nil && r.ctx.Err() != nil:
+		r.finish(StateCancelled, nil, nil, nil)
+	case err != nil:
+		r.finish(StateFailed, err, nil, nil)
+	case r.ctx.Err() != nil:
+		// Stopped mid-simulation: keep the partial report.
+		r.finish(StateCancelled, nil, rep, sum)
+	default:
+		r.finish(StateDone, nil, rep, sum)
+	}
+}
+
+// buildNetwork materializes the spec's topology source.
+func buildNetwork(spec Spec) (*model.Network, bool, error) {
+	switch {
+	case spec.DML != "":
+		net, err := dml.ReadNetwork(strings.NewReader(spec.DML))
+		if err != nil {
+			return nil, false, err
+		}
+		return net, len(net.ASes) > 1, nil
+	case spec.Flat != nil:
+		net, err := topology.GenerateFlat(topology.FlatOptions{
+			Routers: spec.Flat.Routers, Hosts: spec.Flat.Hosts, Seed: spec.Seed,
+		})
+		return net, false, err
+	default:
+		net, err := mabrite.Generate(mabrite.Options{
+			ASes: spec.MultiAS.ASes, RoutersPerAS: spec.MultiAS.RoutersPerAS,
+			Hosts: spec.MultiAS.Hosts, Seed: spec.Seed,
+		})
+		return net, true, err
+	}
+}
+
+// execute runs the full scenario pipeline: topology, setup, optional
+// profiling pass, mapping, and the telemetry-instrumented simulation.
+// Cancellation is checked between stages and, during simulation, via a
+// watcher that calls Sim.Stop.
+func (m *Manager) execute(r *Run) (*metrics.Report, *NetSummary, error) {
+	spec := r.Spec
+	a, err := ParseApproach(spec.Approach)
+	if err != nil {
+		return nil, nil, err
+	}
+	w, err := parseWorkload(spec.App)
+	if err != nil {
+		return nil, nil, err
+	}
+	net, multi, err := buildNetwork(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	if r.ctx.Err() != nil {
+		return nil, nil, r.ctx.Err()
+	}
+	appHosts := 7
+	if w == experiments.HTTPOnly {
+		appHosts = 1
+	}
+	free := net.NumHosts() - appHosts
+	nc, ns := spec.Clients, spec.Servers
+	if nc <= 0 {
+		nc = free * 4 / 5
+	}
+	if ns <= 0 {
+		ns = free - nc
+	}
+	sc := experiments.Scale{
+		Name: "massfd", Hosts: net.NumHosts(),
+		Clients: nc, Servers: ns, AppHosts: appHosts,
+		Engines:   spec.Engines,
+		Horizon:   experiments.SecondsToTime(spec.Seconds),
+		EventCost: des.Time(spec.EventCostUS * float64(des.Microsecond)),
+		Seed:      spec.Seed,
+	}
+	st, err := experiments.NewSetup(net, sc, multi)
+	if err != nil {
+		return nil, nil, err
+	}
+	if a.ProfileBased() {
+		if err := m.runProfiling(r, st, w); err != nil {
+			return nil, nil, err
+		}
+		if r.ctx.Err() != nil {
+			return nil, nil, r.ctx.Err()
+		}
+	}
+	mp, err := st.MapApproach(a)
+	if err != nil {
+		return nil, nil, err
+	}
+	r.setMLL(mp.MLL.Millis())
+	sim, _, err := st.BuildSim(mp, w, experiments.SimOptions{
+		Telemetry:      r.Tel,
+		RealTimeFactor: spec.RealTimeFactor,
+		SeriesBuckets:  256,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	release := watchCancel(r.ctx, sim.Stop)
+	res := sim.Run()
+	release()
+	rep := metrics.FromStats(a.String(), res.Stats, sc.EventCost)
+	sum := &NetSummary{
+		FlowsStarted: res.FlowsStarted, FlowsCompleted: res.FlowsCompleted,
+		Dropped: res.Dropped, Retransmissions: res.Retransmissions,
+		DeliveredBits: res.DeliveredBits,
+	}
+	return &rep, sum, nil
+}
+
+// runProfiling is the cancellable variant of Setup.RunProfiling: the
+// same sequential pass (everything on one engine, MaxMLL window, no
+// telemetry — the live ring belongs to the real run), but stoppable
+// through the run's context.
+func (m *Manager) runProfiling(r *Run, st *experiments.Setup, w experiments.Workload) error {
+	seq := *st
+	seq.Scale.Engines = 1
+	mp := &core.Mapping{Approach: core.RANDOM, MLL: core.MaxMLL, E: 1, Es: 1, Ec: 1}
+	sim, _, err := seq.BuildSim(mp, w, experiments.SimOptions{})
+	if err != nil {
+		return err
+	}
+	release := watchCancel(r.ctx, sim.Stop)
+	res := sim.Run()
+	release()
+	if res.Stats.Stopped {
+		return r.ctx.Err()
+	}
+	st.Profile = profile.FromResult(&res, seq.Scale.Horizon)
+	return nil
+}
+
+// watchCancel invokes stop when ctx is cancelled; the returned release
+// function retires the watcher once the simulation has returned.
+func watchCancel(ctx context.Context, stop func()) (release func()) {
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			stop()
+		case <-done:
+		}
+	}()
+	return func() { close(done) }
+}

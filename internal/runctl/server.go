@@ -1,0 +1,181 @@
+// HTTP surface of the run-control daemon. Routes (Go 1.22 method
+// patterns):
+//
+//	GET    /healthz               liveness probe
+//	GET    /runs                  list runs (JSON)
+//	POST   /runs                  submit a Spec, returns 202 + Info
+//	GET    /runs/{id}             one run's Info
+//	POST   /runs/{id}/cancel      request cancellation
+//	DELETE /runs/{id}             same as cancel
+//	GET    /runs/{id}/metrics     live NDJSON stream of per-window
+//	                              records (replay + follow until the run
+//	                              finishes); ?follow=0 dumps and returns,
+//	                              ?format=prom serves a per-run
+//	                              Prometheus snapshot instead
+//	GET    /metrics               aggregate Prometheus exposition across
+//	                              all runs (run="<id>" labels)
+package runctl
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"massf/internal/telemetry"
+)
+
+// maxSpecBytes bounds a submission body (DML uploads included).
+const maxSpecBytes = 64 << 20
+
+// Server exposes a Manager over HTTP.
+type Server struct {
+	m   *Manager
+	mux *http.ServeMux
+}
+
+// NewServer builds the HTTP front end for m.
+func NewServer(m *Manager) *Server {
+	s := &Server{m: m, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("GET /runs", s.listRuns)
+	s.mux.HandleFunc("POST /runs", s.submitRun)
+	s.mux.HandleFunc("GET /runs/{id}", s.getRun)
+	s.mux.HandleFunc("POST /runs/{id}/cancel", s.cancelRun)
+	s.mux.HandleFunc("DELETE /runs/{id}", s.cancelRun)
+	s.mux.HandleFunc("GET /runs/{id}/metrics", s.runMetrics)
+	s.mux.HandleFunc("GET /metrics", s.aggregateMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) listRuns(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"runs": s.m.List()})
+}
+
+func (s *Server) submitRun(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("runctl: bad spec: %w", err))
+		return
+	}
+	run, err := s.m.Submit(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, run.Info())
+}
+
+func (s *Server) getRun(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("runctl: no run %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, run.Info())
+}
+
+func (s *Server) cancelRun(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.m.Cancel(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("runctl: no run %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, run.Info())
+}
+
+// runMetrics streams one run's per-window telemetry as NDJSON: the
+// ring's retained history first, then live records as barriers complete,
+// ending when the run reaches a terminal state (the ring closes) or the
+// client disconnects.
+func (s *Server) runMetrics(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("runctl: no run %q", r.PathValue("id")))
+		return
+	}
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		telemetry.WritePrometheus(w, run.Tel.Reg.Gather(telemetry.Label{Key: "run", Value: run.ID}))
+		return
+	}
+	follow := r.URL.Query().Get("follow") != "0"
+	past, ch, cancel := run.Tel.Windows.Subscribe(1024)
+	defer cancel()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	for _, rec := range past {
+		if enc.Encode(rec) != nil {
+			return
+		}
+	}
+	flush(w)
+	if !follow {
+		return
+	}
+	ctx := r.Context()
+	for {
+		select {
+		case rec, open := <-ch:
+			if !open {
+				return
+			}
+			if enc.Encode(rec) != nil {
+				return
+			}
+			// Drain whatever else is already buffered before flushing, so
+			// a fast simulation does not force one flush per window.
+			for {
+				select {
+				case rec, open := <-ch:
+					if !open {
+						flush(w)
+						return
+					}
+					if enc.Encode(rec) != nil {
+						return
+					}
+					continue
+				default:
+				}
+				break
+			}
+			flush(w)
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+func flush(w http.ResponseWriter) {
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// aggregateMetrics serves the merged Prometheus exposition: daemon
+// gauges plus every run's registry under its run label.
+func (s *Server) aggregateMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	telemetry.WritePrometheus(w, s.m.Gather())
+}

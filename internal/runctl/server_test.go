@@ -1,0 +1,362 @@
+package runctl
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"massf/internal/telemetry"
+)
+
+// testSpec is a tiny scenario that still exercises the full pipeline.
+// The ScaLapack workload keeps traffic flowing through the whole
+// horizon, and the real-time factor stretches the run's wall time so
+// tests can observe it in flight.
+func testSpec(name string, seed int64, seconds, realtime float64) Spec {
+	return Spec{
+		Name:           name,
+		Flat:           &FlatSpec{Routers: 40, Hosts: 20},
+		Approach:       "HTOP",
+		Engines:        2,
+		Seconds:        seconds,
+		App:            "scalapack",
+		Seed:           seed,
+		RealTimeFactor: realtime,
+	}
+}
+
+func submitSpec(t *testing.T, base string, spec Spec) Info {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(base+"/runs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, b)
+	}
+	var info Info
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatalf("submit: decode: %v", err)
+	}
+	return info
+}
+
+func getInfo(t *testing.T, base, id string) Info {
+	t.Helper()
+	resp, err := http.Get(base + "/runs/" + id)
+	if err != nil {
+		t.Fatalf("get %s: %v", id, err)
+	}
+	defer resp.Body.Close()
+	var info Info
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatalf("get %s: decode: %v", id, err)
+	}
+	return info
+}
+
+func waitState(t *testing.T, base, id string, timeout time.Duration, want func(Info) bool) Info {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		info := getInfo(t, base, id)
+		if want(info) {
+			return info
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("run %s stuck in state %s (err=%q)", id, info.State, info.Error)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// openStream starts reading a run's NDJSON metrics stream in the
+// background, delivering records on a channel that closes at EOF.
+func openStream(t *testing.T, base, id string) (<-chan telemetry.WindowRecord, func()) {
+	t.Helper()
+	resp, err := http.Get(base + "/runs/" + id + "/metrics")
+	if err != nil {
+		t.Fatalf("stream %s: %v", id, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		t.Fatalf("stream %s: status %d", id, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		resp.Body.Close()
+		t.Fatalf("stream %s: content type %q", id, ct)
+	}
+	recs := make(chan telemetry.WindowRecord, 4096)
+	go func() {
+		defer close(recs)
+		dec := json.NewDecoder(resp.Body)
+		for {
+			var rec telemetry.WindowRecord
+			if err := dec.Decode(&rec); err != nil {
+				return
+			}
+			recs <- rec
+		}
+	}()
+	return recs, func() { resp.Body.Close() }
+}
+
+// TestServerConcurrentRunsAndLiveStream is the daemon's acceptance
+// test: two scenarios execute concurrently, and a client streaming one
+// run's metrics receives per-window records while that run (and its
+// neighbor) are still in flight.
+func TestServerConcurrentRunsAndLiveStream(t *testing.T) {
+	mgr := NewManager(2, 1024)
+	ts := httptest.NewServer(NewServer(mgr))
+	defer ts.Close()
+
+	a := submitSpec(t, ts.URL, testSpec("a", 1, 1.5, 2))
+	b := submitSpec(t, ts.URL, testSpec("b", 2, 1.5, 2))
+	if a.ID == b.ID {
+		t.Fatalf("duplicate run IDs: %s", a.ID)
+	}
+	if a.State != StateQueued && a.State != StateRunning {
+		t.Fatalf("fresh run in state %s", a.State)
+	}
+
+	waitState(t, ts.URL, a.ID, 10*time.Second, func(i Info) bool { return i.State == StateRunning })
+	waitState(t, ts.URL, b.ID, 10*time.Second, func(i Info) bool { return i.State == StateRunning })
+
+	recs, closeStream := openStream(t, ts.URL, a.ID)
+	defer closeStream()
+	var first telemetry.WindowRecord
+	select {
+	case first = <-recs:
+	case <-time.After(15 * time.Second):
+		t.Fatal("no window record within 15s of a live run")
+	}
+	if len(first.Events) != 2 {
+		t.Fatalf("window record has %d engine slots, want 2", len(first.Events))
+	}
+	// The record arrived while both simulations were executing: neither
+	// run may have reached a terminal state yet.
+	if st := getInfo(t, ts.URL, a.ID).State; st.Terminal() {
+		t.Fatalf("run %s already terminal (%s) at first streamed record", a.ID, st)
+	}
+	if st := getInfo(t, ts.URL, b.ID).State; st.Terminal() {
+		t.Fatalf("run %s already terminal (%s) while %s streams", b.ID, st, a.ID)
+	}
+
+	// Drain to EOF: the stream must terminate when the run finishes,
+	// with monotonically increasing sequence numbers.
+	count := 1
+	last := first.Seq
+	for rec := range recs {
+		if rec.Seq <= last {
+			t.Fatalf("sequence went backwards: %d after %d", rec.Seq, last)
+		}
+		last = rec.Seq
+		count++
+	}
+
+	ai := waitState(t, ts.URL, a.ID, 30*time.Second, func(i Info) bool { return i.State.Terminal() })
+	bi := waitState(t, ts.URL, b.ID, 30*time.Second, func(i Info) bool { return i.State.Terminal() })
+	for _, info := range []Info{ai, bi} {
+		if info.State != StateDone {
+			t.Fatalf("run %s ended %s (err=%q)", info.ID, info.State, info.Error)
+		}
+		if info.Report == nil || info.Net == nil {
+			t.Fatalf("run %s finished without report/net summary", info.ID)
+		}
+		if info.Windows == 0 || info.Events == 0 {
+			t.Fatalf("run %s reports no progress: windows=%d events=%d", info.ID, info.Windows, info.Events)
+		}
+		if info.Report.SimTimeSec <= 0 {
+			t.Fatalf("run %s has non-positive modeled time", info.ID)
+		}
+	}
+	if count < int(ai.Windows) {
+		t.Fatalf("streamed %d records, run executed %d windows", count, ai.Windows)
+	}
+
+	// The aggregate exposition carries both runs under their labels.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		fmt.Sprintf(`massf_sim_events_total{run=%q}`, a.ID),
+		fmt.Sprintf(`massf_sim_events_total{run=%q}`, b.ID),
+		`massfd_runs{state="done"} 2`,
+		`massf_net_flows_started_total`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("aggregate /metrics missing %q in:\n%s", want, truncate(text, 2000))
+		}
+	}
+}
+
+// TestServerCancel covers both cancellation paths: a queued run (worker
+// pool of one, so the second submission waits) dies without starting,
+// and a running run stops at a barrier well before its paced horizon.
+func TestServerCancel(t *testing.T) {
+	mgr := NewManager(1, 256)
+	ts := httptest.NewServer(NewServer(mgr))
+	defer ts.Close()
+
+	// ~200 s of wall time if left alone — cancellation must cut it short.
+	running := submitSpec(t, ts.URL, testSpec("victim", 1, 10, 20))
+	queued := submitSpec(t, ts.URL, testSpec("waiter", 2, 10, 20))
+
+	waitState(t, ts.URL, running.ID, 10*time.Second, func(i Info) bool { return i.State == StateRunning })
+	if st := getInfo(t, ts.URL, queued.ID).State; st != StateQueued {
+		t.Fatalf("second run in state %s with a one-worker pool", st)
+	}
+
+	// Cancel the queued run: it must go terminal without ever starting,
+	// and its metrics stream must end immediately.
+	resp, err := http.Post(ts.URL+"/runs/"+queued.ID+"/cancel", "", nil)
+	if err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	resp.Body.Close()
+	qi := waitState(t, ts.URL, queued.ID, 5*time.Second, func(i Info) bool { return i.State.Terminal() })
+	if qi.State != StateCancelled || qi.Started != nil {
+		t.Fatalf("queued run: state=%s started=%v, want cancelled/never-started", qi.State, qi.Started)
+	}
+	recs, closeStream := openStream(t, ts.URL, queued.ID)
+	for range recs { // must hit EOF promptly — the ring is closed
+	}
+	closeStream()
+
+	// Cancel the running run mid-flight after observing a live record.
+	recs, closeStream = openStream(t, ts.URL, running.ID)
+	defer closeStream()
+	select {
+	case <-recs:
+	case <-time.After(15 * time.Second):
+		t.Fatal("no window record from the running victim")
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/runs/"+running.ID, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	resp.Body.Close()
+	start := time.Now()
+	ri := waitState(t, ts.URL, running.ID, 30*time.Second, func(i Info) bool { return i.State.Terminal() })
+	if ri.State != StateCancelled {
+		t.Fatalf("running run ended %s, want cancelled", ri.State)
+	}
+	if elapsed := time.Since(start); elapsed > 25*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+	for range recs { // stream must also terminate
+	}
+}
+
+func TestServerValidationAndNotFound(t *testing.T) {
+	mgr := NewManager(1, 64)
+	ts := httptest.NewServer(NewServer(mgr))
+	defer ts.Close()
+
+	bad := []string{
+		`{}`,                                  // no topology source
+		`{"flat":{"routers":10,"hosts":10},"multias":{"ases":2,"routers_per_as":5,"hosts":10}}`, // two sources
+		`{"flat":{"routers":10,"hosts":10},"approach":"FASTEST"}`,                               // unknown approach
+		`{"flat":{"routers":10,"hosts":10},"app":"doom"}`,                                       // unknown app
+		`{"flat":{"routers":10,"hosts":10},"bogus":1}`,                                          // unknown field
+		`{"flat":{"routers":10,"hosts":10},"engines":-3}`,                                       // bad engine count
+	}
+	for _, body := range bad {
+		resp, err := http.Post(ts.URL+"/runs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("post: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("spec %s accepted with status %d", body, resp.StatusCode)
+		}
+	}
+	for _, url := range []string{"/runs/r9999", "/runs/r9999/metrics"} {
+		resp, err := http.Get(ts.URL + url)
+		if err != nil {
+			t.Fatalf("get %s: %v", url, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s: status %d, want 404", url, resp.StatusCode)
+		}
+	}
+}
+
+// TestServerRunEndpoints exercises the non-streaming views of a
+// finished run: the replayed NDJSON dump (?follow=0), the per-run
+// Prometheus snapshot, and the run listing.
+func TestServerRunEndpoints(t *testing.T) {
+	mgr := NewManager(2, 256)
+	ts := httptest.NewServer(NewServer(mgr))
+	defer ts.Close()
+
+	// Unpaced: finishes in well under a second at this scale.
+	spec := testSpec("quick", 3, 0.5, 0)
+	info := submitSpec(t, ts.URL, spec)
+	done := waitState(t, ts.URL, info.ID, 30*time.Second, func(i Info) bool { return i.State.Terminal() })
+	if done.State != StateDone {
+		t.Fatalf("run ended %s (err=%q)", done.State, done.Error)
+	}
+
+	resp, err := http.Get(ts.URL + "/runs/" + info.ID + "/metrics?follow=0")
+	if err != nil {
+		t.Fatalf("dump: %v", err)
+	}
+	dump, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	lines := strings.Split(strings.TrimSpace(string(dump)), "\n")
+	if len(lines) == 0 || len(lines[0]) == 0 {
+		t.Fatal("no replayed window records for a finished run")
+	}
+	var rec telemetry.WindowRecord
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("bad NDJSON line %q: %v", lines[0], err)
+	}
+
+	resp, err = http.Get(ts.URL + "/runs/" + info.ID + "/metrics?format=prom")
+	if err != nil {
+		t.Fatalf("prom: %v", err)
+	}
+	prom, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(prom), fmt.Sprintf(`massf_sim_windows_total{run=%q}`, info.ID)) {
+		t.Fatalf("per-run prom snapshot missing windows counter:\n%s", truncate(string(prom), 1000))
+	}
+
+	resp, err = http.Get(ts.URL + "/runs")
+	if err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	var list struct {
+		Runs []Info `json:"runs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatalf("list decode: %v", err)
+	}
+	resp.Body.Close()
+	if len(list.Runs) != 1 || list.Runs[0].ID != info.ID || list.Runs[0].Name != "quick" {
+		t.Fatalf("listing wrong: %+v", list.Runs)
+	}
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
+}

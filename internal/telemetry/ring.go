@@ -1,0 +1,165 @@
+package telemetry
+
+import "sync"
+
+// WindowRecord is one barrier window's trace record, published by engine 0
+// of the parallel engine after the window's exchange phase. Per-engine
+// slices are indexed by engine ID.
+type WindowRecord struct {
+	// Seq is the record's position in the append order (0-based,
+	// monotonic). With a full ring, old records are evicted but Seq keeps
+	// counting, so consumers can detect gaps.
+	Seq uint64 `json:"seq"`
+	// Window is the barrier window index (idle windows are fast-forwarded
+	// over, so Window may jump).
+	Window int `json:"window"`
+	// StartNS and EndNS bound the window in simulated time.
+	StartNS int64 `json:"start_ns"`
+	EndNS   int64 `json:"end_ns"`
+	// WallNS is the host wall-clock time spent since the previous
+	// published window.
+	WallNS int64 `json:"wall_ns"`
+	// Events[e] is the number of kernel events engine e processed in this
+	// window.
+	Events []uint64 `json:"events"`
+	// Remote is the number of cross-partition events exchanged at this
+	// window's barrier.
+	Remote uint64 `json:"remote"`
+	// BarrierWaitNS[e] is the time engine e spent blocked at the previous
+	// window's barrier (engines publish their wait one window late, which
+	// keeps publication inside the barrier-synchronized scratch exchange).
+	BarrierWaitNS []int64 `json:"barrier_wait_ns,omitempty"`
+	// QueueDepth[e] is engine e's pending event count at the end of the
+	// window (before the exchange).
+	QueueDepth []int `json:"queue_depth,omitempty"`
+	// MaxBusyNS is the modeled busy time of the window's most loaded
+	// engine.
+	MaxBusyNS int64 `json:"max_busy_ns"`
+}
+
+// Ring is a bounded in-memory trace of WindowRecords with live
+// subscriptions. Append keeps the most recent records (evicting the
+// oldest) and fans each record out to subscribers without blocking: a
+// subscriber whose channel is full misses records (detectable via Seq)
+// rather than stalling the simulation.
+type Ring struct {
+	mu     sync.Mutex
+	buf    []WindowRecord
+	cap    int
+	total  uint64
+	subs   map[int]chan WindowRecord
+	nextID int
+	closed bool
+}
+
+// NewRing returns a ring keeping at most capacity records (default 1024
+// when capacity ≤ 0).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Ring{cap: capacity, subs: make(map[int]chan WindowRecord)}
+}
+
+// Append stores rec (stamping rec.Seq) and publishes it to subscribers.
+// Appending to a closed ring is a no-op.
+func (r *Ring) Append(rec WindowRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	rec.Seq = r.total
+	if len(r.buf) < r.cap {
+		r.buf = append(r.buf, rec)
+	} else {
+		r.buf[int(r.total)%r.cap] = rec
+	}
+	r.total++
+	for _, ch := range r.subs {
+		select {
+		case ch <- rec:
+		default: // slow subscriber: drop rather than stall the engine
+		}
+	}
+}
+
+func (r *Ring) snapshotLocked() []WindowRecord {
+	out := make([]WindowRecord, 0, len(r.buf))
+	if r.total > uint64(len(r.buf)) { // wrapped: oldest sits at total%cap
+		start := int(r.total) % r.cap
+		out = append(out, r.buf[start:]...)
+		out = append(out, r.buf[:start]...)
+	} else {
+		out = append(out, r.buf...)
+	}
+	return out
+}
+
+// Snapshot returns the retained records, oldest first.
+func (r *Ring) Snapshot() []WindowRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.snapshotLocked()
+}
+
+// Total returns the number of records ever appended.
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Closed reports whether Close has been called.
+func (r *Ring) Closed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.closed
+}
+
+// Subscribe atomically snapshots the retained records and registers a live
+// channel for everything appended afterwards — together a gapless,
+// duplicate-free stream (barring slow-subscriber drops). The channel is
+// closed when the ring closes or cancel is called; cancel is idempotent
+// and safe after close.
+func (r *Ring) Subscribe(buffer int) (past []WindowRecord, ch <-chan WindowRecord, cancel func()) {
+	if buffer <= 0 {
+		buffer = 64
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	past = r.snapshotLocked()
+	c := make(chan WindowRecord, buffer)
+	if r.closed {
+		close(c)
+		return past, c, func() {}
+	}
+	id := r.nextID
+	r.nextID++
+	r.subs[id] = c
+	cancel = func() {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if sub, ok := r.subs[id]; ok {
+			delete(r.subs, id)
+			close(sub)
+		}
+	}
+	return past, c, cancel
+}
+
+// Close marks the end of the trace (the run finished or failed) and closes
+// every subscriber channel. Close is idempotent; retained records stay
+// readable via Snapshot.
+func (r *Ring) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	r.closed = true
+	for id, ch := range r.subs {
+		delete(r.subs, id)
+		close(ch)
+	}
+}

@@ -53,6 +53,7 @@ import (
 	"massf/internal/routing/bgp"
 	"massf/internal/routing/interdomain"
 	"massf/internal/routing/ospf"
+	"massf/internal/telemetry"
 	"massf/internal/topology"
 	"massf/internal/traffic"
 )
@@ -289,6 +290,27 @@ func CompareRIBs(a, b *BGPRib) RIBComparison { return bgp.Compare(a, b) }
 // ShortestPathRIB computes the policy-free shortest-AS-path baseline for
 // path-inflation studies.
 func ShortestPathRIB(net *Network) *BGPRib { return bgp.ShortestPathRIB(net) }
+
+// Live observability (the telemetry subsystem behind cmd/massfd).
+type (
+	// Telemetry bundles the live instruments of one run: atomic counters,
+	// gauges and histograms plus the per-window trace ring. Set
+	// SimConfig.Telemetry before NewSimulation; nil disables
+	// instrumentation at zero cost.
+	Telemetry = telemetry.SimTelemetry
+	// TelemetryWindow is one barrier window's trace record.
+	TelemetryWindow = telemetry.WindowRecord
+	// MetricPoint is a point-in-time snapshot of one metric, renderable
+	// as Prometheus text exposition or NDJSON.
+	MetricPoint = telemetry.Point
+)
+
+// NewTelemetry creates the telemetry bundle for a run with the given
+// engine count. Pass it via SimConfig.Telemetry; read live windows from
+// Telemetry.Windows (Subscribe streams them as they execute) and snapshot
+// metrics from Telemetry.Reg (WritePrometheus / WriteNDJSON). Use one
+// Telemetry per run — the engine closes the window ring when the run ends.
+func NewTelemetry(engines int) *Telemetry { return telemetry.New(engines, 4096) }
 
 // Metrics (Section 4.1 of the paper).
 type (

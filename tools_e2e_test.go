@@ -1,11 +1,18 @@
 package massf_test
 
 import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 // TestToolsEndToEnd drives the command-line tools through the full
@@ -92,5 +99,112 @@ func TestToolsEndToEnd(t *testing.T) {
 	}
 	if err := exec.Command(bin("massf"), "-net", filepath.Join(dir, "missing.dml")).Run(); err == nil {
 		t.Error("missing network file accepted")
+	}
+}
+
+// TestMassfdSmoke boots the run-control daemon on an ephemeral port,
+// submits a scenario over HTTP, waits for it to finish, checks the
+// metric endpoints, and shuts the daemon down gracefully.
+func TestMassfdSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the massfd daemon")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "massfd")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/massfd").CombinedOutput(); err != nil {
+		t.Fatalf("build massfd: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "2")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The daemon logs its resolved address on the first line.
+	sc := bufio.NewScanner(stderr)
+	if !sc.Scan() {
+		t.Fatalf("no startup line from massfd: %v", sc.Err())
+	}
+	m := regexp.MustCompile(`http://(127\.0\.0\.1:\d+)`).FindStringSubmatch(sc.Text())
+	if m == nil {
+		t.Fatalf("no listen address in startup line %q", sc.Text())
+	}
+	base := "http://" + m[1]
+	go io.Copy(io.Discard, stderr)
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get("/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz: %d %q", code, body)
+	}
+
+	spec := `{"name":"smoke","flat":{"routers":40,"hosts":20},"engines":2,"seconds":0.5,"app":"scalapack","seed":1}`
+	resp, err := http.Post(base+"/runs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	var info struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatalf("submit decode: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || info.ID == "" {
+		t.Fatalf("submit: status %d, id %q", resp.StatusCode, info.ID)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		_, body := get("/runs/" + info.ID)
+		if err := json.Unmarshal([]byte(body), &info); err != nil {
+			t.Fatalf("poll decode: %v (%s)", err, body)
+		}
+		if info.State == "done" {
+			break
+		}
+		if info.State == "failed" || info.State == "cancelled" {
+			t.Fatalf("run ended in state %s: %s", info.State, body)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("run stuck in state %s", info.State)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	if code, body := get("/runs/" + info.ID + "/metrics?follow=0"); code != http.StatusOK || len(strings.TrimSpace(body)) == 0 {
+		t.Fatalf("window dump: %d, %d bytes", code, len(body))
+	}
+	if _, body := get("/metrics"); !strings.Contains(body, "massf_sim_events_total") {
+		t.Fatalf("aggregate metrics missing simulation counters:\n%.1000s", body)
+	}
+
+	// Graceful shutdown on SIGTERM.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("massfd exited with error: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("massfd did not shut down within 15s of SIGTERM")
 	}
 }
