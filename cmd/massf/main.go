@@ -43,7 +43,10 @@ func main() {
 		clients   = flag.Int("clients", 0, "background HTTP clients (default: 80% of free hosts)")
 		servers   = flag.Int("servers", 0, "background HTTP servers (default: the rest)")
 		profPath  = flag.String("profile", "", "traffic profile input")
+		profIn    = flag.String("profile-in", "", "alias for -profile (pairs with -profile-out)")
 		profOut   = flag.String("profile-out", "", "write the measured profile here")
+		traceOut  = flag.String("trace", "", "write the run's flight recording here as Chrome trace JSON (load in ui.perfetto.dev)")
+		straggler = flag.Int("stragglers", 0, "print the top-K straggler report after the run (0 = off)")
 		seed      = flag.Int64("seed", 0, "simulation seed (0 = derive from the clock)")
 		realTime  = flag.Float64("realtime", 0, "real-time pacing factor (0 = as fast as possible, 8 = paper's slowdown)")
 		eventCost = flag.Float64("event-cost-us", 15, "modeled per-event cost in µs")
@@ -71,6 +74,12 @@ func main() {
 	}
 	routes := massf.NewRouting(net)
 
+	if *profIn != "" {
+		if *profPath != "" && *profPath != *profIn {
+			fatal(fmt.Errorf("-profile and -profile-in name different files"))
+		}
+		*profPath = *profIn
+	}
 	var prof *massf.Profile
 	if *profPath != "" {
 		pf, err := os.Open(*profPath)
@@ -90,10 +99,16 @@ func main() {
 	}
 	end := massf.Time(*horizon * float64(massf.Second))
 	cost := massf.Time(*eventCost * float64(massf.Microsecond))
+	// The flight recorder costs one ring append per barrier window, so it
+	// is only armed when a trace or straggler report was asked for.
+	var tel *massf.Telemetry
+	if *traceOut != "" || *straggler > 0 {
+		tel = massf.NewTelemetry(*engines)
+	}
 	sim, err := massf.NewSimulation(massf.SimConfig{
 		Net: net, Routes: routes, Part: mapping.Part, Engines: *engines,
 		Window: mapping.MLL, End: end, Seed: *seed,
-		EventCost: cost, RealTimeFactor: *realTime,
+		EventCost: cost, RealTimeFactor: *realTime, Telemetry: tel,
 	})
 	if err != nil {
 		fatal(err)
@@ -171,6 +186,33 @@ func main() {
 		}
 		defer of.Close()
 		if err := p.Write(of); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *traceOut != "" {
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		err = massf.WriteChromeTrace(tf, tel.Windows.Snapshot(), map[string]string{
+			"approach": a.String(),
+			"engines":  fmt.Sprint(*engines),
+			"net":      *netPath,
+		})
+		if cerr := tf.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace                %s (%d windows recorded)\n", *traceOut, res.Windows)
+	}
+	if *straggler > 0 {
+		rep := massf.AnalyzeFlight(tel.Windows.Snapshot(), *straggler)
+		rep.AttributeRouters(mapping.Part, res.NodeEvents, 5)
+		fmt.Println()
+		if err := rep.WriteText(os.Stdout); err != nil {
 			fatal(err)
 		}
 	}

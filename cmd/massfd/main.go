@@ -15,11 +15,13 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -31,14 +33,30 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:8672", "listen address (use :0 for an ephemeral port)")
-		workers = flag.Int("workers", maxInt(1, runtime.NumCPU()/2), "maximum concurrent simulations")
-		ringCap = flag.Int("ring", 4096, "per-run window-record ring capacity")
+		addr      = flag.String("addr", "127.0.0.1:8672", "listen address (use :0 for an ephemeral port)")
+		workers   = flag.Int("workers", maxInt(1, runtime.NumCPU()/2), "maximum concurrent simulations")
+		ringCap   = flag.Int("ring", 4096, "per-run window-record ring capacity")
+		withPprof = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ and expvar under /debug/vars")
 	)
 	flag.Parse()
 
 	mgr := runctl.NewManager(*workers, *ringCap)
-	srv := &http.Server{Handler: runctl.NewServer(mgr)}
+	var handler http.Handler = runctl.NewServer(mgr)
+	if *withPprof {
+		// Host-side profiling of the daemon itself (goroutine/heap/CPU),
+		// complementing the simulation-side flight recorder. Registered
+		// explicitly so the default off state exposes nothing.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/debug/vars", expvar.Handler())
+		mux.Handle("/", handler)
+		handler = mux
+	}
+	srv := &http.Server{Handler: handler}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -52,11 +70,17 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 
-	sig := make(chan os.Signal, 1)
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case s := <-sig:
-		log.Printf("massfd: %v, shutting down", s)
+		log.Printf("massfd: %v, shutting down (repeat to force exit)", s)
+		// A second signal aborts the graceful drain immediately.
+		go func() {
+			s := <-sig
+			log.Printf("massfd: %v again, exiting now", s)
+			os.Exit(1)
+		}()
 	case err := <-errc:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fmt.Fprintln(os.Stderr, "massfd:", err)

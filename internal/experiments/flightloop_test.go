@@ -1,0 +1,117 @@
+package experiments
+
+// End-to-end test of the flight-recorder feedback loop (the paper's
+// Section 3.3 monitoring cycle): a monitoring run under a topological
+// mapping records per-window engine spans and measures the real traffic;
+// the captured profile round-trips through the on-disk format; and an
+// HPROF re-run driven by that measured profile balances the load better
+// than the topology-only HTOP mapping the monitoring run used.
+
+import (
+	"bytes"
+	"testing"
+
+	"massf/internal/core"
+	"massf/internal/des"
+	"massf/internal/flight"
+	"massf/internal/metrics"
+	"massf/internal/profile"
+	"massf/internal/telemetry"
+)
+
+// skewScale is a small single-AS testbed whose background web traffic all
+// converges on two server hosts — per-node load that degree-based
+// weighting cannot see, so a measured profile has something real to fix.
+func skewScale() Scale {
+	return Scale{
+		Name:      "skew",
+		Routers:   150,
+		Hosts:     60,
+		Clients:   45,
+		Servers:   2,
+		AppHosts:  2,
+		Engines:   4,
+		Horizon:   2 * des.Second,
+		EventCost: 15 * des.Microsecond,
+		Seed:      3,
+	}
+}
+
+func TestMeasuredProfileFeedbackBeatsHTOP(t *testing.T) {
+	sc := skewScale()
+	st, err := BuildSingleAS(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Servers) != 2 {
+		t.Fatalf("testbed has %d servers, want the skewed 2", len(st.Servers))
+	}
+
+	// Monitoring run: topological HTOP mapping, flight recorder armed.
+	mHTOP, err := st.MapApproach(core.HTOP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := telemetry.New(sc.Engines, 4096)
+	sim, _, err := st.BuildSim(mHTOP, HTTPOnly, SimOptions{Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resHTOP := sim.Run()
+	if resHTOP.TotalEvents == 0 {
+		t.Fatal("monitoring run executed no events")
+	}
+	htopImb := metrics.LoadImbalance(resHTOP.EngineEvents)
+
+	// The recording diagnoses the imbalance: every window names its
+	// bounding engine, and the straggler ranking attributes that engine's
+	// load to specific simulated routers.
+	rep := flight.Analyze(tel.Windows.Snapshot(), 3)
+	if rep.Engines != sc.Engines || len(rep.Windows) == 0 {
+		t.Fatalf("flight analysis shape: %d engines, %d windows", rep.Engines, len(rep.Windows))
+	}
+	for _, wa := range rep.Windows {
+		if wa.BoundingEngine < 0 || wa.BoundingEngine >= sc.Engines {
+			t.Fatalf("window %d bounded by engine %d", wa.Window, wa.BoundingEngine)
+		}
+	}
+	rep.AttributeRouters(mHTOP.Part, resHTOP.NodeEvents, 3)
+	if len(rep.Stragglers) == 0 || len(rep.Stragglers[0].TopRouters) == 0 {
+		t.Fatal("straggler ranking carries no router attribution")
+	}
+
+	// The measured profile round-trips through the massf-profile text
+	// format, exactly as `massf -profile-out` → `massf -profile-in` or
+	// massfd's GET /runs/{id}/profile → Spec.Profile would carry it.
+	captured := profile.FromResult(&resHTOP, sc.Horizon)
+	var buf bytes.Buffer
+	if err := captured.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := profile.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reloaded.TotalEvents() != captured.TotalEvents() {
+		t.Fatalf("profile round trip lost events: %d != %d",
+			reloaded.TotalEvents(), captured.TotalEvents())
+	}
+
+	// Feedback run: HPROF driven by the measured profile, same workload.
+	st.Profile = reloaded
+	mHPROF, err := st.MapApproach(core.HPROF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim2, _, err := st.BuildSim(mHPROF, HTTPOnly, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resHPROF := sim2.Run()
+	hprofImb := metrics.LoadImbalance(resHPROF.EngineEvents)
+
+	t.Logf("load imbalance: HTOP %.3f → HPROF-from-measured %.3f", htopImb, hprofImb)
+	if hprofImb >= htopImb {
+		t.Errorf("measured-profile HPROF (%.3f) does not beat HTOP (%.3f)", hprofImb, htopImb)
+	}
+}

@@ -273,11 +273,15 @@ func (s *Sim) Run() Stats {
 	var remScratch []uint64
 	var waitScratch []int64
 	var depthScratch []int
+	var compScratch []int64
+	var exchScratch []int64
 	if tel != nil {
 		evScratch = make([]uint64, n)
 		remScratch = make([]uint64, n)
 		waitScratch = make([]int64, n)
 		depthScratch = make([]int, n)
+		compScratch = make([]int64, n)
+		exchScratch = make([]int64, n)
 	}
 
 	bar := cluster.NewBarrier(n)
@@ -288,10 +292,12 @@ func (s *Sim) Run() Stats {
 		e := s.engines[i]
 		go func() {
 			defer wg.Done()
-			// lastWait is this engine's wait at the previous window's
-			// barrier; lastTick (engine 0 only) marks the wall-clock time
-			// of the previous published window.
-			var lastWait int64
+			// lastWait and lastExch are this engine's barrier wait and
+			// exchange-phase time at the previous window (published one
+			// window late, inside the barrier-synchronized scratch
+			// exchange); lastTick (engine 0 only) marks the wall-clock
+			// time of the previous published window.
+			var lastWait, lastExch int64
 			lastTick := start
 			for w := 0; w < totalWindows; {
 				if cfg.RealTimeFactor > 0 {
@@ -308,6 +314,10 @@ func (s *Sim) Run() Stats {
 				}
 				e.windowEnd = wEnd
 				before := e.k.Processed()
+				var computeStart time.Time
+				if tel != nil {
+					computeStart = time.Now()
+				}
 				e.k.RunUntil(wEnd)
 				e.winEvents = e.k.Processed() - before
 				e.events += e.winEvents
@@ -322,6 +332,8 @@ func (s *Sim) Run() Stats {
 					remScratch[e.id] = e.winRemote
 					waitScratch[e.id] = lastWait
 					depthScratch[e.id] = e.k.Pending()
+					compScratch[e.id] = int64(time.Since(computeStart))
+					exchScratch[e.id] = lastExch
 				}
 				e.winRemote = 0
 				if tel != nil {
@@ -335,6 +347,10 @@ func (s *Sim) Run() Stats {
 				// Exchange phase: collect events addressed to this engine,
 				// deterministically ordered, then publish the next local
 				// event time for the fast-forward decision.
+				var exchStart time.Time
+				if tel != nil {
+					exchStart = time.Now()
+				}
 				var incoming []remoteEvent
 				for _, src := range s.engines {
 					if len(src.outbox[e.id]) > 0 {
@@ -355,6 +371,9 @@ func (s *Sim) Run() Stats {
 					e.k.Schedule(re.at, re.h)
 				}
 				nextTimes[e.id] = e.k.NextEventTime()
+				if tel != nil {
+					lastExch = int64(time.Since(exchStart))
+				}
 				if e.id == 0 {
 					// One engine reduces the window's modeled cost:
 					// max(busiest engine, synchronization) — the barrier
@@ -372,7 +391,8 @@ func (s *Sim) Run() Stats {
 						wall := int64(now.Sub(lastTick))
 						lastTick = now
 						s.publishWindow(tel, w, wEnd, wall, m,
-							evScratch, remScratch, waitScratch, depthScratch)
+							evScratch, remScratch, waitScratch, depthScratch,
+							compScratch, exchScratch)
 					}
 					if m < syncCost {
 						m = syncCost
@@ -447,7 +467,7 @@ func (s *Sim) Run() Stats {
 // plus the aggregate counters. Runs on engine 0 between the two barriers,
 // where the scratch slices are stable.
 func (s *Sim) publishWindow(tel *telemetry.SimTelemetry, w int, wEnd des.Time, wallNS, maxBusy int64,
-	ev []uint64, rem []uint64, wait []int64, depth []int) {
+	ev []uint64, rem []uint64, wait []int64, depth []int, comp []int64, exch []int64) {
 	n := len(ev)
 	rec := telemetry.WindowRecord{
 		Window:        w,
@@ -456,7 +476,10 @@ func (s *Sim) publishWindow(tel *telemetry.SimTelemetry, w int, wEnd des.Time, w
 		WallNS:        wallNS,
 		MaxBusyNS:     maxBusy,
 		Events:        append([]uint64(nil), ev...),
+		RemoteSends:   append([]uint64(nil), rem...),
+		ComputeNS:     append([]int64(nil), comp...),
 		BarrierWaitNS: append([]int64(nil), wait...),
+		ExchangeNS:    append([]int64(nil), exch...),
 		QueueDepth:    append([]int(nil), depth...),
 	}
 	var sumEv, sumRem uint64

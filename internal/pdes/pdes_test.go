@@ -499,3 +499,65 @@ func TestScheduleRemoteHammerAllEngines(t *testing.T) {
 		t.Errorf("telemetry remote counter = %d, want %d", tel.RemoteEvents.Load(), sent.Load())
 	}
 }
+
+func TestFlightRecorderSpans(t *testing.T) {
+	tel := telemetry.New(2, 128)
+	s, err := New(Config{
+		Engines: 2, Window: des.Millisecond, End: 4 * des.Millisecond,
+		Sync: cluster.Fixed{CostNS: 1000}, Telemetry: tel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 4; w++ {
+		at := des.Time(w)*des.Millisecond + 100*des.Microsecond
+		s.Engine(0).Schedule(at, func(des.Time) {})
+		s.Engine(1).Schedule(at, func(now des.Time) {
+			s.Engine(1).ScheduleRemote(0, now+des.Millisecond, func(des.Time) {})
+		})
+	}
+	s.Run()
+	recs := tel.Windows.Snapshot()
+	if len(recs) == 0 {
+		t.Fatal("no window records")
+	}
+	for i, r := range recs {
+		if len(r.ComputeNS) != 2 || len(r.ExchangeNS) != 2 || len(r.RemoteSends) != 2 {
+			t.Fatalf("record %d span slices wrong shape: %+v", i, r)
+		}
+		var rem uint64
+		for e := 0; e < 2; e++ {
+			if r.ComputeNS[e] < 0 || r.ExchangeNS[e] < 0 || r.BarrierWaitNS[e] < 0 {
+				t.Fatalf("record %d has negative span: %+v", i, r)
+			}
+			rem += r.RemoteSends[e]
+		}
+		if rem != r.Remote {
+			t.Errorf("record %d: per-engine remote sends sum %d != Remote %d", i, rem, r.Remote)
+		}
+		if i > 0 && r.Seq == recs[i-1].Seq+1 {
+			// Barrier wait and exchange are published one window late, so
+			// every non-first contiguous record carries the previous
+			// window's exchange measurement (≥ 0 wall time, and > 0 once
+			// any exchange work happened).
+			_ = r.ExchangeNS
+		}
+	}
+	// The real recording must export as a well-formed Chrome trace.
+	events := telemetry.BuildTraceEvents(recs)
+	last := map[int]float64{}
+	tracks := map[int]bool{}
+	for _, ev := range events {
+		if ev.Ph != "X" {
+			continue
+		}
+		tracks[ev.TID] = true
+		if prev, ok := last[ev.TID]; ok && ev.TS <= prev {
+			t.Fatalf("tid %d: trace starts not strictly increasing", ev.TID)
+		}
+		last[ev.TID] = ev.TS
+	}
+	if len(tracks) != 2 {
+		t.Errorf("trace has %d tracks, want 2", len(tracks))
+	}
+}

@@ -1,0 +1,110 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+
+	"massf/internal/des"
+)
+
+// golden pins the serialized format: the profile file is an interchange
+// contract between cmd/massf, cmd/partition, massfd's /runs/{id}/profile
+// endpoint and Spec.Profile, so byte-level drift breaks captured files.
+const golden = `massf-profile v1
+horizon 8000000000
+nodes 4
+links 3
+n 1 250
+n 3 7
+l 0 64000
+l 2 1
+`
+
+func goldenProfile() *Profile {
+	p := New(4, 3)
+	p.Horizon = 8 * des.Second
+	p.NodeEvents[1] = 250
+	p.NodeEvents[3] = 7
+	p.LinkBits[0] = 64000
+	p.LinkBits[2] = 1
+	return p
+}
+
+func TestWriteGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := goldenProfile().Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != golden {
+		t.Errorf("serialized profile drifted from the golden format:\ngot:\n%s\nwant:\n%s", sb.String(), golden)
+	}
+}
+
+func TestReadGolden(t *testing.T) {
+	p, err := Read(strings.NewReader(golden))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := goldenProfile()
+	if p.Horizon != want.Horizon {
+		t.Errorf("horizon %v, want %v", p.Horizon, want.Horizon)
+	}
+	if len(p.NodeEvents) != 4 || len(p.LinkBits) != 3 {
+		t.Fatalf("sizes %d/%d", len(p.NodeEvents), len(p.LinkBits))
+	}
+	for i := range want.NodeEvents {
+		if p.NodeEvents[i] != want.NodeEvents[i] {
+			t.Errorf("node %d = %d, want %d", i, p.NodeEvents[i], want.NodeEvents[i])
+		}
+	}
+	for i := range want.LinkBits {
+		if p.LinkBits[i] != want.LinkBits[i] {
+			t.Errorf("link %d = %d, want %d", i, p.LinkBits[i], want.LinkBits[i])
+		}
+	}
+	// Zero entries were omitted on write and restored as zero.
+	if p.NodeEvents[0] != 0 || p.NodeEvents[2] != 0 || p.LinkBits[1] != 0 {
+		t.Error("omitted zero entries did not read back as zero")
+	}
+}
+
+// TestReadSizeErrors covers the size-mismatch and bounds error paths:
+// declared counts that are implausible, entries whose index falls outside
+// the declared sizes, and headers truncated mid-declaration.
+func TestReadSizeErrors(t *testing.T) {
+	cases := map[string]string{
+		"negative nodes":      "massf-profile v1\nhorizon 0\nnodes -1\nlinks 1\n",
+		"implausible nodes":   "massf-profile v1\nhorizon 0\nnodes 999999999\nlinks 1\n",
+		"implausible links":   "massf-profile v1\nhorizon 0\nnodes 1\nlinks 999999999\n",
+		"node index ≥ nodes":  "massf-profile v1\nhorizon 0\nnodes 2\nlinks 1\nn 2 5\n",
+		"negative node index": "massf-profile v1\nhorizon 0\nnodes 2\nlinks 1\nn -1 5\n",
+		"link index ≥ links":  "massf-profile v1\nhorizon 0\nnodes 2\nlinks 1\nl 1 5\n",
+		"missing links line":  "massf-profile v1\nhorizon 0\nnodes 2\n",
+		"missing nodes line":  "massf-profile v1\nhorizon 0\n",
+		"header only":         "massf-profile v1\n",
+		"malformed entry":     "massf-profile v1\nhorizon 0\nnodes 2\nlinks 1\nn one 5\n",
+	}
+	for name, text := range cases {
+		if _, err := Read(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: accepted\n%s", name, text)
+		}
+	}
+}
+
+// TestRoundTripEmpty: a profile with no traffic still round-trips (the
+// header alone carries the shape).
+func TestRoundTripEmpty(t *testing.T) {
+	p := New(10, 5)
+	p.Horizon = des.Second
+	var sb strings.Builder
+	if err := p.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.NodeEvents) != 10 || len(back.LinkBits) != 5 || back.TotalEvents() != 0 {
+		t.Errorf("empty profile round trip: %+v", back)
+	}
+}

@@ -66,6 +66,12 @@ type Spec struct {
 	// 80% / 20% of the hosts not claimed by the application).
 	Clients int `json:"clients,omitempty"`
 	Servers int `json:"servers,omitempty"`
+	// Profile is an optional measured traffic profile (the massf-profile
+	// text format, as served by GET /runs/{id}/profile or written by
+	// massf -profile-out). When set, profile-based approaches map from
+	// it directly instead of running a sequential profiling pass first —
+	// the paper's measured-feedback loop over HTTP.
+	Profile string `json:"profile,omitempty"`
 	// Seed is the simulation seed. Default 1.
 	Seed int64 `json:"seed,omitempty"`
 	// RealTimeFactor paces the run against the wall clock (0 = as fast
@@ -127,6 +133,11 @@ func (s *Spec) validate() error {
 	}
 	if s.RealTimeFactor < 0 {
 		return fmt.Errorf("runctl: realtime factor must be ≥ 0")
+	}
+	if s.Profile != "" {
+		if _, err := profile.Read(strings.NewReader(s.Profile)); err != nil {
+			return fmt.Errorf("runctl: bad profile: %w", err)
+		}
 	}
 	return nil
 }
@@ -213,6 +224,38 @@ type Run struct {
 	mllMS     float64
 	report    *metrics.Report
 	net       *NetSummary
+	part      []int32
+	captured  *profile.Profile
+}
+
+// Partition returns the node→engine assignment the run executed under
+// (nil until mapping finishes).
+func (r *Run) Partition() []int32 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.part
+}
+
+// CapturedProfile returns the traffic profile measured from the run's own
+// execution — node event counts and link bits, captured when the
+// simulation returns (also for cancelled runs, whose partial measurements
+// are still valid rates). Nil while the simulation is in flight.
+func (r *Run) CapturedProfile() *profile.Profile {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.captured
+}
+
+func (r *Run) setPartition(part []int32) {
+	r.mu.Lock()
+	r.part = part
+	r.mu.Unlock()
+}
+
+func (r *Run) setCaptured(p *profile.Profile) {
+	r.mu.Lock()
+	r.captured = p
+	r.mu.Unlock()
 }
 
 // Cancel requests cooperative cancellation. Safe to call in any state;
@@ -276,6 +319,10 @@ type Info struct {
 	Remote     uint64  `json:"remote_events"`
 	SimTimeSec float64 `json:"sim_time_sec"`
 
+	// ProfileCaptured reports that a measured traffic profile is
+	// available from GET /runs/{id}/profile.
+	ProfileCaptured bool `json:"profile_captured,omitempty"`
+
 	Report *metrics.Report `json:"report,omitempty"`
 	Net    *NetSummary     `json:"net,omitempty"`
 }
@@ -289,6 +336,7 @@ func (r *Run) Info() Info {
 		Seconds: r.Spec.Seconds, App: r.Spec.App, Seed: r.Spec.Seed,
 		Submitted: r.submitted, MLLms: r.mllMS,
 		Report: r.report, Net: r.net,
+		ProfileCaptured: r.captured != nil,
 	}
 	if !r.started.IsZero() {
 		t := r.started
@@ -545,7 +593,20 @@ func (m *Manager) execute(r *Run) (*metrics.Report, *NetSummary, error) {
 		return nil, nil, err
 	}
 	if a.ProfileBased() {
-		if err := m.runProfiling(r, st, w); err != nil {
+		if spec.Profile != "" {
+			// Submit-time profile reference: map from measured rates the
+			// client captured earlier (its own run, or another run's
+			// GET /runs/{id}/profile) instead of re-profiling.
+			p, err := profile.Read(strings.NewReader(spec.Profile))
+			if err != nil {
+				return nil, nil, err
+			}
+			if len(p.NodeEvents) != len(net.Nodes) || len(p.LinkBits) != len(net.Links) {
+				return nil, nil, fmt.Errorf("runctl: profile shape %d nodes/%d links does not match network %d/%d",
+					len(p.NodeEvents), len(p.LinkBits), len(net.Nodes), len(net.Links))
+			}
+			st.Profile = p
+		} else if err := m.runProfiling(r, st, w); err != nil {
 			return nil, nil, err
 		}
 		if r.ctx.Err() != nil {
@@ -557,6 +618,7 @@ func (m *Manager) execute(r *Run) (*metrics.Report, *NetSummary, error) {
 		return nil, nil, err
 	}
 	r.setMLL(mp.MLL.Millis())
+	r.setPartition(mp.Part)
 	sim, _, err := st.BuildSim(mp, w, experiments.SimOptions{
 		Telemetry:      r.Tel,
 		RealTimeFactor: spec.RealTimeFactor,
@@ -568,6 +630,10 @@ func (m *Manager) execute(r *Run) (*metrics.Report, *NetSummary, error) {
 	release := watchCancel(r.ctx, sim.Stop)
 	res := sim.Run()
 	release()
+	// Every run doubles as a profiling run: capture the measured traffic
+	// so GET /runs/{id}/profile can feed it back into a later HPROF
+	// submission (Section 3.3's monitoring loop, closed over HTTP).
+	r.setCaptured(profile.FromResult(&res, sc.Horizon))
 	rep := metrics.FromStats(a.String(), res.Stats, sc.EventCost)
 	sum := &NetSummary{
 		FlowsStarted: res.FlowsStarted, FlowsCompleted: res.FlowsCompleted,

@@ -12,6 +12,17 @@
 //	                              finishes); ?follow=0 dumps and returns,
 //	                              ?format=prom serves a per-run
 //	                              Prometheus snapshot instead
+//	GET    /runs/{id}/trace       flight recording as Chrome trace-event
+//	                              JSON (load in ui.perfetto.dev); works
+//	                              live and after the run
+//	GET    /runs/{id}/straggler   straggler/critical-path analysis of the
+//	                              recording (JSON; ?format=text for the
+//	                              human summary, ?k=N for the ranking
+//	                              depth)
+//	GET    /runs/{id}/profile     measured traffic profile captured from
+//	                              the run (massf-profile text format);
+//	                              resubmit it in Spec.Profile to drive
+//	                              PROF/HPROF from measured rates
 //	GET    /metrics               aggregate Prometheus exposition across
 //	                              all runs (run="<id>" labels)
 package runctl
@@ -20,7 +31,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 
+	"massf/internal/flight"
 	"massf/internal/telemetry"
 )
 
@@ -45,6 +58,9 @@ func NewServer(m *Manager) *Server {
 	s.mux.HandleFunc("POST /runs/{id}/cancel", s.cancelRun)
 	s.mux.HandleFunc("DELETE /runs/{id}", s.cancelRun)
 	s.mux.HandleFunc("GET /runs/{id}/metrics", s.runMetrics)
+	s.mux.HandleFunc("GET /runs/{id}/trace", s.runTrace)
+	s.mux.HandleFunc("GET /runs/{id}/straggler", s.runStraggler)
+	s.mux.HandleFunc("GET /runs/{id}/profile", s.runProfile)
 	s.mux.HandleFunc("GET /metrics", s.aggregateMetrics)
 	return s
 }
@@ -171,6 +187,68 @@ func flush(w http.ResponseWriter) {
 	if f, ok := w.(http.Flusher); ok {
 		f.Flush()
 	}
+}
+
+// runTrace exports the run's flight recording as Chrome trace-event
+// JSON: one Perfetto track per engine with compute/barrier/exchange
+// slices per barrier window. The snapshot reflects whatever the bounded
+// ring currently retains, so it works on live runs too.
+func (s *Server) runTrace(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("runctl: no run %q", r.PathValue("id")))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", "massf-trace-"+run.ID+".json"))
+	telemetry.WriteChromeTrace(w, run.Tel.Windows.Snapshot(), map[string]string{
+		"run":      run.ID,
+		"approach": run.Spec.Approach,
+		"engines":  strconv.Itoa(run.Spec.Engines),
+	})
+}
+
+// runStraggler serves the straggler/critical-path analysis of the run's
+// recording. Once the partition and measured per-node load exist (after
+// mapping and the simulation respectively), each straggler engine is
+// attributed to the simulated routers dominating its load.
+func (s *Server) runStraggler(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("runctl: no run %q", r.PathValue("id")))
+		return
+	}
+	k, _ := strconv.Atoi(r.URL.Query().Get("k"))
+	rep := flight.Analyze(run.Tel.Windows.Snapshot(), k)
+	if p := run.CapturedProfile(); p != nil {
+		rep.AttributeRouters(run.Partition(), p.NodeEvents, 5)
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		rep.WriteText(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// runProfile serves the traffic profile measured from the run itself, in
+// the massf-profile text format that cmd/massf, cmd/partition and
+// Spec.Profile all consume — closing the paper's monitoring feedback
+// loop over HTTP. 404 until the simulation has returned.
+func (s *Server) runProfile(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("runctl: no run %q", r.PathValue("id")))
+		return
+	}
+	p := run.CapturedProfile()
+	if p == nil {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("runctl: run %q has no measured profile yet (state %s)", run.ID, run.State()))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	p.Write(w)
 }
 
 // aggregateMetrics serves the merged Prometheus exposition: daemon

@@ -11,6 +11,8 @@ import (
 	"testing"
 	"time"
 
+	"massf/internal/flight"
+	"massf/internal/profile"
 	"massf/internal/telemetry"
 )
 
@@ -268,7 +270,7 @@ func TestServerValidationAndNotFound(t *testing.T) {
 	defer ts.Close()
 
 	bad := []string{
-		`{}`,                                  // no topology source
+		`{}`, // no topology source
 		`{"flat":{"routers":10,"hosts":10},"multias":{"ases":2,"routers_per_as":5,"hosts":10}}`, // two sources
 		`{"flat":{"routers":10,"hosts":10},"approach":"FASTEST"}`,                               // unknown approach
 		`{"flat":{"routers":10,"hosts":10},"app":"doom"}`,                                       // unknown app
@@ -359,4 +361,162 @@ func truncate(s string, n int) string {
 		return s
 	}
 	return s[:n] + "…"
+}
+
+// TestServerFlightRecorder exercises the flight-recorder surface of a
+// finished run: the Chrome trace export, the straggler analysis, the
+// measured-profile capture, and the measured profile feeding a new
+// HPROF submission (the paper's monitoring loop closed over HTTP).
+func TestServerFlightRecorder(t *testing.T) {
+	mgr := NewManager(2, 256)
+	ts := httptest.NewServer(NewServer(mgr))
+	defer ts.Close()
+
+	info := submitSpec(t, ts.URL, testSpec("recorder", 5, 0.5, 0))
+	done := waitState(t, ts.URL, info.ID, 30*time.Second, func(i Info) bool { return i.State.Terminal() })
+	if done.State != StateDone {
+		t.Fatalf("run ended %s (err=%q)", done.State, done.Error)
+	}
+	if !done.ProfileCaptured {
+		t.Error("finished run does not advertise a captured profile")
+	}
+
+	// Chrome trace: valid JSON, one track per engine, strictly ordered
+	// slice starts per track, all three phases present.
+	resp, err := http.Get(ts.URL + "/runs/" + info.ID + "/trace")
+	if err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	traceBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("trace content type %q", ct)
+	}
+	var doc struct {
+		TraceEvents []telemetry.TraceEvent `json:"traceEvents"`
+		OtherData   map[string]string      `json:"otherData"`
+	}
+	if err := json.Unmarshal(traceBody, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.OtherData["run"] != info.ID {
+		t.Errorf("trace metadata: %v", doc.OtherData)
+	}
+	tracks := map[int]bool{}
+	lastTS := map[int]float64{}
+	phases := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		tracks[ev.TID] = true
+		phases[ev.Name] = true
+		if prev, ok := lastTS[ev.TID]; ok && ev.TS <= prev {
+			t.Fatalf("tid %d: trace ts not strictly increasing", ev.TID)
+		}
+		lastTS[ev.TID] = ev.TS
+	}
+	if len(tracks) != 2 {
+		t.Errorf("trace has %d tracks, want one per engine (2)", len(tracks))
+	}
+	for _, ph := range []string{"compute", "barrier", "exchange"} {
+		if !phases[ph] {
+			t.Errorf("trace missing phase %q", ph)
+		}
+	}
+
+	// Straggler analysis: JSON names a bounding engine per window and
+	// attributes the stragglers' load to simulated routers.
+	resp, err = http.Get(ts.URL + "/runs/" + info.ID + "/straggler?k=2")
+	if err != nil {
+		t.Fatalf("straggler: %v", err)
+	}
+	var rep flight.Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatalf("straggler decode: %v", err)
+	}
+	resp.Body.Close()
+	if rep.Engines != 2 || len(rep.Windows) == 0 {
+		t.Fatalf("straggler report shape: %d engines, %d windows", rep.Engines, len(rep.Windows))
+	}
+	for _, wa := range rep.Windows {
+		if wa.BoundingEngine < 0 || wa.BoundingEngine >= 2 {
+			t.Fatalf("window %d names engine %d", wa.Window, wa.BoundingEngine)
+		}
+	}
+	if len(rep.Stragglers) == 0 || len(rep.Stragglers) > 2 {
+		t.Fatalf("straggler ranking has %d entries", len(rep.Stragglers))
+	}
+	if len(rep.Stragglers[0].TopRouters) == 0 {
+		t.Error("top straggler has no router attribution despite captured profile")
+	}
+	resp, err = http.Get(ts.URL + "/runs/" + info.ID + "/straggler?format=text")
+	if err != nil {
+		t.Fatalf("straggler text: %v", err)
+	}
+	text, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(text), "top stragglers:") {
+		t.Errorf("straggler text report:\n%s", truncate(string(text), 500))
+	}
+
+	// Measured profile: parses in the standard format and carries load.
+	resp, err = http.Get(ts.URL + "/runs/" + info.ID + "/profile")
+	if err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	profText, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	p, err := profile.Read(bytes.NewReader(profText))
+	if err != nil {
+		t.Fatalf("captured profile does not parse: %v\n%s", err, truncate(string(profText), 500))
+	}
+	if p.TotalEvents() == 0 {
+		t.Fatal("captured profile is empty")
+	}
+
+	// Feed the measured profile into an HPROF submission: no profiling
+	// pass, mapping driven by measured rates.
+	spec := testSpec("hprof-from-measured", 5, 0.5, 0)
+	spec.Approach = "HPROF"
+	spec.Profile = string(profText)
+	hinfo := submitSpec(t, ts.URL, spec)
+	hdone := waitState(t, ts.URL, hinfo.ID, 30*time.Second, func(i Info) bool { return i.State.Terminal() })
+	if hdone.State != StateDone {
+		t.Fatalf("HPROF-from-measured run ended %s (err=%q)", hdone.State, hdone.Error)
+	}
+	if hdone.Report == nil || hdone.Report.Approach != "HPROF" {
+		t.Fatalf("HPROF run report: %+v", hdone.Report)
+	}
+
+	// A profile of the wrong shape must fail the run, and a syntactically
+	// broken one must be rejected at submission.
+	spec.Profile = "massf-profile v1\nhorizon 1\nnodes 1\nlinks 1\nn 0 5\n"
+	mis := submitSpec(t, ts.URL, spec)
+	mdone := waitState(t, ts.URL, mis.ID, 30*time.Second, func(i Info) bool { return i.State.Terminal() })
+	if mdone.State != StateFailed || !strings.Contains(mdone.Error, "does not match network") {
+		t.Fatalf("mismatched profile: state=%s err=%q", mdone.State, mdone.Error)
+	}
+	spec.Profile = "not a profile"
+	body, _ := json.Marshal(spec)
+	resp, err = http.Post(ts.URL+"/runs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("bad profile submit: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage profile accepted with status %d", resp.StatusCode)
+	}
+
+	// Trace and straggler views exist for unknown runs only as 404s.
+	for _, path := range []string{"/runs/r9999/trace", "/runs/r9999/straggler", "/runs/r9999/profile"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("get %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s: status %d, want 404", path, resp.StatusCode)
+		}
+	}
 }

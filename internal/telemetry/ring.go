@@ -25,10 +25,21 @@ type WindowRecord struct {
 	// Remote is the number of cross-partition events exchanged at this
 	// window's barrier.
 	Remote uint64 `json:"remote"`
+	// RemoteSends[e] is the number of cross-partition events engine e
+	// emitted during this window (summing to Remote).
+	RemoteSends []uint64 `json:"remote_sends,omitempty"`
+	// ComputeNS[e] is the host wall time engine e spent executing its
+	// local events this window (the span before it hit the barrier).
+	ComputeNS []int64 `json:"compute_ns,omitempty"`
 	// BarrierWaitNS[e] is the time engine e spent blocked at the previous
 	// window's barrier (engines publish their wait one window late, which
 	// keeps publication inside the barrier-synchronized scratch exchange).
 	BarrierWaitNS []int64 `json:"barrier_wait_ns,omitempty"`
+	// ExchangeNS[e] is the time engine e spent in the previous window's
+	// exchange phase (collecting, ordering and scheduling incoming remote
+	// events). Like BarrierWaitNS it is published one window late: the
+	// exchange only finishes after the window's record is appended.
+	ExchangeNS []int64 `json:"exchange_ns,omitempty"`
 	// QueueDepth[e] is engine e's pending event count at the end of the
 	// window (before the exchange).
 	QueueDepth []int `json:"queue_depth,omitempty"`

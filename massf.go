@@ -45,6 +45,7 @@ import (
 	"massf/internal/core"
 	"massf/internal/des"
 	"massf/internal/dml"
+	"massf/internal/flight"
 	"massf/internal/mabrite"
 	"massf/internal/metrics"
 	"massf/internal/model"
@@ -311,6 +312,44 @@ type (
 // metrics from Telemetry.Reg (WritePrometheus / WriteNDJSON). Use one
 // Telemetry per run — the engine closes the window ring when the run ends.
 func NewTelemetry(engines int) *Telemetry { return telemetry.New(engines, 4096) }
+
+// Flight recorder: trace export and straggler analysis of a recording.
+type (
+	// TraceEvent is one Chrome trace-event (the format Perfetto loads).
+	TraceEvent = telemetry.TraceEvent
+	// FlightReport is the straggler/critical-path analysis of a recording.
+	FlightReport = flight.Report
+	// WindowAnalysis diagnoses one barrier window (bounding engine,
+	// windowed parallel efficiency).
+	WindowAnalysis = flight.WindowAnalysis
+	// EngineBreakdown aggregates one engine's phase times over a recording.
+	EngineBreakdown = flight.EngineBreakdown
+	// RouterLoad names a simulated node's share of an engine's load.
+	RouterLoad = flight.RouterLoad
+)
+
+// BuildTraceEvents converts a window recording (Telemetry.Windows
+// snapshot) into Chrome trace events: one track per engine with
+// compute/barrier/exchange slices per barrier window.
+func BuildTraceEvents(recs []TelemetryWindow) []TraceEvent {
+	return telemetry.BuildTraceEvents(recs)
+}
+
+// WriteChromeTrace writes the recording as a Chrome trace-event JSON
+// document, loadable in ui.perfetto.dev or chrome://tracing. meta is
+// attached as otherData (may be nil).
+func WriteChromeTrace(w io.Writer, recs []TelemetryWindow, meta map[string]string) error {
+	return telemetry.WriteChromeTrace(w, recs, meta)
+}
+
+// AnalyzeFlight diagnoses a recording: per-window bounding engine and
+// parallel efficiency, per-engine phase breakdown, and the top-K
+// straggler ranking (topK ≤ 0 means 3). Call AttributeRouters on the
+// result with the run's partition and measured per-node event counts to
+// name the simulated routers dominating each straggler.
+func AnalyzeFlight(recs []TelemetryWindow, topK int) *FlightReport {
+	return flight.Analyze(recs, topK)
+}
 
 // Metrics (Section 4.1 of the paper).
 type (

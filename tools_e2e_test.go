@@ -76,13 +76,40 @@ func TestToolsEndToEnd(t *testing.T) {
 		t.Fatalf("partition file has %d lines, want %d (one per node)", lines, 6*15+60)
 	}
 
-	// 4. Full HPROF simulation with the profile.
+	// 4. Full HPROF simulation with the profile (via the -profile-in
+	// alias), flight recorder armed: Chrome trace out plus the straggler
+	// report.
+	traceFile := filepath.Join(dir, "trace.json")
 	out = run("massf", "-net", netFile, "-approach", "HPROF", "-engines", "4",
-		"-seconds", "2", "-app", "scalapack", "-profile", profFile)
-	for _, want := range []string{"approach             HPROF", "flows", "http", "app[0]"} {
+		"-seconds", "2", "-app", "scalapack", "-profile-in", profFile,
+		"-trace", traceFile, "-stragglers", "2")
+	for _, want := range []string{"approach             HPROF", "flows", "http", "app[0]",
+		"trace ", "top stragglers:"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("massf HPROF output missing %q:\n%s", want, out)
 		}
+	}
+	traceData, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traceDoc struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			TID int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(traceData, &traceDoc); err != nil {
+		t.Fatalf("-trace wrote invalid JSON: %v", err)
+	}
+	tids := map[int]bool{}
+	for _, ev := range traceDoc.TraceEvents {
+		if ev.Ph == "X" {
+			tids[ev.TID] = true
+		}
+	}
+	if len(tids) != 4 {
+		t.Fatalf("trace has %d engine tracks, want 4", len(tids))
 	}
 
 	// 5. Flat (single-AS) generation path.
@@ -191,6 +218,51 @@ func TestMassfdSmoke(t *testing.T) {
 	}
 	if _, body := get("/metrics"); !strings.Contains(body, "massf_sim_events_total") {
 		t.Fatalf("aggregate metrics missing simulation counters:\n%.1000s", body)
+	}
+
+	// Flight recorder: the trace endpoint serves well-formed Chrome trace
+	// JSON — complete ("X") events with strictly increasing slice starts
+	// per engine track and all three window phases.
+	code, body := get("/runs/" + info.ID + "/trace")
+	if code != http.StatusOK {
+		t.Fatalf("trace: status %d", code)
+	}
+	var traceDoc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			TID  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &traceDoc); err != nil {
+		t.Fatalf("trace endpoint served invalid JSON: %v\n%.500s", err, body)
+	}
+	tracks := map[int]float64{}
+	phases := map[string]bool{}
+	for _, ev := range traceDoc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		if prev, seen := tracks[ev.TID]; seen && ev.TS <= prev {
+			t.Fatalf("track %d: slice starts not strictly increasing", ev.TID)
+		}
+		tracks[ev.TID] = ev.TS
+		phases[ev.Name] = true
+	}
+	if len(tracks) != 2 {
+		t.Fatalf("trace has %d engine tracks, want 2", len(tracks))
+	}
+	for _, ph := range []string{"compute", "barrier", "exchange"} {
+		if !phases[ph] {
+			t.Fatalf("trace missing %q slices", ph)
+		}
+	}
+
+	// The measured profile of the finished run is served for feedback.
+	if code, body := get("/runs/" + info.ID + "/profile"); code != http.StatusOK ||
+		!strings.HasPrefix(body, "massf-profile v1") {
+		t.Fatalf("profile endpoint: %d\n%.200s", code, body)
 	}
 
 	// Graceful shutdown on SIGTERM.
