@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench smoke clean
+.PHONY: check vet build test race bench bench-all smoke clean
 
 check: vet build race smoke
 
@@ -24,7 +24,19 @@ race:
 smoke:
 	$(GO) test -count=1 -run 'TestToolsEndToEnd|TestMassfdSmoke' .
 
+# Perf trajectory: run the event-pipeline benchmarks (kernel, barrier
+# window, Fig6 end-to-end, telemetry publish) with allocation counting and
+# record them as a labeled entry in BENCH_pipeline.json. Override LABEL to
+# tag the capture, e.g. `make bench LABEL=after`.
+LABEL ?= dev
+PIPELINE_BENCHES = BenchmarkKernel|BenchmarkBarrierWindows|BenchmarkFig6SimTimeSingleAS|BenchmarkWindowPublish
+
 bench:
+	$(GO) test -run='^$$' -bench='$(PIPELINE_BENCHES)' -benchmem \
+		./internal/des ./internal/pdes ./internal/telemetry . \
+		| $(GO) run ./cmd/benchjson -label $(LABEL) -out BENCH_pipeline.json
+
+bench-all:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
 clean:

@@ -1,0 +1,118 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin
+// into a labeled entry in a JSON trajectory file (BENCH_pipeline.json),
+// so performance numbers are recorded next to the code they measure and
+// regressions show up in review instead of anecdote.
+//
+// Each invocation appends (or replaces, when the label already exists) one
+// run entry:
+//
+//	go test -run '^$' -bench 'Kernel' -benchmem ./... | benchjson -label after -out BENCH_pipeline.json
+//
+// The file keeps every labeled run, so a PR can commit the before/after
+// pair produced during a performance refactor.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp int64   `json:"b_per_op,omitempty"`
+	AllocsPerOp int64  `json:"allocs_per_op,omitempty"`
+	HasMem     bool    `json:"has_mem"`
+}
+
+// Run is one labeled benchmark capture.
+type Run struct {
+	Label   string            `json:"label"`
+	Results map[string]Result `json:"results"`
+}
+
+// File is the whole trajectory.
+type File struct {
+	Runs []Run `json:"runs"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkKernelSteadyState-16  381712  3110 ns/op  0 B/op  0 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+
+func main() {
+	label := flag.String("label", "run", "label for this capture (e.g. before, after)")
+	out := flag.String("out", "BENCH_pipeline.json", "trajectory file to update")
+	flag.Parse()
+
+	results := map[string]Result{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		// Strip the -GOMAXPROCS suffix so entries compare across machines.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		r := Result{}
+		r.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+		r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			r.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+			r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+			r.HasMem = true
+		}
+		results[name] = r
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+
+	var f File
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &f); err != nil {
+			fatal(fmt.Errorf("parsing existing %s: %w", *out, err))
+		}
+	}
+	replaced := false
+	for i := range f.Runs {
+		if f.Runs[i].Label == *label {
+			f.Runs[i].Results = results
+			replaced = true
+		}
+	}
+	if !replaced {
+		f.Runs = append(f.Runs, Run{Label: *label, Results: results})
+	}
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results under label %q to %s\n", len(results), *label, *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

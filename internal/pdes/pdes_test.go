@@ -261,11 +261,45 @@ func TestManyEnginesStress(t *testing.T) {
 }
 
 func BenchmarkBarrierWindows8Engines(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s, _ := New(Config{
 			Engines: 8, Window: des.Millisecond, End: 100 * des.Millisecond,
 			Sync: cluster.Fixed{CostNS: 1},
 		})
+		s.Run()
+	}
+}
+
+// BenchmarkBarrierWindowsExchange8 drives the cross-engine exchange path:
+// every engine ships one remote event per window to its neighbor while
+// keeping local work flowing, so the gather/sort/schedule cost at the
+// barrier dominates.
+func BenchmarkBarrierWindowsExchange8(b *testing.B) {
+	const (
+		engines = 8
+		horizon = 50 * des.Millisecond
+	)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, _ := New(Config{
+			Engines: engines, Window: des.Millisecond, End: horizon,
+			Sync: cluster.Fixed{CostNS: 1},
+		})
+		for j := 0; j < engines; j++ {
+			e := s.Engine(j)
+			var gen func(now des.Time)
+			gen = func(now des.Time) {
+				dst := (e.ID() + 1) % engines
+				if at := now + des.Millisecond; at < horizon {
+					e.ScheduleRemote(dst, at, func(des.Time) {})
+				}
+				if next := now + 500*des.Microsecond; next < horizon {
+					e.Schedule(next, gen)
+				}
+			}
+			e.Schedule(0, gen)
+		}
 		s.Run()
 	}
 }
