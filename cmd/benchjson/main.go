@@ -25,11 +25,11 @@ import (
 
 // Result is one benchmark line.
 type Result struct {
-	Iterations int64   `json:"iterations"`
-	NsPerOp    float64 `json:"ns_per_op"`
-	BytesPerOp int64   `json:"b_per_op,omitempty"`
-	AllocsPerOp int64  `json:"allocs_per_op,omitempty"`
-	HasMem     bool    `json:"has_mem"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"b_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	HasMem      bool    `json:"has_mem"`
 }
 
 // Run is one labeled benchmark capture.

@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -50,10 +52,41 @@ func main() {
 		seed      = flag.Int64("seed", 0, "simulation seed (0 = derive from the clock)")
 		realTime  = flag.Float64("realtime", 0, "real-time pacing factor (0 = as fast as possible, 8 = paper's slowdown)")
 		eventCost = flag.Float64("event-cost-us", 15, "modeled per-event cost in µs")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run here (go tool pprof)")
+		memProf   = flag.String("memprofile", "", "write a heap profile at exit here (go tool pprof)")
 	)
 	flag.Parse()
 	if *netPath == "" {
 		fatal(fmt.Errorf("-net is required"))
+	}
+	// Host-level profiling of the simulator itself (hot-path regressions),
+	// as opposed to -profile-out, which captures the *simulated* network's
+	// traffic profile for the partitioner.
+	if *cpuProf != "" {
+		pf, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			pf.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			mf, err := os.Create(*memProf)
+			if err != nil {
+				fatal(err)
+			}
+			defer mf.Close()
+			runtime.GC() // settle the heap so the profile shows retained memory
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				fatal(err)
+			}
+		}()
 	}
 	if *seed == 0 {
 		*seed = time.Now().UnixNano()

@@ -6,10 +6,17 @@
 // events, a virtual clock, and a processing loop. Simulated time is an int64
 // nanosecond count (type Time), which comfortably covers multi-hour
 // simulations at sub-microsecond resolution without floating-point drift.
+//
+// The kernel is built for a zero-allocation steady state: events live in a
+// chunked arena recycled through a free list, and the priority queue is an
+// intrusive 4-ary min-heap over arena nodes, so Schedule/Step touch no
+// allocator once the arena has grown to the simulation's standing event
+// population. Callers hold value-type Event handles carrying a generation
+// counter; cancelling an event that already fired (and whose node may have
+// been reused) is detected by a generation mismatch and is a safe no-op.
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -54,52 +61,43 @@ func (t Time) String() string {
 // goroutine driving the kernel; it may schedule further events.
 type Handler func(now Time)
 
-// Event is a scheduled callback. Events are ordered by time, with a
-// monotonically increasing sequence number breaking ties so that
-// same-timestamp events fire in schedule order (deterministic replay).
+// EventHandler is the allocation-free callback seam: a type implementing
+// OnEvent can be scheduled without constructing a closure, because storing a
+// pointer in the interface does not allocate. Hot paths (the packet
+// forwarding loop, TCP retransmission timers) implement this on pooled or
+// embedded structs; cold paths keep using plain Handler closures.
+type EventHandler interface {
+	OnEvent(now Time)
+}
+
+// node is the arena-resident representation of a scheduled event. Exactly
+// one of h/eh is set. pos is the node's index in the kernel's heap, -1 when
+// the node is free or has fired; gen increments every time the node is
+// released, invalidating any outstanding Event handles that point at it.
+type node struct {
+	at  Time
+	h   Handler
+	eh  EventHandler
+	seq uint64
+	gen uint32
+	pos int32
+}
+
+// Event is a cancellable handle to a scheduled event. It is a small value
+// (pointer + generation); copy it freely, store it in struct fields, and
+// pass &e to Cancel. The zero Event is valid and never Scheduled. A handle
+// goes stale the moment its event fires or is cancelled — the generation
+// check makes any later Cancel through it a no-op, even if the underlying
+// arena node has been reused for a different event.
 type Event struct {
-	At      Time
-	Handler Handler
-
-	seq   uint64
-	index int // heap index; -1 when not queued
+	n   *node
+	gen uint32
 }
 
-// Scheduled reports whether the event currently sits in a kernel queue.
-func (e *Event) Scheduled() bool { return e != nil && e.index >= 0 }
-
-// eventQueue is a binary min-heap of events keyed by (At, seq).
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].At != q[j].At {
-		return q[i].At < q[j].At
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
+// Scheduled reports whether the event the handle refers to still sits in a
+// kernel queue.
+func (e Event) Scheduled() bool {
+	return e.n != nil && e.n.gen == e.gen && e.n.pos >= 0
 }
 
 // Kernel is a sequential discrete event simulator. The zero value is ready
@@ -107,7 +105,9 @@ func (q *eventQueue) Pop() any {
 // each engine node drives its own kernel.
 type Kernel struct {
 	now        Time
-	queue      eventQueue
+	q          []*node // intrusive 4-ary min-heap keyed (at, seq)
+	free       []*node
+	chunks     [][]node
 	seq        uint64
 	processed  uint64
 	maxPending int
@@ -122,27 +122,182 @@ func (k *Kernel) Now() Time { return k.now }
 func (k *Kernel) Processed() uint64 { return k.processed }
 
 // Pending returns the number of events waiting in the queue.
-func (k *Kernel) Pending() int { return len(k.queue) }
+func (k *Kernel) Pending() int { return len(k.q) }
 
 // MaxPending returns the high-water mark of the queue depth — the largest
 // Pending() value ever reached. The telemetry subsystem reports it as the
 // per-engine peak queue depth.
 func (k *Kernel) MaxPending() int { return k.maxPending }
 
-// Schedule enqueues handler to run at time at. It panics if at precedes the
-// current clock: a conservative simulator must never schedule into its past.
-// It returns the event, which can be cancelled with Cancel.
-func (k *Kernel) Schedule(at Time, handler Handler) *Event {
+// chunkSize is the arena growth quantum. Chunks are never freed or moved,
+// so *node pointers stay valid for the kernel's lifetime.
+const chunkSize = 512
+
+// alloc takes a node from the free list, growing the arena by one chunk
+// when empty. Steady state (free list non-empty) performs no allocation.
+func (k *Kernel) alloc() *node {
+	if n := len(k.free); n > 0 {
+		nd := k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		return nd
+	}
+	c := make([]node, chunkSize)
+	k.chunks = append(k.chunks, c)
+	for i := chunkSize - 1; i > 0; i-- {
+		c[i].pos = -1
+		k.free = append(k.free, &c[i])
+	}
+	c[0].pos = -1
+	return &c[0]
+}
+
+// release returns a node to the free list. Bumping the generation first
+// invalidates every outstanding handle; clearing the callbacks drops any
+// captured references so they can be collected.
+func (k *Kernel) release(nd *node) {
+	nd.gen++
+	nd.h = nil
+	nd.eh = nil
+	nd.pos = -1
+	k.free = append(k.free, nd)
+}
+
+func nodeLess(a, b *node) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (k *Kernel) up(i int) {
+	nd := k.q[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !nodeLess(nd, k.q[p]) {
+			break
+		}
+		k.q[i] = k.q[p]
+		k.q[i].pos = int32(i)
+		i = p
+	}
+	k.q[i] = nd
+	nd.pos = int32(i)
+}
+
+func (k *Kernel) down(i int) {
+	nd := k.q[i]
+	n := len(k.q)
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if nodeLess(k.q[j], k.q[m]) {
+				m = j
+			}
+		}
+		if !nodeLess(k.q[m], nd) {
+			break
+		}
+		k.q[i] = k.q[m]
+		k.q[i].pos = int32(i)
+		i = m
+	}
+	k.q[i] = nd
+	nd.pos = int32(i)
+}
+
+func (k *Kernel) push(nd *node) {
+	nd.pos = int32(len(k.q))
+	k.q = append(k.q, nd)
+	k.up(len(k.q) - 1)
+}
+
+func (k *Kernel) popMin() *node {
+	nd := k.q[0]
+	last := len(k.q) - 1
+	if last > 0 {
+		k.q[0] = k.q[last]
+		k.q[0].pos = 0
+	}
+	k.q[last] = nil
+	k.q = k.q[:last]
+	if last > 1 {
+		k.down(0)
+	}
+	nd.pos = -1
+	return nd
+}
+
+// remove deletes the node at heap index i, restoring heap order.
+func (k *Kernel) remove(i int) {
+	last := len(k.q) - 1
+	nd := k.q[i]
+	if i != last {
+		k.q[i] = k.q[last]
+		k.q[i].pos = int32(i)
+	}
+	k.q[last] = nil
+	k.q = k.q[:last]
+	if i < last {
+		k.down(i)
+		k.up(i)
+	}
+	nd.pos = -1
+}
+
+// scheduleNode allocates and enqueues a node at time at. It panics if at
+// precedes the current clock: a conservative simulator must never schedule
+// into its past. The (at, seq) key — seq strictly increasing per kernel —
+// is a total order, so execution order is independent of heap shape and
+// replay stays deterministic across data-structure changes.
+func (k *Kernel) scheduleNode(at Time) *node {
 	if at < k.now {
 		panic(fmt.Sprintf("des: schedule at %v before now %v", at, k.now))
 	}
-	e := &Event{At: at, Handler: handler, seq: k.seq, index: -1}
+	nd := k.alloc()
+	nd.at = at
+	nd.seq = k.seq
 	k.seq++
-	heap.Push(&k.queue, e)
-	if len(k.queue) > k.maxPending {
-		k.maxPending = len(k.queue)
+	k.push(nd)
+	if len(k.q) > k.maxPending {
+		k.maxPending = len(k.q)
 	}
-	return e
+	return nd
+}
+
+// ScheduleFunc enqueues handler to run at time at and returns a value
+// handle for cancellation. This is the allocation-free scheduling path
+// (provided handler itself does not capture).
+func (k *Kernel) ScheduleFunc(at Time, handler Handler) Event {
+	nd := k.scheduleNode(at)
+	nd.h = handler
+	return Event{n: nd, gen: nd.gen}
+}
+
+// ScheduleEvent enqueues eh.OnEvent to run at time at. Like ScheduleFunc it
+// allocates nothing; hot paths pass a pointer to a pooled or embedded
+// struct instead of building a closure.
+func (k *Kernel) ScheduleEvent(at Time, eh EventHandler) Event {
+	nd := k.scheduleNode(at)
+	nd.eh = eh
+	return Event{n: nd, gen: nd.gen}
+}
+
+// Schedule enqueues handler to run at time at and returns a pointer handle.
+// This is the convenience form — the returned *Event costs one small heap
+// allocation; steady-state code should prefer ScheduleFunc/ScheduleEvent
+// and keep the Event by value.
+func (k *Kernel) Schedule(at Time, handler Handler) *Event {
+	e := k.ScheduleFunc(at, handler)
+	return &e
 }
 
 // After enqueues handler to run delay after the current time.
@@ -150,36 +305,52 @@ func (k *Kernel) After(delay Time, handler Handler) *Event {
 	return k.Schedule(k.now+delay, handler)
 }
 
+// AfterFunc is the allocation-free form of After.
+func (k *Kernel) AfterFunc(delay Time, handler Handler) Event {
+	return k.ScheduleFunc(k.now+delay, handler)
+}
+
 // Cancel removes a previously scheduled event. Cancelling an event that has
-// already fired or been cancelled is a no-op.
+// already fired or been cancelled — or passing nil or the zero Event — is a
+// no-op: the generation check detects stale handles even after the arena
+// node has been reused.
 func (k *Kernel) Cancel(e *Event) {
-	if e == nil || e.index < 0 {
+	if e == nil || e.n == nil || e.n.gen != e.gen || e.n.pos < 0 {
 		return
 	}
-	heap.Remove(&k.queue, e.index)
-	e.index = -1
+	nd := e.n
+	k.remove(int(nd.pos))
+	k.release(nd)
 }
 
 // NextEventTime returns the timestamp of the earliest pending event, or
 // EndOfTime if the queue is empty.
 func (k *Kernel) NextEventTime() Time {
-	if len(k.queue) == 0 {
+	if len(k.q) == 0 {
 		return EndOfTime
 	}
-	return k.queue[0].At
+	return k.q[0].at
 }
 
 // Step executes the single earliest event. It reports false if the queue is
 // empty or the earliest event is at or beyond limit (the event is left
-// queued and the clock does not pass limit).
+// queued and the clock does not pass limit). The node is released before
+// the callback runs, so a handler may immediately schedule new events that
+// reuse it.
 func (k *Kernel) Step(limit Time) bool {
-	if len(k.queue) == 0 || k.queue[0].At >= limit {
+	if len(k.q) == 0 || k.q[0].at >= limit {
 		return false
 	}
-	e := heap.Pop(&k.queue).(*Event)
-	k.now = e.At
+	nd := k.popMin()
+	k.now = nd.at
 	k.processed++
-	e.Handler(k.now)
+	h, eh := nd.h, nd.eh
+	k.release(nd)
+	if eh != nil {
+		eh.OnEvent(k.now)
+	} else {
+		h(k.now)
+	}
 	return true
 }
 
@@ -198,12 +369,12 @@ func (k *Kernel) RunUntil(limit Time) uint64 {
 	return n
 }
 
-// Run executes events until the queue drains or the clock would pass horizon.
-// It returns the number of events executed.
+// Run executes events until the queue drains or the clock would pass
+// horizon, then — like RunUntil — advances the clock to a finite horizon.
+// (Run(EndOfTime) leaves the clock at the last event executed.) Run and
+// RunUntil are deliberately the same operation: an earlier version of Run
+// left the clock behind on early drain, which made "run to the horizon"
+// mean two different times depending on which entry point was used.
 func (k *Kernel) Run(horizon Time) uint64 {
-	var n uint64
-	for k.Step(horizon) {
-		n++
-	}
-	return n
+	return k.RunUntil(horizon)
 }

@@ -158,6 +158,87 @@ func TestRunUntilIsExclusiveAndAdvancesClock(t *testing.T) {
 	}
 }
 
+// Run and RunUntil must agree on the clock: a finite horizon is reached
+// even when the queue drains early, while Run(EndOfTime) leaves the clock
+// at the last event executed (there is no finite time to advance to).
+func TestRunAdvancesClockToHorizon(t *testing.T) {
+	var k Kernel
+	k.Schedule(10, func(Time) {})
+	if n := k.Run(50); n != 1 {
+		t.Fatalf("Run(50) executed %d events, want 1", n)
+	}
+	if k.Now() != 50 {
+		t.Errorf("clock after Run(50) = %v, want 50 (align with RunUntil)", k.Now())
+	}
+	if k.Run(80); k.Now() != 80 {
+		t.Errorf("Run on empty queue left clock at %v, want 80", k.Now())
+	}
+	var k2 Kernel
+	k2.Schedule(10, func(Time) {})
+	k2.Run(EndOfTime)
+	if k2.Now() != 10 {
+		t.Errorf("clock after Run(EndOfTime) = %v, want 10 (last event)", k2.Now())
+	}
+}
+
+// A handle kept past its event's firing must stay inert even after the
+// arena node it points at has been recycled for a newer event.
+func TestStaleCancelAfterNodeReuse(t *testing.T) {
+	var k Kernel
+	e1 := k.ScheduleFunc(10, func(Time) {})
+	k.Run(EndOfTime)
+	if e1.Scheduled() {
+		t.Fatal("fired event still reports Scheduled")
+	}
+	fired := false
+	e2 := k.ScheduleFunc(20, func(Time) { fired = true })
+	k.Cancel(&e1) // stale handle; its node now backs e2
+	if !e2.Scheduled() {
+		t.Fatal("stale Cancel killed an unrelated live event")
+	}
+	k.Run(EndOfTime)
+	if !fired {
+		t.Fatal("live event did not fire after stale Cancel")
+	}
+	var zero Event
+	if zero.Scheduled() {
+		t.Fatal("zero Event reports Scheduled")
+	}
+	k.Cancel(&zero)
+	k.Cancel(nil)
+}
+
+type countingHandler struct {
+	n  int
+	at Time
+}
+
+func (c *countingHandler) OnEvent(now Time) { c.n++; c.at = now }
+
+func TestScheduleEventHandler(t *testing.T) {
+	var k Kernel
+	var c countingHandler
+	e := k.ScheduleEvent(30, &c)
+	if !e.Scheduled() {
+		t.Fatal("ScheduleEvent handle not scheduled")
+	}
+	k.ScheduleEvent(40, &c)
+	k.Run(EndOfTime)
+	if c.n != 2 || c.at != 40 {
+		t.Fatalf("EventHandler fired %d times (last at %v), want 2 at 40", c.n, c.at)
+	}
+	if e.Scheduled() {
+		t.Fatal("fired EventHandler handle still Scheduled")
+	}
+	// Cancelled EventHandler events never fire.
+	e2 := k.ScheduleEvent(50, &c)
+	k.Cancel(&e2)
+	k.Run(EndOfTime)
+	if c.n != 2 {
+		t.Fatalf("cancelled EventHandler fired (n=%d)", c.n)
+	}
+}
+
 func TestNextEventTimeEmpty(t *testing.T) {
 	var k Kernel
 	if k.NextEventTime() != EndOfTime {
@@ -268,7 +349,7 @@ func BenchmarkKernelScheduleRun(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		var k Kernel
 		for _, at := range stamps {
-			k.Schedule(at, func(Time) {})
+			k.ScheduleFunc(at, func(Time) {})
 		}
 		k.Run(EndOfTime)
 	}
@@ -291,16 +372,16 @@ func BenchmarkKernelSteadyState(b *testing.B) {
 	// Warm up: fill and fully drain once (grows arena and heap), then
 	// rebuild the standing queue the timed loop churns through.
 	for _, off := range offs {
-		k.Schedule(k.Now()+off, h)
+		k.ScheduleFunc(k.Now()+off, h)
 	}
 	k.Run(EndOfTime)
 	for _, off := range offs {
-		k.Schedule(k.Now()+off, h)
+		k.ScheduleFunc(k.Now()+off, h)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		k.Schedule(k.Now()+offs[i&(standing-1)], h)
+		k.ScheduleFunc(k.Now()+offs[i&(standing-1)], h)
 		k.Step(EndOfTime)
 	}
 }

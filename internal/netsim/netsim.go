@@ -93,6 +93,40 @@ type Packet struct {
 // routing is loop-free) burn the TTL and drop instead of looping forever.
 const DefaultTTL = 64
 
+// hopEvent carries a packet across one hop through the des.EventHandler
+// seam: a pooled struct instead of a per-hop closure, so the forwarding
+// loop — the simulator's innermost loop — allocates nothing in steady
+// state. Pools are per engine and touched only by the owning goroutine:
+// transmit allocates from the scheduling engine's pool, OnEvent releases
+// into the executing engine's pool (they differ for cross-partition hops;
+// the populations drift but the total is conserved).
+type hopEvent struct {
+	s    *Sim
+	node model.NodeID
+	pkt  Packet
+}
+
+func (h *hopEvent) OnEvent(now des.Time) {
+	s, node, pkt := h.s, h.node, h.pkt
+	h.pkt = Packet{} // drop flow/callback references while pooled
+	eng := s.EngineOf(node)
+	s.hopFree[eng] = append(s.hopFree[eng], h)
+	s.arrive(node, pkt)
+}
+
+// newHop takes a hop event from engine's pool, allocating only when the
+// pool is dry (warm-up, or population drift toward another engine).
+func (s *Sim) newHop(engine int) *hopEvent {
+	free := s.hopFree[engine]
+	if n := len(free); n > 0 {
+		h := free[n-1]
+		free[n-1] = nil
+		s.hopFree[engine] = free[:n-1]
+		return h
+	}
+	return &hopEvent{s: s}
+}
+
 // Sim is a configured packet-level simulation. Create with New, inject
 // traffic with StartFlow/SendUDP/ScheduleAt, execute with Run.
 type Sim struct {
@@ -109,6 +143,8 @@ type Sim struct {
 	delivered     []uint64  // per-engine bits delivered to hosts
 	dropped       []uint64  // per-engine packet drops
 	retrans       []uint64  // per-engine TCP retransmissions
+
+	hopFree [][]*hopEvent // per-engine hop event pools
 }
 
 // New builds the simulation. It validates that the partition never cuts a
@@ -159,6 +195,7 @@ func New(cfg Config) (*Sim, error) {
 		delivered:     make([]uint64, cfg.Engines),
 		dropped:       make([]uint64, cfg.Engines),
 		retrans:       make([]uint64, cfg.Engines),
+		hopFree:       make([][]*hopEvent, cfg.Engines),
 	}
 	for i := range cfg.Net.Links {
 		s.queueNS[i] = cfg.QueueBytes * 8 * int64(des.Second) / cfg.Net.Links[i].Bandwidth
@@ -215,10 +252,13 @@ func (s *Sim) transmit(node model.NodeID, lid model.LinkID, pkt Packet) {
 		return // beyond horizon; nobody will process it
 	}
 	dstEng := s.EngineOf(next)
+	h := s.newHop(eng.ID())
+	h.node = next
+	h.pkt = pkt
 	if dstEng == eng.ID() {
-		eng.Schedule(arrival, func(des.Time) { s.arrive(next, pkt) })
+		eng.ScheduleEvent(arrival, h)
 	} else {
-		eng.ScheduleRemote(dstEng, arrival, func(des.Time) { s.arrive(next, pkt) })
+		eng.ScheduleRemoteEvent(dstEng, arrival, h)
 	}
 }
 

@@ -45,7 +45,9 @@ type flow struct {
 	recover        int32   // NewReno recovery point (highest seq sent at loss)
 	srtt, rttvar   float64 // ns
 	rto            des.Time
-	rtoEvent       *des.Event
+	rtoEvent       des.Event  // value handle; stale after fire (gen-checked Cancel is a no-op)
+	rtoArmed       bool       // mirrors the pre-refactor nil-pointer test: false = never armed or cleared
+	rtoh           rtoHandler // embedded so arming the timer allocates nothing
 	sendTime       []des.Time // per-seq first-send time; 0 after retransmit (Karn)
 	done           bool
 	completedAt    des.Time
@@ -57,6 +59,15 @@ type flow struct {
 	recvDone  bool
 	onDeliver func(at des.Time)
 }
+
+// rtoHandler fires a flow's retransmission timeout through the
+// allocation-free EventHandler seam.
+type rtoHandler struct {
+	s *Sim
+	f *flow
+}
+
+func (h *rtoHandler) OnEvent(des.Time) { h.s.onRTO(h.f) }
 
 // StartFlow schedules a TCP transfer of the given payload size from host
 // src to host dst beginning at time at. onComplete (optional) runs on
@@ -89,6 +100,7 @@ func (s *Sim) StartFlowRecv(at des.Time, src, dst model.NodeID, bytes int64, onC
 		onDeliver:  onDeliver,
 		ooo:        map[int32]bool{},
 	}
+	f.rtoh = rtoHandler{s: s, f: f}
 	eng := s.EngineOf(src)
 	s.flowsByEngine[eng] = append(s.flowsByEngine[eng], f)
 	if s.tel != nil {
@@ -121,7 +133,7 @@ func (s *Sim) sendWindow(f *flow) {
 		f.nextSeq++
 		sent = true
 	}
-	if sent || f.rtoEvent == nil {
+	if sent || !f.rtoArmed {
 		s.armRTO(f)
 	}
 }
@@ -152,15 +164,14 @@ func (s *Sim) sendSeg(f *flow, seq int32, fresh bool) {
 // armRTO (re)schedules the retransmission timer. Runs on the source engine.
 func (s *Sim) armRTO(f *flow) {
 	eng := s.ps.Engine(s.EngineOf(f.src))
-	if f.rtoEvent != nil {
-		eng.Cancel(f.rtoEvent)
-	}
+	eng.Cancel(&f.rtoEvent) // stale (already fired) handles are a safe no-op
 	at := eng.Now() + f.rto
 	if at >= s.cfg.End {
-		f.rtoEvent = nil
+		f.rtoArmed = false
 		return
 	}
-	f.rtoEvent = eng.Schedule(at, func(des.Time) { s.onRTO(f) })
+	f.rtoEvent = eng.ScheduleEvent(at, &f.rtoh)
+	f.rtoArmed = true
 }
 
 // onRTO handles a retransmission timeout: multiplicative decrease to a
@@ -254,10 +265,8 @@ func (s *Sim) onAck(f *flow, pkt Packet) {
 			if s.tel != nil {
 				s.tel.FlowsDone.Inc()
 			}
-			if f.rtoEvent != nil {
-				eng.Cancel(f.rtoEvent)
-				f.rtoEvent = nil
-			}
+			eng.Cancel(&f.rtoEvent)
+			f.rtoArmed = false
 			if f.onComplete != nil {
 				f.onComplete(now)
 			}

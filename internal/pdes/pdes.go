@@ -84,12 +84,33 @@ func (c *Config) setDefaults() {
 	}
 }
 
-// remoteEvent is an event shipped between engines at a barrier.
+// remoteEvent is an event shipped between engines at a barrier. Exactly one
+// of h/eh is set; eh is the allocation-free EventHandler seam.
 type remoteEvent struct {
 	at  des.Time
 	h   des.Handler
+	eh  des.EventHandler
 	seq uint64
 	src int32
+}
+
+// incomingSorter orders gathered remote events by (at, src, seq) — a strict
+// total order (src+seq is unique), so the merged schedule is deterministic
+// regardless of gather order. A named pointer-receiver implementation keeps
+// sort.Sort from allocating the closure that sort.Slice would.
+type incomingSorter struct{ v []remoteEvent }
+
+func (s *incomingSorter) Len() int      { return len(s.v) }
+func (s *incomingSorter) Swap(i, j int) { s.v[i], s.v[j] = s.v[j], s.v[i] }
+func (s *incomingSorter) Less(i, j int) bool {
+	x, y := &s.v[i], &s.v[j]
+	if x.at != y.at {
+		return x.at < y.at
+	}
+	if x.src != y.src {
+		return x.src < y.src
+	}
+	return x.seq < y.seq
 }
 
 // Engine is one simulation engine node. Event handlers scheduled on an
@@ -101,7 +122,21 @@ type Engine struct {
 	k   des.Kernel
 	rng *rand.Rand
 
-	outbox    [][]remoteEvent // destination engine → pending events
+	// outbox is double-buffered by executed-window parity (p): producers
+	// fill outbox[p] during executed window wc (p = wc&1) while consumers
+	// may still be draining outbox[1-p] from the previous window, so the
+	// barrier swaps buffers instead of copying events. Parity follows the
+	// count of *executed* windows, not the window index — fast-forward
+	// skips window indices, and two consecutive executed windows can share
+	// index parity. dirty[p] lists the destinations written this window, so
+	// reclaiming outbox[p] two executed windows later is O(written), and a
+	// buffer's len>0 doubles as the "already registered with dst" flag.
+	outbox [2][][]remoteEvent
+	dirty  [2][]int32
+	p      int // current outbox parity; owned by the engine goroutine
+
+	incoming  []remoteEvent // persistent exchange gather scratch
+	sorter    incomingSorter
 	seq       uint64
 	windowEnd des.Time
 
@@ -121,14 +156,43 @@ func (e *Engine) Now() des.Time { return e.k.Now() }
 // own handlers.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
-// Schedule enqueues a local event.
-func (e *Engine) Schedule(at des.Time, h des.Handler) *des.Event { return e.k.Schedule(at, h) }
+// Schedule enqueues a local event. The returned value handle can be kept
+// in a struct field and cancelled with Cancel(&e); scheduling allocates
+// nothing.
+func (e *Engine) Schedule(at des.Time, h des.Handler) des.Event { return e.k.ScheduleFunc(at, h) }
 
 // After enqueues a local event after a delay.
-func (e *Engine) After(d des.Time, h des.Handler) *des.Event { return e.k.After(d, h) }
+func (e *Engine) After(d des.Time, h des.Handler) des.Event { return e.k.AfterFunc(d, h) }
 
-// Cancel cancels a local event.
+// ScheduleEvent enqueues a local event through the allocation-free
+// EventHandler seam.
+func (e *Engine) ScheduleEvent(at des.Time, eh des.EventHandler) des.Event {
+	return e.k.ScheduleEvent(at, eh)
+}
+
+// Cancel cancels a local event. Stale handles (already fired or cancelled)
+// are a safe no-op.
 func (e *Engine) Cancel(ev *des.Event) { e.k.Cancel(ev) }
+
+// enqueueRemote appends to the current-parity outbox for dst. On the first
+// write to a destination this window the engine registers the (src, dst)
+// pair in the shared active table, so the consumer's gather at the barrier
+// visits only sources that actually wrote — O(active pairs), not O(N²).
+func (e *Engine) enqueueRemote(dst int, re remoteEvent) {
+	p := e.p
+	buf := e.outbox[p][dst]
+	if len(buf) == 0 {
+		e.dirty[p] = append(e.dirty[p], int32(dst))
+		slot := atomic.AddInt32(&e.sim.activeN[dst], 1) - 1
+		e.sim.active[dst][slot] = int32(e.id)
+	}
+	re.seq = e.seq
+	re.src = int32(e.id)
+	e.outbox[p][dst] = append(buf, re)
+	e.seq++
+	e.remoteSends++
+	e.winRemote++
+}
 
 // ScheduleRemote enqueues an event on engine dst at time at. When dst is
 // the local engine it schedules directly. For a true remote destination,
@@ -137,16 +201,26 @@ func (e *Engine) Cancel(ev *des.Event) { e.k.Cancel(ev) }
 // would silently corrupt causality on a real PDES.
 func (e *Engine) ScheduleRemote(dst int, at des.Time, h des.Handler) {
 	if dst == e.id {
-		e.k.Schedule(at, h)
+		e.k.ScheduleFunc(at, h)
 		return
 	}
 	if at < e.windowEnd {
 		panic(fmt.Sprintf("pdes: remote event at %v violates window end %v (MLL too large for this cut)", at, e.windowEnd))
 	}
-	e.outbox[dst] = append(e.outbox[dst], remoteEvent{at: at, h: h, seq: e.seq, src: int32(e.id)})
-	e.seq++
-	e.remoteSends++
-	e.winRemote++
+	e.enqueueRemote(dst, remoteEvent{at: at, h: h})
+}
+
+// ScheduleRemoteEvent is ScheduleRemote through the EventHandler seam: the
+// hot packet path ships a pooled struct pointer instead of a closure.
+func (e *Engine) ScheduleRemoteEvent(dst int, at des.Time, eh des.EventHandler) {
+	if dst == e.id {
+		e.k.ScheduleEvent(at, eh)
+		return
+	}
+	if at < e.windowEnd {
+		panic(fmt.Sprintf("pdes: remote event at %v violates window end %v (MLL too large for this cut)", at, e.windowEnd))
+	}
+	e.enqueueRemote(dst, remoteEvent{at: at, eh: eh})
 }
 
 // Stats summarizes a completed run.
@@ -196,6 +270,14 @@ type Sim struct {
 	cfg     Config
 	engines []*Engine
 	stop    atomic.Bool
+
+	// active[d] lists the engines holding outbox events for destination d
+	// in the current window; activeN[d] is its length, reserved slot-by-
+	// slot with atomic adds by producers and reset by consumer d between
+	// the two barriers. Registration order is racy, but the gather sorts
+	// by the (at, src, seq) total order, so determinism is unaffected.
+	active  [][]int32
+	activeN []int32
 }
 
 // Stop requests cooperative cancellation: every engine exits at the next
@@ -218,14 +300,20 @@ func New(cfg Config) (*Sim, error) {
 		return nil, fmt.Errorf("pdes: end must be positive, got %v", cfg.End)
 	}
 	cfg.setDefaults()
-	s := &Sim{cfg: cfg}
+	s := &Sim{
+		cfg:     cfg,
+		active:  make([][]int32, cfg.Engines),
+		activeN: make([]int32, cfg.Engines),
+	}
 	for i := 0; i < cfg.Engines; i++ {
 		e := &Engine{
-			id:     i,
-			sim:    s,
-			rng:    rand.New(rand.NewSource(cfg.Seed + int64(i)*7919)),
-			outbox: make([][]remoteEvent, cfg.Engines),
+			id:  i,
+			sim: s,
+			rng: rand.New(rand.NewSource(cfg.Seed + int64(i)*7919)),
 		}
+		e.outbox[0] = make([][]remoteEvent, cfg.Engines)
+		e.outbox[1] = make([][]remoteEvent, cfg.Engines)
+		s.active[i] = make([]int32, cfg.Engines)
 		s.engines = append(s.engines, e)
 	}
 	return s, nil
@@ -299,7 +387,22 @@ func (s *Sim) Run() Stats {
 			// time of the previous published window.
 			var lastWait, lastExch int64
 			lastTick := start
+			// wc counts *executed* windows (identical on every engine —
+			// fast-forward decisions are global) and drives the outbox
+			// parity swap.
+			wc := 0
 			for w := 0; w < totalWindows; {
+				e.p = wc & 1
+				if wc >= 2 {
+					// Reclaim the parity buffers filled two executed
+					// windows ago; their consumers drained them before
+					// that window's second barrier. Skipping the first
+					// two windows preserves events enqueued before Run.
+					for _, d := range e.dirty[e.p] {
+						e.outbox[e.p][d] = e.outbox[e.p][d][:0]
+					}
+					e.dirty[e.p] = e.dirty[e.p][:0]
+				}
 				if cfg.RealTimeFactor > 0 {
 					// Online pacing: never run ahead of the wall clock
 					// (scaled by the slowdown factor).
@@ -351,25 +454,26 @@ func (s *Sim) Run() Stats {
 				if tel != nil {
 					exchStart = time.Now()
 				}
-				var incoming []remoteEvent
-				for _, src := range s.engines {
-					if len(src.outbox[e.id]) > 0 {
-						incoming = append(incoming, src.outbox[e.id]...)
+				incoming := e.incoming[:0]
+				cnt := atomic.LoadInt32(&s.activeN[e.id])
+				for _, si := range s.active[e.id][:cnt] {
+					incoming = append(incoming, s.engines[si].outbox[e.p][e.id]...)
+				}
+				e.incoming = incoming
+				e.sorter.v = incoming
+				sort.Sort(&e.sorter)
+				for i := range incoming {
+					re := &incoming[i]
+					if re.eh != nil {
+						e.k.ScheduleEvent(re.at, re.eh)
+					} else {
+						e.k.ScheduleFunc(re.at, re.h)
 					}
 				}
-				sort.Slice(incoming, func(a, b int) bool {
-					x, y := incoming[a], incoming[b]
-					if x.at != y.at {
-						return x.at < y.at
-					}
-					if x.src != y.src {
-						return x.src < y.src
-					}
-					return x.seq < y.seq
-				})
-				for _, re := range incoming {
-					e.k.Schedule(re.at, re.h)
-				}
+				// Reset my registration slot before the second barrier, so
+				// next-window producers (who only write after it) start
+				// from zero.
+				atomic.StoreInt32(&s.activeN[e.id], 0)
 				nextTimes[e.id] = e.k.NextEventTime()
 				if tel != nil {
 					lastExch = int64(time.Since(exchStart))
@@ -407,13 +511,11 @@ func (s *Sim) Run() Stats {
 					}
 					return
 				}
-				// Clear my outboxes (consumers copied them between the
-				// two barriers) and fast-forward over globally idle
-				// windows: every engine computes the same global next
-				// event time from the published values.
-				for d := range e.outbox {
-					e.outbox[d] = e.outbox[d][:0]
-				}
+				// Fast-forward over globally idle windows: every engine
+				// computes the same global next event time from the
+				// published values. (Outboxes are not cleared here — the
+				// parity swap retires them, and the producer reclaims the
+				// buffers two executed windows later.)
 				globalNext := des.EndOfTime
 				for _, t := range nextTimes {
 					if t < globalNext {
@@ -421,6 +523,7 @@ func (s *Sim) Run() Stats {
 					}
 				}
 				w++
+				wc++
 				if globalNext > des.Time(w)*cfg.Window {
 					skip := int(globalNext / cfg.Window)
 					if skip > w {
@@ -465,23 +568,23 @@ func (s *Sim) Run() Stats {
 
 // publishWindow emits one window's telemetry: the WindowRecord trace entry
 // plus the aggregate counters. Runs on engine 0 between the two barriers,
-// where the scratch slices are stable.
+// where the scratch slices are stable. The record's slices come from the
+// ring's recycling pool, so a saturated ring publishes without allocating.
 func (s *Sim) publishWindow(tel *telemetry.SimTelemetry, w int, wEnd des.Time, wallNS, maxBusy int64,
 	ev []uint64, rem []uint64, wait []int64, depth []int, comp []int64, exch []int64) {
 	n := len(ev)
-	rec := telemetry.WindowRecord{
-		Window:        w,
-		StartNS:       int64(des.Time(w) * s.cfg.Window),
-		EndNS:         int64(wEnd),
-		WallNS:        wallNS,
-		MaxBusyNS:     maxBusy,
-		Events:        append([]uint64(nil), ev...),
-		RemoteSends:   append([]uint64(nil), rem...),
-		ComputeNS:     append([]int64(nil), comp...),
-		BarrierWaitNS: append([]int64(nil), wait...),
-		ExchangeNS:    append([]int64(nil), exch...),
-		QueueDepth:    append([]int(nil), depth...),
-	}
+	rec := tel.Windows.Get(n)
+	rec.Window = w
+	rec.StartNS = int64(des.Time(w) * s.cfg.Window)
+	rec.EndNS = int64(wEnd)
+	rec.WallNS = wallNS
+	rec.MaxBusyNS = maxBusy
+	copy(rec.Events, ev)
+	copy(rec.RemoteSends, rem)
+	copy(rec.ComputeNS, comp)
+	copy(rec.BarrierWaitNS, wait)
+	copy(rec.ExchangeNS, exch)
+	copy(rec.QueueDepth, depth)
 	var sumEv, sumRem uint64
 	var sumDepth, maxDepth int64
 	for i := 0; i < n; i++ {

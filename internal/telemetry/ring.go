@@ -61,6 +61,14 @@ type Ring struct {
 	subs   map[int]chan WindowRecord
 	nextID int
 	closed bool
+
+	// Pooled mode (entered by the first Get): records handed out by Get
+	// and appended back recycle the per-engine slices of evicted records
+	// through free, so a saturated ring appends with zero allocations.
+	// The aliasing this creates is contained here: in pooled mode,
+	// Snapshot and subscriber fan-out deep-copy records on the way out.
+	pooled bool
+	free   []WindowRecord
 }
 
 // NewRing returns a ring keeping at most capacity records (default 1024
@@ -72,8 +80,82 @@ func NewRing(capacity int) *Ring {
 	return &Ring{cap: capacity, subs: make(map[int]chan WindowRecord)}
 }
 
+// resizeU64 returns a slice of length n, reusing s's capacity when it can.
+func resizeU64(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func resizeI64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func resizeInt(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// Get returns a zeroed WindowRecord whose per-engine slices have length
+// engines, recycled from previously evicted records when possible. The
+// caller fills it in and hands it back via Append — the slices then belong
+// to the ring again. The first Get switches the ring into pooled mode for
+// its lifetime; a pooled ring must only be Appended records that came from
+// Get (appending a caller-owned record would recycle the caller's slices).
+func (r *Ring) Get(engines int) WindowRecord {
+	r.mu.Lock()
+	var rec WindowRecord
+	r.pooled = true
+	if n := len(r.free); n > 0 {
+		rec = r.free[n-1]
+		r.free[n-1] = WindowRecord{}
+		r.free = r.free[:n-1]
+	}
+	r.mu.Unlock()
+	return WindowRecord{
+		Events:        resizeU64(rec.Events, engines),
+		RemoteSends:   resizeU64(rec.RemoteSends, engines),
+		ComputeNS:     resizeI64(rec.ComputeNS, engines),
+		BarrierWaitNS: resizeI64(rec.BarrierWaitNS, engines),
+		ExchangeNS:    resizeI64(rec.ExchangeNS, engines),
+		QueueDepth:    resizeInt(rec.QueueDepth, engines),
+	}
+}
+
+// copyRecord deep-copies a record's per-engine slices; used on every read
+// path of a pooled ring, where retained records' slices get recycled.
+func copyRecord(rec WindowRecord) WindowRecord {
+	rec.Events = append([]uint64(nil), rec.Events...)
+	rec.RemoteSends = append([]uint64(nil), rec.RemoteSends...)
+	rec.ComputeNS = append([]int64(nil), rec.ComputeNS...)
+	rec.BarrierWaitNS = append([]int64(nil), rec.BarrierWaitNS...)
+	rec.ExchangeNS = append([]int64(nil), rec.ExchangeNS...)
+	rec.QueueDepth = append([]int(nil), rec.QueueDepth...)
+	return rec
+}
+
 // Append stores rec (stamping rec.Seq) and publishes it to subscribers.
-// Appending to a closed ring is a no-op.
+// Appending to a closed ring is a no-op. On a pooled ring the evicted
+// record's slices return to the free list; with no subscribers attached a
+// saturated pooled ring appends without allocating.
 func (r *Ring) Append(rec WindowRecord) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -84,9 +166,21 @@ func (r *Ring) Append(rec WindowRecord) {
 	if len(r.buf) < r.cap {
 		r.buf = append(r.buf, rec)
 	} else {
-		r.buf[int(r.total)%r.cap] = rec
+		idx := int(r.total) % r.cap
+		if r.pooled {
+			r.free = append(r.free, r.buf[idx])
+		}
+		r.buf[idx] = rec
 	}
 	r.total++
+	if len(r.subs) == 0 {
+		return
+	}
+	if r.pooled {
+		// Channel buffers outlive the record's slot in the ring; hand
+		// subscribers a stable copy.
+		rec = copyRecord(rec)
+	}
 	for _, ch := range r.subs {
 		select {
 		case ch <- rec:
@@ -103,6 +197,11 @@ func (r *Ring) snapshotLocked() []WindowRecord {
 		out = append(out, r.buf[:start]...)
 	} else {
 		out = append(out, r.buf...)
+	}
+	if r.pooled {
+		for i := range out {
+			out[i] = copyRecord(out[i])
+		}
 	}
 	return out
 }

@@ -156,6 +156,52 @@ func TestRingEvictionAndSeq(t *testing.T) {
 	}
 }
 
+// A pooled ring recycles evicted records' slices into later Get calls, so
+// everything it hands out on read paths (Snapshot, subscriber channels)
+// must be a deep copy that later recycling cannot scribble over.
+func TestRingPooledRecyclingIsolatesReaders(t *testing.T) {
+	const capacity, engines = 4, 3
+	r := NewRing(capacity)
+	appendPooled := func(w int) {
+		rec := r.Get(engines)
+		rec.Window = w
+		for e := 0; e < engines; e++ {
+			rec.Events[e] = uint64(100*w + e)
+		}
+		r.Append(rec)
+	}
+	_, ch, cancel := r.Subscribe(64)
+	defer cancel()
+	for i := 0; i < capacity; i++ {
+		appendPooled(i)
+	}
+	snap := r.Snapshot()
+	// Overwrite the whole ring: every record snap aliases would be
+	// recycled and refilled if Snapshot didn't copy.
+	for i := capacity; i < 3*capacity; i++ {
+		appendPooled(i)
+	}
+	for i, rec := range snap {
+		if len(rec.Events) != engines || rec.Events[0] != uint64(100*i) {
+			t.Errorf("snapshot record %d mutated by recycling: %+v", i, rec)
+		}
+	}
+	for i := 0; i < capacity; i++ {
+		rec := <-ch
+		if rec.Window != i || rec.Events[1] != uint64(100*i+1) {
+			t.Errorf("subscribed record %d mutated by recycling: %+v", i, rec)
+		}
+	}
+	// The pool really recycles: a saturated ring stops growing its arena.
+	if got := r.Total(); got != 3*capacity {
+		t.Fatalf("total = %d, want %d", got, 3*capacity)
+	}
+	live := r.Snapshot()
+	if len(live) != capacity || live[capacity-1].Window != 3*capacity-1 {
+		t.Fatalf("post-recycling snapshot wrong: %+v", live)
+	}
+}
+
 func TestRingSubscribeReplayThenLive(t *testing.T) {
 	r := NewRing(16)
 	r.Append(WindowRecord{Window: 0})

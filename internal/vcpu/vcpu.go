@@ -17,10 +17,11 @@ import (
 )
 
 // Scheduler is the event-scheduling surface a CPU needs; *pdes.Engine
-// satisfies it.
+// satisfies it. Schedule returns a value handle (see des.Event): keep it
+// by value and cancel through its address — scheduling never allocates.
 type Scheduler interface {
 	Now() des.Time
-	Schedule(at des.Time, h des.Handler) *des.Event
+	Schedule(at des.Time, h des.Handler) des.Event
 	Cancel(e *des.Event)
 }
 
@@ -37,7 +38,7 @@ type CPU struct {
 
 	running    []*task
 	lastUpdate des.Time
-	timer      *des.Event
+	timer      des.Event
 }
 
 // New creates a CPU with the given relative speed (must be > 0).
@@ -82,9 +83,9 @@ func (c *CPU) advance() {
 // rearm schedules the completion of the task with the least remaining
 // work.
 func (c *CPU) rearm() {
-	if c.timer != nil {
-		c.sched.Cancel(c.timer)
-		c.timer = nil
+	if c.timer.Scheduled() {
+		c.sched.Cancel(&c.timer)
+		c.timer = des.Event{}
 	}
 	if len(c.running) == 0 {
 		return
@@ -106,7 +107,7 @@ func (c *CPU) rearm() {
 		delay = 1
 	}
 	c.timer = c.sched.Schedule(c.sched.Now()+delay, func(at des.Time) {
-		c.timer = nil
+		c.timer = des.Event{}
 		c.complete(at)
 	})
 }

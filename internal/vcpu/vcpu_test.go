@@ -10,9 +10,11 @@ import (
 // kernelSched adapts a bare des.Kernel to the Scheduler interface.
 type kernelSched struct{ k *des.Kernel }
 
-func (s kernelSched) Now() des.Time                                  { return s.k.Now() }
-func (s kernelSched) Schedule(at des.Time, h des.Handler) *des.Event { return s.k.Schedule(at, h) }
-func (s kernelSched) Cancel(e *des.Event)                            { s.k.Cancel(e) }
+func (s kernelSched) Now() des.Time { return s.k.Now() }
+func (s kernelSched) Schedule(at des.Time, h des.Handler) des.Event {
+	return s.k.ScheduleFunc(at, h)
+}
+func (s kernelSched) Cancel(e *des.Event) { s.k.Cancel(e) }
 
 func run(k *des.Kernel) { k.Run(des.EndOfTime) }
 
