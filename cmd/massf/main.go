@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -36,28 +37,43 @@ var approaches = map[string]massf.Approach{
 }
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, func() int64 { return time.Now().UnixNano() }); err != nil {
+		fmt.Fprintln(os.Stderr, "massf:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole command with its effects injected: flags parsed from
+// args, the report written to out, and the clock behind `-seed 0` supplied
+// by nowNano — so a test can pin the derived seed and assert that a rerun
+// with the *printed* seed reproduces the report byte for byte.
+func run(args []string, out io.Writer, nowNano func() int64) error {
+	fs := flag.NewFlagSet("massf", flag.ContinueOnError)
+	fs.SetOutput(out)
 	var (
-		netPath   = flag.String("net", "", "input DML network (required)")
-		name      = flag.String("approach", "HPROF", "mapping approach")
-		engines   = flag.Int("engines", 16, "simulation engine node count")
-		horizon   = flag.Float64("seconds", 8, "simulated seconds")
-		app       = flag.String("app", "scalapack", "foreground application: scalapack, gridnpb, none")
-		clients   = flag.Int("clients", 0, "background HTTP clients (default: 80% of free hosts)")
-		servers   = flag.Int("servers", 0, "background HTTP servers (default: the rest)")
-		profPath  = flag.String("profile", "", "traffic profile input")
-		profIn    = flag.String("profile-in", "", "alias for -profile (pairs with -profile-out)")
-		profOut   = flag.String("profile-out", "", "write the measured profile here")
-		traceOut  = flag.String("trace", "", "write the run's flight recording here as Chrome trace JSON (load in ui.perfetto.dev)")
-		straggler = flag.Int("stragglers", 0, "print the top-K straggler report after the run (0 = off)")
-		seed      = flag.Int64("seed", 0, "simulation seed (0 = derive from the clock)")
-		realTime  = flag.Float64("realtime", 0, "real-time pacing factor (0 = as fast as possible, 8 = paper's slowdown)")
-		eventCost = flag.Float64("event-cost-us", 15, "modeled per-event cost in µs")
-		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run here (go tool pprof)")
-		memProf   = flag.String("memprofile", "", "write a heap profile at exit here (go tool pprof)")
+		netPath   = fs.String("net", "", "input DML network (required)")
+		name      = fs.String("approach", "HPROF", "mapping approach")
+		engines   = fs.Int("engines", 16, "simulation engine node count")
+		horizon   = fs.Float64("seconds", 8, "simulated seconds")
+		app       = fs.String("app", "scalapack", "foreground application: scalapack, gridnpb, none")
+		clients   = fs.Int("clients", 0, "background HTTP clients (default: 80% of free hosts)")
+		servers   = fs.Int("servers", 0, "background HTTP servers (default: the rest)")
+		profPath  = fs.String("profile", "", "traffic profile input")
+		profIn    = fs.String("profile-in", "", "alias for -profile (pairs with -profile-out)")
+		profOut   = fs.String("profile-out", "", "write the measured profile here")
+		traceOut  = fs.String("trace", "", "write the run's flight recording here as Chrome trace JSON (load in ui.perfetto.dev)")
+		straggler = fs.Int("stragglers", 0, "print the top-K straggler report after the run (0 = off)")
+		seed      = fs.Int64("seed", 0, "simulation seed (0 = derive from the clock)")
+		realTime  = fs.Float64("realtime", 0, "real-time pacing factor (0 = as fast as possible, 8 = paper's slowdown)")
+		eventCost = fs.Float64("event-cost-us", 15, "modeled per-event cost in µs")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the run here (go tool pprof)")
+		memProf   = fs.String("memprofile", "", "write a heap profile at exit here (go tool pprof)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *netPath == "" {
-		fatal(fmt.Errorf("-net is required"))
+		return fmt.Errorf("-net is required")
 	}
 	// Host-level profiling of the simulator itself (hot-path regressions),
 	// as opposed to -profile-out, which captures the *simulated* network's
@@ -65,10 +81,10 @@ func main() {
 	if *cpuProf != "" {
 		pf, err := os.Create(*cpuProf)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if err := pprof.StartCPUProfile(pf); err != nil {
-			fatal(err)
+			return err
 		}
 		defer func() {
 			pprof.StopCPUProfile()
@@ -79,37 +95,38 @@ func main() {
 		defer func() {
 			mf, err := os.Create(*memProf)
 			if err != nil {
-				fatal(err)
+				fmt.Fprintln(os.Stderr, "massf:", err)
+				return
 			}
 			defer mf.Close()
 			runtime.GC() // settle the heap so the profile shows retained memory
 			if err := pprof.WriteHeapProfile(mf); err != nil {
-				fatal(err)
+				fmt.Fprintln(os.Stderr, "massf:", err)
 			}
 		}()
 	}
 	if *seed == 0 {
-		*seed = time.Now().UnixNano()
+		*seed = nowNano()
 	}
 	a, ok := approaches[strings.ToUpper(*name)]
 	if !ok {
-		fatal(fmt.Errorf("unknown approach %q", *name))
+		return fmt.Errorf("unknown approach %q", *name)
 	}
 
 	f, err := os.Open(*netPath)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	net, err := massf.LoadNetwork(f)
 	f.Close()
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	routes := massf.NewRouting(net)
 
 	if *profIn != "" {
 		if *profPath != "" && *profPath != *profIn {
-			fatal(fmt.Errorf("-profile and -profile-in name different files"))
+			return fmt.Errorf("-profile and -profile-in name different files")
 		}
 		*profPath = *profIn
 	}
@@ -117,18 +134,18 @@ func main() {
 	if *profPath != "" {
 		pf, err := os.Open(*profPath)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		prof, err = massf.ReadProfile(pf)
 		pf.Close()
 		if err != nil {
-			fatal(err)
+			return err
 		}
 	}
 
 	mapping, err := massf.Map(net, a, massf.MappingConfig{Engines: *engines, Seed: *seed}, prof)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	end := massf.Time(*horizon * float64(massf.Second))
 	cost := massf.Time(*eventCost * float64(massf.Microsecond))
@@ -144,7 +161,7 @@ func main() {
 		EventCost: cost, RealTimeFactor: *realTime, Telemetry: tel,
 	})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	// Host roles.
@@ -155,7 +172,7 @@ func main() {
 		}
 	}
 	if len(hosts) < 9 {
-		fatal(fmt.Errorf("network has only %d hosts; need ≥ 9", len(hosts)))
+		return fmt.Errorf("network has only %d hosts; need ≥ 9", len(hosts))
 	}
 	appHosts := hosts[:7]
 	free := hosts[7:]
@@ -180,53 +197,56 @@ func main() {
 		flows = massf.GridNPBWorkflows(appHosts)
 	case "none":
 	default:
-		fatal(fmt.Errorf("unknown app %q", *app))
+		return fmt.Errorf("unknown app %q", *app)
 	}
 	for _, w := range flows {
 		ws, err := massf.InstallWorkflow(sim, w, 0)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		appFlows = append(appFlows, ws)
 	}
 
 	res := sim.Run()
 	rep := massf.ReportFor(a.String(), &res, cost)
-	fmt.Printf("approach             %v\n", a)
-	fmt.Printf("engines              %d\n", *engines)
-	fmt.Printf("seed                 %d\n", *seed)
-	fmt.Printf("achieved MLL         %v\n", mapping.MLL)
-	fmt.Printf("simulated horizon    %v\n", end)
-	fmt.Printf("events               %d (%d remote)\n", res.TotalEvents, res.RemoteEvents)
-	fmt.Printf("barrier windows      %d\n", res.Windows)
-	fmt.Printf("modeled sim time     %.3f s\n", rep.SimTimeSec)
-	fmt.Printf("wall time            %.3f s\n", rep.WallSec)
-	fmt.Printf("load imbalance       %.3f\n", rep.Imbalance)
-	fmt.Printf("parallel efficiency  %.3f\n", rep.Efficiency)
-	fmt.Printf("flows                %d started, %d completed, %d pkts dropped\n",
+	fmt.Fprintf(out, "approach             %v\n", a)
+	fmt.Fprintf(out, "engines              %d\n", *engines)
+	fmt.Fprintf(out, "seed                 %d\n", *seed)
+	fmt.Fprintf(out, "achieved MLL         %v\n", mapping.MLL)
+	fmt.Fprintf(out, "simulated horizon    %v\n", end)
+	fmt.Fprintf(out, "events               %d (%d remote)\n", res.TotalEvents, res.RemoteEvents)
+	fmt.Fprintf(out, "barrier windows      %d\n", res.Windows)
+	fmt.Fprintf(out, "modeled sim time     %.3f s\n", rep.SimTimeSec)
+	fmt.Fprintf(out, "wall time            %.3f s\n", rep.WallSec)
+	fmt.Fprintf(out, "load imbalance       %.3f\n", rep.Imbalance)
+	fmt.Fprintf(out, "parallel efficiency  %.3f\n", rep.Efficiency)
+	fmt.Fprintf(out, "flows                %d started, %d completed, %d pkts dropped\n",
 		res.FlowsStarted, res.FlowsCompleted, res.Dropped)
-	fmt.Printf("http                 %d requests, %d responses\n",
+	fmt.Fprintf(out, "http                 %d requests, %d responses\n",
 		httpStats.TotalRequests(), httpStats.TotalResponses())
 	for i, ws := range appFlows {
-		fmt.Printf("app[%d]               %d rounds, first finish %v\n", i, ws.Rounds, ws.FirstFinish)
+		fmt.Fprintf(out, "app[%d]               %d rounds, first finish %v\n", i, ws.Rounds, ws.FirstFinish)
 	}
 
 	if *profOut != "" {
 		p := massf.ProfileFromResult(&res, end)
 		of, err := os.Create(*profOut)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		defer of.Close()
 		if err := p.Write(of); err != nil {
-			fatal(err)
+			of.Close()
+			return err
+		}
+		if err := of.Close(); err != nil {
+			return err
 		}
 	}
 
 	if *traceOut != "" {
 		tf, err := os.Create(*traceOut)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		err = massf.WriteChromeTrace(tf, tel.Windows.Snapshot(), map[string]string{
 			"approach": a.String(),
@@ -237,21 +257,17 @@ func main() {
 			err = cerr
 		}
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("trace                %s (%d windows recorded)\n", *traceOut, res.Windows)
+		fmt.Fprintf(out, "trace                %s (%d windows recorded)\n", *traceOut, res.Windows)
 	}
 	if *straggler > 0 {
 		rep := massf.AnalyzeFlight(tel.Windows.Snapshot(), *straggler)
 		rep.AttributeRouters(mapping.Part, res.NodeEvents, 5)
-		fmt.Println()
-		if err := rep.WriteText(os.Stdout); err != nil {
-			fatal(err)
+		fmt.Fprintln(out)
+		if err := rep.WriteText(out); err != nil {
+			return err
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "massf:", err)
-	os.Exit(1)
+	return nil
 }

@@ -1,0 +1,178 @@
+// Command simcheck runs the sequential-vs-parallel conformance oracle:
+// seeded random scenarios executed on one engine and on k engines, with
+// the full per-flow/per-router statistics diffed byte for byte and the
+// pdes runtime invariant hooks armed. A failing seed is shrunk to a
+// locally minimal reproducer, and the failing run's flight-recorder trace
+// can be dumped as a Chrome trace-event file.
+//
+// Usage:
+//
+//	simcheck -scenarios 100                 # sweep seeds 1..100
+//	simcheck -repro 42 -v                   # re-check one seed verbosely
+//	simcheck -repro 42 -trace div.json      # dump the failing run's trace
+//	simcheck -scenario-json '{"Seed":42,...}'  # re-check a shrunk reproducer
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"massf/internal/simcheck"
+)
+
+func main() {
+	ok, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simcheck:", err)
+		os.Exit(2)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) (bool, error) {
+	fs := flag.NewFlagSet("simcheck", flag.ContinueOnError)
+	fs.SetOutput(out)
+	scenarios := fs.Int("scenarios", 25, "number of seeded scenarios to sweep (seeds seed..seed+n-1)")
+	seed := fs.Int64("seed", 1, "base seed for the sweep")
+	ks := fs.String("ks", "2,4,8", "comma-separated parallel engine counts to compare against N=1")
+	repro := fs.Int64("repro", 0, "check a single seed instead of sweeping")
+	scJSON := fs.String("scenario-json", "", "check an explicit scenario (JSON, as printed by the shrinker)")
+	shrink := fs.Bool("shrink", true, "shrink a failing seed to a minimal reproducer")
+	shrinkBudget := fs.Int("shrink-budget", 40, "max oracle re-runs the shrinker may spend")
+	trace := fs.String("trace", "", "on failure, write a Chrome trace of the first failing run to this file")
+	verbose := fs.Bool("v", false, "print every scenario, not just failures")
+	if err := fs.Parse(args); err != nil {
+		return false, err
+	}
+
+	kList, err := parseKs(*ks)
+	if err != nil {
+		return false, err
+	}
+
+	var list []simcheck.Scenario
+	switch {
+	case *scJSON != "":
+		var sc simcheck.Scenario
+		if err := json.Unmarshal([]byte(*scJSON), &sc); err != nil {
+			return false, fmt.Errorf("parsing -scenario-json: %w", err)
+		}
+		list = []simcheck.Scenario{sc}
+	case *repro != 0:
+		sc := simcheck.NewScenario(*repro)
+		sc.Ks = kList
+		list = []simcheck.Scenario{sc}
+	default:
+		for i := 0; i < *scenarios; i++ {
+			sc := simcheck.NewScenario(*seed + int64(i))
+			sc.Ks = kList
+			list = append(list, sc)
+		}
+	}
+
+	pass := 0
+	for _, sc := range list {
+		rep, err := simcheck.Check(sc)
+		if err != nil {
+			return false, fmt.Errorf("seed %d: %w", sc.Seed, err)
+		}
+		if !rep.Failed() {
+			pass++
+			if *verbose {
+				fmt.Fprintf(out, "ok   %s (events=%d)\n", sc, rep.Ref.TotalEvents)
+			}
+			continue
+		}
+		reportFailure(out, rep)
+		if *shrink {
+			min := simcheck.Shrink(sc, func(c simcheck.Scenario) bool {
+				r, err := simcheck.Check(c)
+				return err == nil && r.Failed()
+			}, *shrinkBudget)
+			b, _ := json.Marshal(min)
+			fmt.Fprintf(out, "shrunk reproducer: %s\n", min)
+			fmt.Fprintf(out, "re-check with: simcheck -scenario-json '%s'\n", b)
+		}
+		if *trace != "" {
+			k := firstFailingK(rep)
+			f, err := os.Create(*trace)
+			if err != nil {
+				return false, err
+			}
+			terr := simcheck.TraceRun(sc, k, f)
+			cerr := f.Close()
+			if terr != nil {
+				return false, fmt.Errorf("writing trace: %w", terr)
+			}
+			if cerr != nil {
+				return false, cerr
+			}
+			fmt.Fprintf(out, "flight-recorder trace of k=%d run written to %s\n", k, *trace)
+		}
+		fmt.Fprintf(out, "%d/%d scenarios passed before first failure\n", pass, len(list))
+		return false, nil
+	}
+	fmt.Fprintf(out, "simcheck: %d/%d scenarios passed\n", pass, len(list))
+	return true, nil
+}
+
+func reportFailure(out io.Writer, rep *simcheck.Report) {
+	fmt.Fprintf(out, "FAIL %s\n", rep.Scenario)
+	for i := range rep.Runs {
+		kr := &rep.Runs[i]
+		if !kr.Failed() {
+			continue
+		}
+		fmt.Fprintf(out, "  k=%d window=%v (%d windows executed, MLL %v):\n",
+			kr.K, kr.Window, kr.Windows, kr.MLL)
+		for _, v := range kr.Violations {
+			fmt.Fprintf(out, "    violation: %v\n", v)
+		}
+		const maxShown = 8
+		for i, d := range kr.Divergences {
+			if i == maxShown {
+				fmt.Fprintf(out, "    ... and %d more divergences\n", len(kr.Divergences)-maxShown)
+				break
+			}
+			fmt.Fprintf(out, "    divergence: %v\n", d)
+		}
+		if w := kr.DivergentWindow(); w >= 0 {
+			fmt.Fprintf(out, "    earliest divergence in barrier window %d of %d\n", w, kr.Windows)
+		}
+	}
+}
+
+func firstFailingK(rep *simcheck.Report) int {
+	for i := range rep.Runs {
+		if rep.Runs[i].Failed() {
+			return rep.Runs[i].K
+		}
+	}
+	return rep.Runs[0].K
+}
+
+func parseKs(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, err := strconv.Atoi(part)
+		if err != nil || k < 2 {
+			return nil, fmt.Errorf("invalid -ks entry %q (want integers ≥ 2)", part)
+		}
+		out = append(out, k)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-ks is empty")
+	}
+	return out, nil
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"massf/internal/cluster"
+	"massf/internal/des"
+	"massf/internal/graph"
+	"massf/internal/metrics"
+	"massf/internal/model"
+	"massf/internal/pdes"
+)
+
+// chainNet builds an n-node chain of routers with the given per-link
+// latency — the smallest network whose partitions exercise every branch of
+// the E = Es·Ec evaluator.
+func chainNet(n int, latency int64) *model.Network {
+	net := &model.Network{}
+	ids := make([]model.NodeID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = net.AddNode(model.Router, 0, float64(i), 0)
+	}
+	for i := 1; i < n; i++ {
+		net.AddLink(ids[i-1], ids[i], latency, model.Bps100M)
+	}
+	net.ASes = []model.AS{{ID: 0, DefaultBorder: -1}}
+	return net
+}
+
+// chainGraph mirrors chainNet as a partitioner graph with explicit node
+// and edge weights.
+func chainGraph(n int, nodeW, edgeW, latency int64) *graph.Graph {
+	g := graph.New(n)
+	for v := range g.NodeWeight {
+		g.NodeWeight[v] = nodeW
+	}
+	for v := 1; v < n; v++ {
+		g.AddEdge(v-1, v, edgeW, latency)
+	}
+	return g
+}
+
+// TestFinishMappingEdgeCases drives the E = Es·Ec evaluator through the
+// degenerate partitions the sweep and the fuzzers can produce. The sync
+// model is a fixed 1ms so every expected Es value is exact.
+func TestFinishMappingEdgeCases(t *testing.T) {
+	sync := cluster.Fixed{CostNS: int64(des.Millisecond)}
+	lat := int64(5 * des.Millisecond)
+	cases := []struct {
+		name    string
+		net     *model.Network
+		g       *graph.Graph // nil exercises the RANDOM (node-count) path
+		part    []int32
+		engines int
+		wantMLL des.Time
+		wantCut int64
+		wantEs  float64
+		wantEc  float64
+		wantE   float64
+	}{
+		{
+			// One engine owns everything, the other is empty: nothing is
+			// cut, so MLL is the MaxMLL stand-in, and Ec = avg/max = 1/2.
+			name: "empty-engine",
+			net:  chainNet(4, lat), g: chainGraph(4, 1, 10, lat),
+			part: []int32{0, 0, 0, 0}, engines: 2,
+			wantMLL: MaxMLL, wantCut: 0,
+			wantEs: 0.99, wantEc: 0.5, wantE: 0.495,
+		},
+		{
+			// Every engine owns exactly one node: perfectly balanced, and
+			// both links are cut, so MLL is the (uniform) link latency.
+			name: "single-node-engines",
+			net:  chainNet(3, lat), g: chainGraph(3, 1, 10, lat),
+			part: []int32{0, 1, 2}, engines: 3,
+			wantMLL: des.Time(lat), wantCut: 20,
+			wantEs: 0.8, wantEc: 1, wantE: 0.8,
+		},
+		{
+			// Zero-weight edges: the cut is legitimately 0 even though a
+			// link is cut — MLL must still come from the link's latency,
+			// not from the (empty) cut weight.
+			name: "zero-weight-edges",
+			net:  chainNet(2, lat), g: chainGraph(2, 1, 0, lat),
+			part: []int32{0, 1}, engines: 2,
+			wantMLL: des.Time(lat), wantCut: 0,
+			wantEs: 0.8, wantEc: 1, wantE: 0.8,
+		},
+		{
+			// Zero-weight *nodes*: every load is 0, so Ec's max is 0 and
+			// the factor must degrade to 1, not divide by zero.
+			name: "zero-weight-nodes",
+			net:  chainNet(2, lat), g: chainGraph(2, 0, 10, lat),
+			part: []int32{0, 1}, engines: 2,
+			wantMLL: des.Time(lat), wantCut: 10,
+			wantEs: 0.8, wantEc: 1, wantE: 0.8,
+		},
+		{
+			// nil graph is the RANDOM path: loads are node counts and the
+			// cut is not evaluated.
+			name: "nil-graph-node-counts",
+			net:  chainNet(4, lat), g: nil,
+			part: []int32{0, 0, 1, 1}, engines: 2,
+			wantMLL: des.Time(lat), wantCut: 0,
+			wantEs: 0.8, wantEc: 1, wantE: 0.8,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := &Mapping{Part: tc.part}
+			finishMapping(tc.net, tc.g, m, Config{Engines: tc.engines, Sync: sync})
+			if m.MLL != tc.wantMLL {
+				t.Errorf("MLL = %v, want %v", m.MLL, tc.wantMLL)
+			}
+			if m.EdgeCut != tc.wantCut {
+				t.Errorf("EdgeCut = %d, want %d", m.EdgeCut, tc.wantCut)
+			}
+			if m.Es != tc.wantEs || m.Ec != tc.wantEc || m.E != tc.wantE {
+				t.Errorf("Es=%v Ec=%v E=%v, want %v/%v/%v",
+					m.Es, m.Ec, m.E, tc.wantEs, tc.wantEc, tc.wantE)
+			}
+			if len(m.EstLoad) != tc.engines {
+				t.Errorf("EstLoad has %d entries, want %d", len(m.EstLoad), tc.engines)
+			}
+		})
+	}
+}
+
+// TestMapMoreEnginesThanNodes: asking for more engines than the network
+// has nodes must still produce a legal mapping — one node per engine,
+// surplus engines empty — for both the flat and hierarchical paths.
+func TestMapMoreEnginesThanNodes(t *testing.T) {
+	net := chainNet(5, int64(5*des.Millisecond))
+	for _, a := range []Approach{TOP, HTOP} {
+		m, err := Map(net, a, Config{Engines: 8, Sync: cluster.Fixed{CostNS: 20_000}, Seed: 1}, nil)
+		if err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
+		if len(m.Part) != 5 || len(m.EstLoad) != 8 {
+			t.Fatalf("%v: shapes Part=%d EstLoad=%d", a, len(m.Part), len(m.EstLoad))
+		}
+		seen := map[int32]bool{}
+		for i, p := range m.Part {
+			if p < 0 || p >= 8 {
+				t.Fatalf("%v: node %d on out-of-range engine %d", a, i, p)
+			}
+			if seen[p] {
+				t.Errorf("%v: engine %d owns more than one node with engines > nodes", a, p)
+			}
+			seen[p] = true
+		}
+		if m.MLL <= 0 {
+			t.Errorf("%v: MLL = %v", a, m.MLL)
+		}
+		if m.Ec <= 0 || m.Ec > 1 {
+			t.Errorf("%v: Ec = %v out of (0,1]", a, m.Ec)
+		}
+	}
+}
+
+// TestPEClampedRegression pins the parallel-efficiency clamp: when the
+// Tseq estimate overshoots the modeled parallel time, Report.Efficiency
+// saturates at 1 and PEClamped records that the clamp engaged; a normal
+// run keeps the raw value and leaves the flag clear.
+func TestPEClampedRegression(t *testing.T) {
+	base := pdes.Stats{
+		Engines: 1, Window: des.Millisecond,
+		TotalEvents: 1000, EngineEvents: []uint64{1000},
+		WallTime: time.Millisecond,
+	}
+
+	over := base
+	over.ModeledTimeNS = 500_000 // Tseq = 1000 · 1000ns = 1ms > 1 · 0.5ms
+	rep := metrics.FromStats("TOP2", over, 1000)
+	if !rep.PEClamped {
+		t.Error("raw PE 2.0 did not set PEClamped")
+	}
+	if rep.Efficiency != 1 {
+		t.Errorf("clamped Efficiency = %v, want 1", rep.Efficiency)
+	}
+
+	normal := base
+	normal.Engines = 2
+	normal.EngineEvents = []uint64{500, 500}
+	normal.ModeledTimeNS = 1_000_000 // raw PE = 1ms / (2 · 1ms) = 0.5
+	rep = metrics.FromStats("TOP2", normal, 1000)
+	if rep.PEClamped {
+		t.Error("PEClamped set on a PE-0.5 run")
+	}
+	if rep.Efficiency != 0.5 {
+		t.Errorf("Efficiency = %v, want 0.5", rep.Efficiency)
+	}
+}

@@ -111,6 +111,7 @@ type Kernel struct {
 	seq        uint64
 	processed  uint64
 	maxPending int
+	inv        *KernelInvariants // nil: invariant checking disabled
 }
 
 // Now returns the current simulated time.
@@ -342,6 +343,9 @@ func (k *Kernel) Step(limit Time) bool {
 		return false
 	}
 	nd := k.popMin()
+	if k.inv != nil {
+		k.stepCheck(nd)
+	}
 	k.now = nd.at
 	k.processed++
 	h, eh := nd.h, nd.eh

@@ -1,0 +1,145 @@
+package des
+
+import (
+	"strings"
+	"testing"
+)
+
+// collectInv returns invariants that record violations instead of
+// panicking, plus the slice they land in.
+func collectInv(everyStep bool) (*KernelInvariants, *[]error) {
+	var got []error
+	inv := &KernelInvariants{
+		EveryStep: everyStep,
+		Fail:      func(err error) { got = append(got, err) },
+	}
+	return inv, &got
+}
+
+func TestVerifyInvariantsCleanKernel(t *testing.T) {
+	var k Kernel
+	if err := k.VerifyInvariants(); err != nil {
+		t.Fatalf("zero kernel: %v", err)
+	}
+	var fired int
+	for i := 0; i < 2000; i++ {
+		k.ScheduleFunc(Time(i%37), func(Time) { fired++ })
+	}
+	if err := k.VerifyInvariants(); err != nil {
+		t.Fatalf("after schedule: %v", err)
+	}
+	k.Run(EndOfTime)
+	if fired != 2000 {
+		t.Fatalf("fired %d, want 2000", fired)
+	}
+	if err := k.VerifyInvariants(); err != nil {
+		t.Fatalf("after drain: %v", err)
+	}
+}
+
+func TestVerifyInvariantsAfterCancel(t *testing.T) {
+	var k Kernel
+	var evs []Event
+	for i := 0; i < 600; i++ {
+		evs = append(evs, k.ScheduleFunc(Time(i), func(Time) {}))
+	}
+	for i := 0; i < len(evs); i += 3 {
+		k.Cancel(&evs[i])
+	}
+	if err := k.VerifyInvariants(); err != nil {
+		t.Fatalf("after cancel: %v", err)
+	}
+	k.Run(EndOfTime)
+	if err := k.VerifyInvariants(); err != nil {
+		t.Fatalf("after drain: %v", err)
+	}
+}
+
+func TestVerifyInvariantsDetectsHeapCorruption(t *testing.T) {
+	var k Kernel
+	for i := 0; i < 64; i++ {
+		k.ScheduleFunc(Time(64-i), func(Time) {})
+	}
+	// Corrupt the heap directly: swap the root with the last leaf without
+	// fixing positions or order.
+	last := len(k.q) - 1
+	k.q[0], k.q[last] = k.q[last], k.q[0]
+	k.q[0].pos, k.q[last].pos = 0, int32(last)
+	err := k.VerifyInvariants()
+	if err == nil || !strings.Contains(err.Error(), "heap order violated") {
+		t.Fatalf("want heap order violation, got %v", err)
+	}
+}
+
+func TestVerifyInvariantsDetectsPositionCorruption(t *testing.T) {
+	var k Kernel
+	for i := 0; i < 8; i++ {
+		k.ScheduleFunc(Time(i), func(Time) {})
+	}
+	k.q[3].pos = 7
+	err := k.VerifyInvariants()
+	if err == nil || !strings.Contains(err.Error(), "pos") {
+		t.Fatalf("want position violation, got %v", err)
+	}
+}
+
+func TestVerifyInvariantsDetectsArenaLeak(t *testing.T) {
+	var k Kernel
+	e := k.ScheduleFunc(10, func(Time) {})
+	// Simulate a leak: remove the node from the heap without releasing it.
+	k.remove(int(e.n.pos))
+	err := k.VerifyInvariants()
+	if err == nil || !strings.Contains(err.Error(), "arena leak") {
+		t.Fatalf("want arena leak, got %v", err)
+	}
+}
+
+func TestStepCheckDetectsExecBeforeNow(t *testing.T) {
+	var k Kernel
+	inv, got := collectInv(false)
+	k.SetInvariants(inv)
+	k.ScheduleFunc(50, func(Time) {})
+	// Force the clock past the pending event — the kind of state only a
+	// bug (or this test) can produce — and execute it.
+	k.now = 100
+	if !k.Step(EndOfTime) {
+		t.Fatal("Step executed nothing")
+	}
+	if len(*got) != 1 || !strings.Contains((*got)[0].Error(), "before now") {
+		t.Fatalf("want one exec-before-now violation, got %v", *got)
+	}
+}
+
+func TestEveryStepVerifiesCleanRun(t *testing.T) {
+	var k Kernel
+	inv, got := collectInv(true)
+	k.SetInvariants(inv)
+	for i := 0; i < 500; i++ {
+		i := i
+		k.ScheduleFunc(Time(i%13), func(now Time) {
+			if i%5 == 0 {
+				k.ScheduleFunc(now+3, func(Time) {})
+			}
+		})
+	}
+	k.Run(EndOfTime)
+	if len(*got) != 0 {
+		t.Fatalf("clean run reported violations: %v", *got)
+	}
+	if err := k.VerifyInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvariantsNilFailPanics(t *testing.T) {
+	var k Kernel
+	k.SetInvariants(&KernelInvariants{})
+	k.ScheduleFunc(50, func(Time) {})
+	k.now = 100
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic from nil Fail")
+		}
+	}()
+	k.Step(EndOfTime)
+}

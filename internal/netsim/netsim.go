@@ -62,6 +62,11 @@ type Config struct {
 	// drops, TCP retransmissions, delivered payload, and flow counts.
 	// Nil disables all instrumentation.
 	Telemetry *telemetry.SimTelemetry
+	// Invariants, when non-nil, enables the parallel engine's runtime
+	// invariant checks (lookahead/causality, exchange parity, drain order,
+	// kernel structure) for this simulation; see pdes.Invariants. Nil (the
+	// default) disables them at zero per-event cost.
+	Invariants *pdes.Invariants
 }
 
 // linkDir is the mutable state of one link direction, owned by the engine
@@ -179,6 +184,7 @@ func New(cfg Config) (*Sim, error) {
 		Seed: cfg.Seed, SeriesBuckets: cfg.SeriesBuckets,
 		RealTimeFactor: cfg.RealTimeFactor,
 		Telemetry:      cfg.Telemetry,
+		Invariants:     cfg.Invariants,
 	})
 	if err != nil {
 		return nil, err

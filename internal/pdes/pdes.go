@@ -60,6 +60,13 @@ type Config struct {
 	// is its 8× slowdown mode. A window never starts before
 	// start + windowStart×factor of wall time.
 	RealTimeFactor float64
+	// Invariants, when non-nil, enables runtime invariant checking: every
+	// exchange phase is audited for lookahead/causality, buffer parity and
+	// drain-order violations, and each engine's kernel checks that no event
+	// executes before its clock. Nil (the default) disables all checks; the
+	// engine loop then pays one pointer test per window and the kernels one
+	// per event. See Invariants for the recording contract.
+	Invariants *Invariants
 	// Telemetry, when non-nil, receives live observability data: one
 	// WindowRecord per executed barrier window (per-engine event counts,
 	// barrier wait, cross-partition exchange volume, queue depths) plus
@@ -314,6 +321,12 @@ func New(cfg Config) (*Sim, error) {
 		e.outbox[0] = make([][]remoteEvent, cfg.Engines)
 		e.outbox[1] = make([][]remoteEvent, cfg.Engines)
 		s.active[i] = make([]int32, cfg.Engines)
+		if inv := cfg.Invariants; inv != nil {
+			id := i
+			e.k.SetInvariants(&des.KernelInvariants{Fail: func(err error) {
+				inv.record(Violation{Kind: ViolationKernel, Window: -1, Engine: id, Src: -1, At: -1, Detail: err.Error()})
+			}})
+		}
 		s.engines = append(s.engines, e)
 	}
 	return s, nil
@@ -357,6 +370,7 @@ func (s *Sim) Run() Stats {
 	// engine publishes its window's event count, remote-send count, queue
 	// depth, and the wait it observed at the previous window's barrier.
 	tel := cfg.Telemetry
+	inv := cfg.Invariants
 	var evScratch []uint64
 	var remScratch []uint64
 	var waitScratch []int64
@@ -456,12 +470,21 @@ func (s *Sim) Run() Stats {
 				}
 				incoming := e.incoming[:0]
 				cnt := atomic.LoadInt32(&s.activeN[e.id])
+				if inv != nil {
+					s.invCheckGather(inv, w, e, s.active[e.id][:cnt])
+				}
 				for _, si := range s.active[e.id][:cnt] {
 					incoming = append(incoming, s.engines[si].outbox[e.p][e.id]...)
 				}
 				e.incoming = incoming
 				e.sorter.v = incoming
 				sort.Sort(&e.sorter)
+				if inv != nil {
+					incoming = s.invCheckIncoming(inv, w, e, wEnd, incoming)
+					if inv.KernelPerWindow {
+						s.invCheckKernel(inv, w, e, wEnd)
+					}
+				}
 				for i := range incoming {
 					re := &incoming[i]
 					if re.eh != nil {

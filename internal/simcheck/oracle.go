@@ -1,0 +1,323 @@
+package simcheck
+
+import (
+	"fmt"
+	"io"
+
+	"massf/internal/core"
+	"massf/internal/des"
+	"massf/internal/model"
+	"massf/internal/netsim"
+	"massf/internal/pdes"
+	"massf/internal/profile"
+	"massf/internal/telemetry"
+	"massf/internal/traffic"
+)
+
+// Observation is the partition-independent view of one simulation run —
+// everything that must be byte-identical between the sequential reference
+// and a parallel run of the same scenario. Partition-*dependent* outputs
+// (ModeledTimeNS, per-engine event counts, window counts, queue depths)
+// are deliberately excluded: they describe the execution, not the model.
+type Observation struct {
+	TotalEvents     uint64
+	DeliveredBits   uint64
+	Dropped         uint64
+	Retransmissions uint64
+	FlowsStarted    int
+	FlowsCompleted  int
+	LastCompletion  des.Time
+
+	NodeEvents []uint64 // per router/host: kernel events attributed
+	LinkBits   []uint64 // per link: carried bits
+	LinkDrops  []uint64 // per link: tail drops
+
+	TCPDone []des.Time // per scripted TCP flow: completion time (0 = never)
+	TCPRecv []des.Time // per scripted TCP flow: full delivery at receiver
+	UDPRecv []des.Time // per scripted UDP send: delivery time (0 = dropped)
+
+	HTTPRequests  uint64
+	HTTPResponses uint64
+}
+
+// runOnce executes the scenario once on k engines under the given partition
+// and window, and captures an Observation. part nil with k=1 is the
+// sequential reference. inv, when non-nil, attaches the pdes runtime
+// invariant hooks. The netsim.Result is returned for profile capture.
+func runOnce(net *netsimNet, sc Scenario, k int, part []int32, window des.Time, inv *pdes.Invariants, tel *telemetry.SimTelemetry) (*Observation, *netsim.Result, error) {
+	s, err := netsim.New(netsim.Config{
+		Net: net.net, Routes: net.routes, Part: part, Engines: k,
+		Window: window, End: sc.Horizon, Seed: sc.Seed,
+		Invariants: inv, Telemetry: tel,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	obs := &Observation{
+		TCPDone: make([]des.Time, len(net.tcp)),
+		TCPRecv: make([]des.Time, len(net.tcp)),
+		UDPRecv: make([]des.Time, len(net.udp)),
+	}
+	for i := range net.tcp {
+		i, f := i, net.tcp[i]
+		s.StartFlowRecv(f.at, f.src, f.dst, f.bytes,
+			func(at des.Time) { obs.TCPDone[i] = at },
+			func(at des.Time) { obs.TCPRecv[i] = at })
+	}
+	for i := range net.udp {
+		i, u := i, net.udp[i]
+		s.SendUDP(u.at, u.src, u.dst, u.bytes,
+			func(at des.Time) { obs.UDPRecv[i] = at })
+	}
+	var httpStats *traffic.HTTPStats
+	if clients, servers := sc.httpEndpoints(net.hosts); len(clients) > 0 {
+		httpStats = traffic.InstallHTTP(s, traffic.HTTPConfig{
+			Clients: clients, Servers: servers,
+			MeanGap: 30 * des.Millisecond, MeanFileBytes: 20_000,
+			Seed: sc.Seed + 7,
+		})
+	}
+	res := s.Run()
+	obs.TotalEvents = res.TotalEvents
+	obs.DeliveredBits = res.DeliveredBits
+	obs.Dropped = res.Dropped
+	obs.Retransmissions = res.Retransmissions
+	obs.FlowsStarted = res.FlowsStarted
+	obs.FlowsCompleted = res.FlowsCompleted
+	obs.LastCompletion = res.LastCompletion
+	obs.NodeEvents = res.NodeEvents
+	obs.LinkBits = res.LinkBits
+	obs.LinkDrops = res.LinkDrops
+	if httpStats != nil {
+		obs.HTTPRequests = httpStats.TotalRequests()
+		obs.HTTPResponses = httpStats.TotalResponses()
+	}
+	return obs, &res, nil
+}
+
+// netsimNet bundles a built scenario: network, warmed routes, hosts, and
+// the deterministic traffic script replayed into every run.
+type netsimNet struct {
+	net    *model.Network
+	routes netsim.Routes
+	hosts  []model.NodeID
+	tcp    []tcpSpec
+	udp    []udpSpec
+}
+
+// Divergence is one observable difference between the sequential reference
+// and a parallel run.
+type Divergence struct {
+	Field string
+	Index int // -1 for scalar fields
+	Seq   string
+	Par   string
+	// At is the earliest simulated time the divergence is attributable to
+	// (time-valued fields only; 0 when unknown). It locates the divergent
+	// barrier window: window = At / Window length.
+	At des.Time
+}
+
+func (d Divergence) String() string {
+	if d.Index >= 0 {
+		return fmt.Sprintf("%s[%d]: seq=%s par=%s", d.Field, d.Index, d.Seq, d.Par)
+	}
+	return fmt.Sprintf("%s: seq=%s par=%s", d.Field, d.Seq, d.Par)
+}
+
+// KRun is the outcome of comparing one parallel engine count against the
+// sequential reference.
+type KRun struct {
+	K           int
+	Window      des.Time
+	Windows     int // barrier windows executed (for trace attribution)
+	MLL         des.Time
+	Obs         *Observation
+	Divergences []Divergence
+	Violations  []pdes.Violation
+}
+
+// Failed reports whether this run diverged or violated an invariant.
+func (kr *KRun) Failed() bool { return len(kr.Divergences) > 0 || len(kr.Violations) > 0 }
+
+// DivergentWindow returns the barrier-window index of the earliest
+// time-attributable divergence, or -1 when no divergence carries a time.
+func (kr *KRun) DivergentWindow() int {
+	best := des.EndOfTime
+	for _, d := range kr.Divergences {
+		if d.At > 0 && d.At < best {
+			best = d.At
+		}
+	}
+	if best == des.EndOfTime || kr.Window <= 0 {
+		return -1
+	}
+	return int(best / kr.Window)
+}
+
+// Report is the outcome of checking one scenario.
+type Report struct {
+	Scenario Scenario
+	Ref      *Observation
+	Runs     []KRun
+}
+
+// Failed reports whether any parallel run diverged or violated an
+// invariant.
+func (r *Report) Failed() bool {
+	for i := range r.Runs {
+		if r.Runs[i].Failed() {
+			return true
+		}
+	}
+	return false
+}
+
+// Check builds the scenario, runs the sequential reference, then runs and
+// diffs every configured parallel engine count. HPROF feeds the reference
+// run's measured profile into the mapper — the same feedback loop the real
+// experiments use.
+func Check(sc Scenario) (*Report, error) {
+	mnet, routes, hosts, err := sc.Build()
+	if err != nil {
+		return nil, err
+	}
+	tcp, udp := sc.script(hosts)
+	bundle := &netsimNet{net: mnet, routes: routes, hosts: hosts, tcp: tcp, udp: udp}
+
+	ref, refRes, err := runOnce(bundle, sc, 1, nil, core.MaxMLL, nil, nil)
+	if err != nil {
+		return nil, fmt.Errorf("simcheck: reference run: %w", err)
+	}
+	var prof *profile.Profile
+	if sc.Approach.ProfileBased() {
+		prof = profile.FromResult(refRes, sc.Horizon)
+	}
+
+	rep := &Report{Scenario: sc, Ref: ref}
+	for _, k := range sc.Ks {
+		m, err := core.Map(mnet, sc.Approach, core.Config{Engines: k, Seed: sc.Seed}, prof)
+		if err != nil {
+			return nil, fmt.Errorf("simcheck: map k=%d: %w", k, err)
+		}
+		window := m.MLL
+		if window > core.MaxMLL {
+			window = core.MaxMLL
+		}
+		inv := &pdes.Invariants{}
+		obs, res, err := runOnce(bundle, sc, k, m.Part, window, inv, nil)
+		if err != nil {
+			return nil, fmt.Errorf("simcheck: parallel run k=%d: %w", k, err)
+		}
+		rep.Runs = append(rep.Runs, KRun{
+			K: k, Window: window, Windows: res.Windows, MLL: m.MLL,
+			Obs: obs, Divergences: Diff(ref, obs), Violations: inv.Violations(),
+		})
+	}
+	return rep, nil
+}
+
+// Diff compares a parallel observation against the sequential reference
+// and returns every difference. Slice fields are compared element-wise;
+// time-valued per-flow fields record the earlier of the two times as the
+// divergence's attributable simulated time.
+func Diff(seq, par *Observation) []Divergence {
+	var ds []Divergence
+	scalar := func(field string, a, b uint64) {
+		if a != b {
+			ds = append(ds, Divergence{Field: field, Index: -1,
+				Seq: fmt.Sprint(a), Par: fmt.Sprint(b)})
+		}
+	}
+	scalar("TotalEvents", seq.TotalEvents, par.TotalEvents)
+	scalar("DeliveredBits", seq.DeliveredBits, par.DeliveredBits)
+	scalar("Dropped", seq.Dropped, par.Dropped)
+	scalar("Retransmissions", seq.Retransmissions, par.Retransmissions)
+	scalar("FlowsStarted", uint64(seq.FlowsStarted), uint64(par.FlowsStarted))
+	scalar("FlowsCompleted", uint64(seq.FlowsCompleted), uint64(par.FlowsCompleted))
+	scalar("HTTPRequests", seq.HTTPRequests, par.HTTPRequests)
+	scalar("HTTPResponses", seq.HTTPResponses, par.HTTPResponses)
+	if seq.LastCompletion != par.LastCompletion {
+		ds = append(ds, Divergence{Field: "LastCompletion", Index: -1,
+			Seq: seq.LastCompletion.String(), Par: par.LastCompletion.String(),
+			At: minTime(seq.LastCompletion, par.LastCompletion)})
+	}
+	uslice := func(field string, a, b []uint64) {
+		if len(a) != len(b) {
+			ds = append(ds, Divergence{Field: field + ".len", Index: -1,
+				Seq: fmt.Sprint(len(a)), Par: fmt.Sprint(len(b))})
+			return
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				ds = append(ds, Divergence{Field: field, Index: i,
+					Seq: fmt.Sprint(a[i]), Par: fmt.Sprint(b[i])})
+			}
+		}
+	}
+	uslice("NodeEvents", seq.NodeEvents, par.NodeEvents)
+	uslice("LinkBits", seq.LinkBits, par.LinkBits)
+	uslice("LinkDrops", seq.LinkDrops, par.LinkDrops)
+	tslice := func(field string, a, b []des.Time) {
+		for i := range a {
+			if i < len(b) && a[i] != b[i] {
+				ds = append(ds, Divergence{Field: field, Index: i,
+					Seq: a[i].String(), Par: b[i].String(),
+					At: minTime(a[i], b[i])})
+			}
+		}
+	}
+	tslice("TCPDone", seq.TCPDone, par.TCPDone)
+	tslice("TCPRecv", seq.TCPRecv, par.TCPRecv)
+	tslice("UDPRecv", seq.UDPRecv, par.UDPRecv)
+	return ds
+}
+
+// TraceRun re-executes one (scenario, k) pair with the flight recorder
+// attached and writes a Chrome trace-event file of every barrier window —
+// the artifact to open next to a divergence report: the divergent window
+// index from KRun.DivergentWindow locates the exchange that went wrong.
+func TraceRun(sc Scenario, k int, w io.Writer) error {
+	mnet, routes, hosts, err := sc.Build()
+	if err != nil {
+		return err
+	}
+	tcp, udp := sc.script(hosts)
+	bundle := &netsimNet{net: mnet, routes: routes, hosts: hosts, tcp: tcp, udp: udp}
+	var prof *profile.Profile
+	if sc.Approach.ProfileBased() {
+		_, refRes, err := runOnce(bundle, sc, 1, nil, core.MaxMLL, nil, nil)
+		if err != nil {
+			return err
+		}
+		prof = profile.FromResult(refRes, sc.Horizon)
+	}
+	m, err := core.Map(mnet, sc.Approach, core.Config{Engines: k, Seed: sc.Seed}, prof)
+	if err != nil {
+		return err
+	}
+	window := m.MLL
+	if window > core.MaxMLL {
+		window = core.MaxMLL
+	}
+	tel := telemetry.New(k, 1<<16)
+	if _, _, err := runOnce(bundle, sc, k, m.Part, window, &pdes.Invariants{}, tel); err != nil {
+		return err
+	}
+	return telemetry.WriteChromeTrace(w, tel.Windows.Snapshot(), map[string]string{
+		"tool":     "simcheck",
+		"scenario": sc.String(),
+		"k":        fmt.Sprint(k),
+		"window":   window.String(),
+	})
+}
+
+func minTime(a, b des.Time) des.Time {
+	if a == 0 {
+		return b
+	}
+	if b != 0 && b < a {
+		return b
+	}
+	return a
+}

@@ -1,0 +1,191 @@
+// Package simcheck is the sequential-vs-parallel conformance oracle: it
+// generates seeded random scenarios (topology, traffic mix, partition
+// count, mapping approach), runs each one sequentially (N=1) and in
+// parallel (N=k), and diffs the full per-flow/per-router statistics. The
+// conservative engine is supposed to be *observably equivalent* to the
+// sequential DES it speeds up — MaSSF inherits DaSSF semantics — so any
+// divergence is a bug in the exchange/lookahead machinery, the partition,
+// or a model that secretly depends on engine count. Runs execute with the
+// pdes runtime invariant hooks attached, so causality violations are
+// reported directly with their window/engine/event coordinates rather
+// than only as downstream stat drift.
+package simcheck
+
+import (
+	"fmt"
+	"math/rand"
+
+	"massf/internal/core"
+	"massf/internal/des"
+	"massf/internal/mabrite"
+	"massf/internal/model"
+	"massf/internal/netsim"
+	"massf/internal/routing/interdomain"
+	"massf/internal/topology"
+)
+
+// Scenario is one generated conformance case. Every field derives
+// deterministically from Seed (see NewScenario), so a failing seed is a
+// complete reproducer; fields are exported so the shrinker and tests can
+// construct reduced variants directly.
+type Scenario struct {
+	Seed    int64
+	MultiAS bool
+	// Flat topology (MultiAS false).
+	Routers int
+	// Multi-AS topology (MultiAS true).
+	ASes, RoutersPerAS int
+	Hosts              int
+	// Traffic mix: scripted TCP transfers, scripted UDP datagrams, and
+	// optional background HTTP clients/servers.
+	TCPFlows, UDPSends       int
+	HTTPClients, HTTPServers int
+	Horizon                  des.Time
+	// Approach maps the network onto k engines for the parallel runs.
+	Approach core.Approach
+	// Ks lists the parallel engine counts to compare against N=1.
+	Ks []int
+}
+
+// NewScenario derives a scenario from a seed. The distribution covers both
+// topology families, all three mapping families (RANDOM / topology-based /
+// profile-based hierarchical), and mixed TCP+UDP+HTTP traffic. RANDOM
+// mappings get short horizons: a random cut's MLL can sit at the latency
+// model's 10 µs floor, so its window count per simulated second is three
+// orders of magnitude above a TOP2/HPROF cut's.
+func NewScenario(seed int64) Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	sc := Scenario{Seed: seed, Ks: []int{2, 4, 8}}
+	sc.MultiAS = rng.Intn(3) == 0
+	if sc.MultiAS {
+		sc.ASes = 4 + rng.Intn(4)
+		sc.RoutersPerAS = 8 + rng.Intn(7)
+		sc.Hosts = 24 + rng.Intn(17)
+	} else {
+		sc.Routers = 40 + rng.Intn(61)
+		sc.Hosts = 30 + rng.Intn(31)
+	}
+	sc.TCPFlows = 8 + rng.Intn(17)
+	sc.UDPSends = 8 + rng.Intn(25)
+	if rng.Intn(2) == 0 {
+		sc.HTTPClients = 2 + rng.Intn(3)
+		sc.HTTPServers = 2
+	}
+	switch rng.Intn(3) {
+	case 0:
+		sc.Approach = core.RANDOM
+		sc.Horizon = des.Time(60+rng.Intn(90)) * des.Millisecond
+	case 1:
+		sc.Approach = core.TOP2
+		sc.Horizon = des.Time(400+rng.Intn(400)) * des.Millisecond
+	default:
+		sc.Approach = core.HPROF
+		sc.Horizon = des.Time(400+rng.Intn(400)) * des.Millisecond
+	}
+	return sc
+}
+
+// String is the one-line form used in reports.
+func (sc Scenario) String() string {
+	topo := fmt.Sprintf("flat(r=%d,h=%d)", sc.Routers, sc.Hosts)
+	if sc.MultiAS {
+		topo = fmt.Sprintf("multi-as(as=%d,r/as=%d,h=%d)", sc.ASes, sc.RoutersPerAS, sc.Hosts)
+	}
+	return fmt.Sprintf("seed=%d %s %s tcp=%d udp=%d http=%d horizon=%v ks=%v",
+		sc.Seed, topo, sc.Approach, sc.TCPFlows, sc.UDPSends, sc.HTTPClients, sc.Horizon, sc.Ks)
+}
+
+// Build constructs the scenario's network, routing (with caches pre-warmed
+// for every host, so the parallel run does not race lazy route
+// computation), and the host list traffic endpoints draw from.
+func (sc Scenario) Build() (*model.Network, netsim.Routes, []model.NodeID, error) {
+	var net *model.Network
+	var err error
+	if sc.MultiAS {
+		net, err = mabrite.Generate(mabrite.Options{
+			ASes: sc.ASes, RoutersPerAS: sc.RoutersPerAS, Hosts: sc.Hosts, Seed: sc.Seed,
+		})
+	} else {
+		net, err = topology.GenerateFlat(topology.FlatOptions{
+			Routers: sc.Routers, Hosts: sc.Hosts, Seed: sc.Seed,
+		})
+	}
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	router := interdomain.New(net)
+	var hosts []model.NodeID
+	for i := range net.Nodes {
+		if net.Nodes[i].Kind == model.Host {
+			hosts = append(hosts, model.NodeID(i))
+		}
+	}
+	if len(hosts) < 4 {
+		return nil, nil, nil, fmt.Errorf("simcheck: scenario generated only %d hosts", len(hosts))
+	}
+	router.Prepare(hosts)
+	return net, router, hosts, nil
+}
+
+// tcpSpec / udpSpec are scripted traffic entries. The script is derived
+// from the seed once and replayed identically into the sequential and
+// every parallel run.
+type tcpSpec struct {
+	at       des.Time
+	src, dst model.NodeID
+	bytes    int64
+}
+
+type udpSpec struct {
+	at       des.Time
+	src, dst model.NodeID
+	bytes    int64
+}
+
+// pick returns two distinct hosts.
+func pick(rng *rand.Rand, hosts []model.NodeID) (model.NodeID, model.NodeID) {
+	a := rng.Intn(len(hosts))
+	b := rng.Intn(len(hosts) - 1)
+	if b >= a {
+		b++
+	}
+	return hosts[a], hosts[b]
+}
+
+// script derives the deterministic traffic script. Start times land in the
+// first half of the horizon so most transfers complete before the end.
+func (sc Scenario) script(hosts []model.NodeID) ([]tcpSpec, []udpSpec) {
+	rng := rand.New(rand.NewSource(sc.Seed ^ 0x7eaff1c5eed))
+	tcp := make([]tcpSpec, sc.TCPFlows)
+	for i := range tcp {
+		src, dst := pick(rng, hosts)
+		tcp[i] = tcpSpec{
+			at:    des.Time(rng.Int63n(int64(sc.Horizon / 2))),
+			src:   src,
+			dst:   dst,
+			bytes: 2000 + rng.Int63n(120_000),
+		}
+	}
+	udp := make([]udpSpec, sc.UDPSends)
+	for i := range udp {
+		src, dst := pick(rng, hosts)
+		udp[i] = udpSpec{
+			at:    des.Time(rng.Int63n(int64(sc.Horizon / 2))),
+			src:   src,
+			dst:   dst,
+			bytes: 200 + rng.Int63n(1200),
+		}
+	}
+	return tcp, udp
+}
+
+// httpEndpoints carves the background-HTTP client and server hosts off the
+// tail of the host list (the scripted flows draw from the whole list;
+// overlap is fine — hosts multiplex).
+func (sc Scenario) httpEndpoints(hosts []model.NodeID) (clients, servers []model.NodeID) {
+	if sc.HTTPClients == 0 || len(hosts) < sc.HTTPClients+sc.HTTPServers {
+		return nil, nil
+	}
+	n := len(hosts)
+	return hosts[n-sc.HTTPClients:], hosts[n-sc.HTTPClients-sc.HTTPServers : n-sc.HTTPClients]
+}

@@ -1,0 +1,87 @@
+package simcheck
+
+import "massf/internal/des"
+
+// Shrink greedily reduces a failing scenario to a smaller one that still
+// fails, re-running the oracle after every candidate reduction. fails
+// reports whether a scenario still reproduces the failure (a Check error
+// counts as not reproducing — shrinking must preserve the *observed*
+// failure, not trade it for a build error); budget caps the number of
+// fails() calls. The result is locally minimal with respect to the
+// transformation set: single engine count, fewer flows, no HTTP, shorter
+// horizon, smaller topology.
+func Shrink(sc Scenario, fails func(Scenario) bool, budget int) Scenario {
+	try := func(cand Scenario) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		return fails(cand)
+	}
+
+	// First isolate a single failing engine count — every later probe then
+	// costs one parallel run instead of three.
+	if len(sc.Ks) > 1 {
+		for _, k := range sc.Ks {
+			cand := sc
+			cand.Ks = []int{k}
+			if try(cand) {
+				sc = cand
+				break
+			}
+		}
+	}
+
+	for budget > 0 {
+		improved := false
+		for _, cand := range reductions(sc) {
+			if try(cand) {
+				sc = cand
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return sc
+}
+
+// reductions proposes the next round of candidate scenarios, each one
+// strictly smaller than sc along one axis.
+func reductions(sc Scenario) []Scenario {
+	var out []Scenario
+	add := func(mut func(*Scenario)) {
+		cand := sc
+		// Ks is the only slice field; reductions never mutate it.
+		mut(&cand)
+		out = append(out, cand)
+	}
+	if sc.TCPFlows > 0 {
+		add(func(c *Scenario) { c.TCPFlows /= 2 })
+	}
+	if sc.UDPSends > 0 {
+		add(func(c *Scenario) { c.UDPSends /= 2 })
+	}
+	if sc.HTTPClients > 0 {
+		add(func(c *Scenario) { c.HTTPClients = 0; c.HTTPServers = 0 })
+	}
+	if sc.Horizon > 50*des.Millisecond {
+		add(func(c *Scenario) { c.Horizon /= 2 })
+	}
+	if sc.MultiAS {
+		if sc.ASes > 2 {
+			add(func(c *Scenario) { c.ASes = max(2, c.ASes/2) })
+		}
+		if sc.RoutersPerAS > 4 {
+			add(func(c *Scenario) { c.RoutersPerAS = max(4, c.RoutersPerAS/2) })
+		}
+	} else if sc.Routers > 20 {
+		add(func(c *Scenario) { c.Routers = max(20, c.Routers/2) })
+	}
+	if sc.Hosts > 10 {
+		add(func(c *Scenario) { c.Hosts = max(10, c.Hosts/2) })
+	}
+	return out
+}
