@@ -20,9 +20,11 @@ test:
 race:
 	$(GO) test -race ./...
 
-# End-to-end: the CLI workflow plus the massfd daemon over HTTP.
+# End-to-end: the CLI workflow, the massfd daemon over HTTP, and the
+# distributed run — coordinator plus two massfd -worker subprocesses over
+# loopback TCP, including the kill-a-worker failure attribution path.
 smoke:
-	$(GO) test -count=1 -run 'TestToolsEndToEnd|TestMassfdSmoke' .
+	$(GO) test -count=1 -run 'TestToolsEndToEnd|TestMassfdSmoke|TestDistributedEndToEnd|TestDistributedWorkerKillAttribution' .
 
 # Perf trajectory: run the event-pipeline benchmarks (kernel, barrier
 # window, Fig6 end-to-end, telemetry publish) with allocation counting and

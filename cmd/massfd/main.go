@@ -10,6 +10,13 @@
 //	curl -s localhost:8672/runs -d '{"flat":{"routers":200,"hosts":100},"engines":4,"seconds":2}'
 //	curl -s localhost:8672/runs/r0001/metrics          # live NDJSON
 //	curl -s localhost:8672/metrics                     # Prometheus
+//
+// With -worker the binary is instead one worker of a DISTRIBUTED
+// simulation: it dials the coordinator, receives its job (kind + hosted
+// engine range + spec), runs it through the dist TCP transport, ships the
+// result payload, and exits. One process per worker:
+//
+//	massfd -worker -join 10.0.0.1:9432 -worker-name node7
 package main
 
 import (
@@ -28,7 +35,9 @@ import (
 	"syscall"
 	"time"
 
+	"massf/internal/dist"
 	"massf/internal/runctl"
+	"massf/internal/simcheck"
 )
 
 func main() {
@@ -37,8 +46,33 @@ func main() {
 		workers   = flag.Int("workers", maxInt(1, runtime.NumCPU()/2), "maximum concurrent simulations")
 		ringCap   = flag.Int("ring", 4096, "per-run window-record ring capacity")
 		withPprof = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ and expvar under /debug/vars")
+
+		worker     = flag.Bool("worker", false, "run as a distributed-simulation worker instead of the HTTP daemon")
+		join       = flag.String("join", "", "coordinator address to dial (worker mode)")
+		workerName = flag.String("worker-name", "", "name reported to the coordinator (worker mode; default host:pid)")
+		hbEvery    = flag.Duration("heartbeat", 0, "heartbeat interval while computing (worker mode; 0 = default)")
 	)
 	flag.Parse()
+
+	if *worker {
+		if *join == "" {
+			fmt.Fprintln(os.Stderr, "massfd: -worker requires -join <coordinator address>")
+			os.Exit(2)
+		}
+		name := *workerName
+		if name == "" {
+			host, _ := os.Hostname()
+			name = fmt.Sprintf("%s:%d", host, os.Getpid())
+		}
+		log.Printf("massfd: worker %q joining coordinator at %s", name, *join)
+		err := dist.RunWorker(*join, name, workerRunners(), dist.Options{HeartbeatInterval: *hbEvery})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "massfd:", err)
+			os.Exit(1)
+		}
+		log.Printf("massfd: worker %q done", name)
+		return
+	}
 
 	mgr := runctl.NewManager(*workers, *ringCap)
 	var handler http.Handler = runctl.NewServer(mgr)
@@ -97,6 +131,12 @@ func main() {
 		log.Printf("massfd: runs did not drain: %v", err)
 	}
 	cancelRuns()
+}
+
+// workerRunners registers every job kind this worker build can execute.
+// The transport layer is model-agnostic; the cmd layer owns this registry.
+func workerRunners() map[string]dist.Runner {
+	return simcheck.Runners()
 }
 
 func maxInt(a, b int) int {

@@ -18,10 +18,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"strconv"
 	"strings"
 
+	"massf/internal/dist"
 	"massf/internal/simcheck"
 )
 
@@ -47,6 +49,8 @@ func run(args []string, out io.Writer) (bool, error) {
 	shrink := fs.Bool("shrink", true, "shrink a failing seed to a minimal reproducer")
 	shrinkBudget := fs.Int("shrink-budget", 40, "max oracle re-runs the shrinker may spend")
 	trace := fs.String("trace", "", "on failure, write a Chrome trace of the first failing run to this file")
+	distWorkers := fs.Int("dist", 0, "also run each scenario across this many loopback TCP workers (largest k in -ks) and diff the merged observables")
+	distListen := fs.String("dist-listen", "", "with -dist: listen on this address and wait for external workers (massfd -worker -join <addr>) instead of spawning in-process worker loops")
 	verbose := fs.Bool("v", false, "print every scenario, not just failures")
 	if err := fs.Parse(args); err != nil {
 		return false, err
@@ -84,6 +88,16 @@ func run(args []string, out io.Writer) (bool, error) {
 			return false, fmt.Errorf("seed %d: %w", sc.Seed, err)
 		}
 		if !rep.Failed() {
+			if *distWorkers > 0 {
+				ok, err := checkDistributed(out, sc, *distWorkers, *distListen, *verbose)
+				if err != nil {
+					return false, fmt.Errorf("seed %d distributed: %w", sc.Seed, err)
+				}
+				if !ok {
+					fmt.Fprintf(out, "%d/%d scenarios passed before first failure\n", pass, len(list))
+					return false, nil
+				}
+			}
 			pass++
 			if *verbose {
 				fmt.Fprintf(out, "ok   %s (events=%d)\n", sc, rep.Ref.TotalEvents)
@@ -121,6 +135,56 @@ func run(args []string, out io.Writer) (bool, error) {
 	}
 	fmt.Fprintf(out, "simcheck: %d/%d scenarios passed\n", pass, len(list))
 	return true, nil
+}
+
+// checkDistributed reruns a passing scenario with its largest engine count
+// split across `workers` TCP workers and diffs the merged observables
+// against the sequential reference. With listen == "" the workers are
+// in-process loopback loops; otherwise the oracle listens there and waits
+// for external worker processes (massfd -worker) to join.
+func checkDistributed(out io.Writer, sc simcheck.Scenario, workers int, listen string, verbose bool) (bool, error) {
+	k := 0
+	for _, c := range sc.Ks {
+		if c >= workers && c > k {
+			k = c
+		}
+	}
+	if k == 0 {
+		return true, nil // no engine count can host that many workers
+	}
+	var rep *simcheck.DistReport
+	var err error
+	if listen != "" {
+		ln, lerr := net.Listen("tcp", listen)
+		if lerr != nil {
+			return false, lerr
+		}
+		fmt.Fprintf(out, "waiting for %d workers on %s (massfd -worker -join %s)\n",
+			workers, ln.Addr(), ln.Addr())
+		rep, err = simcheck.ServeDistributed(ln, sc, k, workers, dist.Options{})
+		ln.Close()
+	} else {
+		rep, err = simcheck.CheckDistributed(sc, k, workers, dist.Options{})
+	}
+	if err != nil {
+		return false, err
+	}
+	if !rep.Failed() {
+		if verbose {
+			fmt.Fprintf(out, "ok   %s distributed k=%d workers=%d (%d windows)\n",
+				sc, k, workers, rep.Windows)
+		}
+		return true, nil
+	}
+	fmt.Fprintf(out, "FAIL %s distributed k=%d workers=%d window=%v (%d windows)\n",
+		sc, k, workers, rep.Window, rep.Windows)
+	for _, d := range rep.DivsInProc {
+		fmt.Fprintf(out, "  in-process divergence: %v\n", d)
+	}
+	for _, d := range rep.DivsDist {
+		fmt.Fprintf(out, "  distributed divergence: %v\n", d)
+	}
+	return false, nil
 }
 
 func reportFailure(out io.Writer, rep *simcheck.Report) {

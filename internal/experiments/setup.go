@@ -17,7 +17,7 @@ import (
 	"massf/internal/netsim"
 	"massf/internal/profile"
 	"massf/internal/routing/interdomain"
-	"massf/internal/telemetry"
+	"massf/internal/runspec"
 	"massf/internal/topology"
 	"massf/internal/traffic"
 )
@@ -277,16 +277,13 @@ type RunOutcome struct {
 
 // SimOptions extends BuildSim beyond the batch defaults: live telemetry,
 // real-time pacing for online runs, and load-series resolution.
-type SimOptions struct {
-	// Telemetry receives live observability data (nil disables it). Use
-	// one SimTelemetry per run.
-	Telemetry *telemetry.SimTelemetry
-	// RealTimeFactor paces the run against the wall clock (see
-	// pdes.Config.RealTimeFactor); 0 runs as fast as possible.
-	RealTimeFactor float64
-	// SeriesBuckets caps the per-window load series length.
-	SeriesBuckets int
-}
+//
+// Deprecated: SimOptions is a thin alias of the unified run configuration
+// runspec.RunSpec (massf.RunSpec), kept so existing callers compile.
+// BuildSim reads only the run-surface knobs — Telemetry, RealTimeFactor
+// and SeriesBuckets; the scale-level fields (Engines, Seconds, Seed,
+// EventCostUS) are taken from Setup.Scale, which was sized before mapping.
+type SimOptions = runspec.RunSpec
 
 // BuildSim constructs (but does not run) the full simulation for mapping m
 // under workload w: the packet simulator on m's partition, background HTTP

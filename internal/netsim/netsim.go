@@ -14,6 +14,7 @@ package netsim
 
 import (
 	"fmt"
+	"sync"
 
 	"massf/internal/cluster"
 	"massf/internal/des"
@@ -67,6 +68,17 @@ type Config struct {
 	// kernel structure) for this simulation; see pdes.Invariants. Nil (the
 	// default) disables them at zero per-event cost.
 	Invariants *pdes.Invariants
+	// Transport, when non-nil, runs this Sim as one worker of a
+	// distributed simulation (see pdes.Config.Transport): the full
+	// scenario must be built identically on every worker (replicated
+	// setup), only the engines in [FirstEngine, FirstEngine+HostedEngines)
+	// execute here, and cross-worker packets are serialized through the
+	// netsim wire codec (dist.go). Nil (the default) is the in-process
+	// path, unchanged.
+	Transport pdes.Transport
+	// FirstEngine and HostedEngines delimit the hosted engine range (only
+	// meaningful with Transport). HostedEngines 0 means Engines-FirstEngine.
+	FirstEngine, HostedEngines int
 }
 
 // linkDir is the mutable state of one link direction, owned by the engine
@@ -90,6 +102,8 @@ type Packet struct {
 
 	flow      *flow
 	deliverCb func(at des.Time) // UDP delivery callback
+	udpID     int32             // wire identity of deliverCb (distributed runs)
+	wref      *wireRef          // wire flow reference when flow is unknown locally
 	ttl       int8
 }
 
@@ -150,6 +164,20 @@ type Sim struct {
 	retrans       []uint64  // per-engine TCP retransmissions
 
 	hopFree [][]*hopEvent // per-engine hop event pools
+
+	// Distributed execution state (Config.Transport set); see dist.go.
+	// All of it is dead weight on the in-process path: dist is false,
+	// nothing below is ever touched, and the hot path stays lock-free.
+	dist           bool
+	hostLo, hostHi int  // hosted engine range [lo, hi)
+	running        bool // set once at Run; setup-vs-runtime flow identity
+	setupFlows     uint64
+	runFlowCtr     []uint64 // per-engine runtime flow id counters
+	udpSetup       int      // len(udpCbs) at Run: wire-safe registry prefix
+	flowMu         sync.RWMutex
+	flows          map[uint64]*flow // flow id → local object or replica
+	udpCbs         []func(des.Time) // setup-registered UDP callbacks
+	tags           map[uint16]TagResolver
 }
 
 // New builds the simulation. It validates that the partition never cuts a
@@ -178,20 +206,8 @@ func New(cfg Config) (*Sim, error) {
 				i, des.Time(l.Latency), cfg.Window)
 		}
 	}
-	ps, err := pdes.New(pdes.Config{
-		Engines: cfg.Engines, Window: cfg.Window, End: cfg.End,
-		Sync: cfg.Sync, EventCost: cfg.EventCost, RemoteCost: cfg.RemoteCost,
-		Seed: cfg.Seed, SeriesBuckets: cfg.SeriesBuckets,
-		RealTimeFactor: cfg.RealTimeFactor,
-		Telemetry:      cfg.Telemetry,
-		Invariants:     cfg.Invariants,
-	})
-	if err != nil {
-		return nil, err
-	}
 	s := &Sim{
 		cfg:           cfg,
-		ps:            ps,
 		part:          part,
 		tel:           cfg.Telemetry,
 		dirs:          make([]linkDir, 2*len(cfg.Net.Links)),
@@ -202,7 +218,36 @@ func New(cfg Config) (*Sim, error) {
 		dropped:       make([]uint64, cfg.Engines),
 		retrans:       make([]uint64, cfg.Engines),
 		hopFree:       make([][]*hopEvent, cfg.Engines),
+		tags:          make(map[uint16]TagResolver),
 	}
+	pcfg := pdes.Config{
+		Engines: cfg.Engines, Window: cfg.Window, End: cfg.End,
+		Sync: cfg.Sync, EventCost: cfg.EventCost, RemoteCost: cfg.RemoteCost,
+		Seed: cfg.Seed, SeriesBuckets: cfg.SeriesBuckets,
+		RealTimeFactor: cfg.RealTimeFactor,
+		Telemetry:      cfg.Telemetry,
+		Invariants:     cfg.Invariants,
+	}
+	s.hostLo, s.hostHi = 0, cfg.Engines
+	if cfg.Transport != nil {
+		hosted := cfg.HostedEngines
+		if hosted <= 0 {
+			hosted = cfg.Engines - cfg.FirstEngine
+		}
+		s.dist = true
+		s.hostLo, s.hostHi = cfg.FirstEngine, cfg.FirstEngine+hosted
+		s.runFlowCtr = make([]uint64, cfg.Engines)
+		s.flows = make(map[uint64]*flow)
+		pcfg.Transport = cfg.Transport
+		pcfg.FirstEngine = cfg.FirstEngine
+		pcfg.HostedEngines = hosted
+		pcfg.Codec = netCodec{s: s}
+	}
+	ps, err := pdes.New(pcfg)
+	if err != nil {
+		return nil, err
+	}
+	s.ps = ps
 	for i := range cfg.Net.Links {
 		s.queueNS[i] = cfg.QueueBytes * 8 * int64(des.Second) / cfg.Net.Links[i].Bandwidth
 	}
@@ -315,10 +360,20 @@ func (s *Sim) inject(pkt Packet) {
 }
 
 // SendUDP schedules a one-shot datagram of the given size from src at time
-// at. onDeliver (optional) runs on dst's engine when it lands.
+// at. onDeliver (optional) runs on dst's engine when it lands. In
+// distributed runs the callback crosses workers by registry index, which
+// requires the replicated setup to register it identically everywhere:
+// call SendUDP with a callback during setup, not from runtime handlers.
 func (s *Sim) SendUDP(at des.Time, src, dst model.NodeID, bytes int64, onDeliver func(at des.Time)) {
+	var udpID int32
+	if s.dist && onDeliver != nil {
+		s.flowMu.Lock()
+		s.udpCbs = append(s.udpCbs, onDeliver)
+		udpID = int32(len(s.udpCbs))
+		s.flowMu.Unlock()
+	}
 	s.ScheduleAt(src, at, func(des.Time) {
-		s.inject(Packet{Src: src, Dst: dst, Bits: bytes * 8, deliverCb: onDeliver})
+		s.inject(Packet{Src: src, Dst: dst, Bits: bytes * 8, deliverCb: onDeliver, udpID: udpID})
 	})
 }
 
@@ -348,8 +403,14 @@ type Result struct {
 	LastCompletion des.Time
 }
 
-// Run executes the simulation and gathers results.
+// Run executes the simulation and gathers results. In distributed mode the
+// Result is this worker's PARTIAL view: counters cover only state written
+// by the hosted engines (everything else stays zero), and per-worker
+// partials merge by sum — except flow completion times, which merge by
+// take-nonzero/max (see simcheck.MergeObservations).
 func (s *Sim) Run() Result {
+	s.running = true
+	s.udpSetup = len(s.udpCbs)
 	stats := s.ps.Run()
 	res := Result{
 		Stats:      stats,
@@ -366,7 +427,13 @@ func (s *Sim) Run() Result {
 		res.DeliveredBits += s.delivered[e]
 		res.Retransmissions += s.retrans[e]
 	}
-	for _, flows := range s.flowsByEngine {
+	// Replicated setup starts every flow on every worker; only the engine
+	// owning a flow's source runs its sender, so a distributed worker
+	// counts the hosted ranges and the merge sums to the global totals.
+	for e, flows := range s.flowsByEngine {
+		if e < s.hostLo || e >= s.hostHi {
+			continue
+		}
 		for _, f := range flows {
 			res.FlowsStarted++
 			if f.done {

@@ -36,6 +36,12 @@ type flow struct {
 	totalPkts int32
 	lastBits  int64 // size of the final segment (bits incl. header)
 
+	// Distributed identity (see dist.go): id is the wire identity (0 on
+	// in-process runs), deliverTag reconstructs onDeliver on the
+	// destination worker when the flow crosses a partition.
+	id         uint64
+	deliverTag Tag
+
 	// Sender state.
 	cwnd, ssthresh float64
 	nextSeq        int32 // next never-sent sequence
@@ -81,8 +87,16 @@ func (s *Sim) StartFlow(at des.Time, src, dst model.NodeID, bytes int64, onCompl
 // onDeliver runs on dst's engine when the final byte of payload arrives.
 // It is the supported way to chain request/response traffic — the response
 // flow must be started from the destination's engine, and onDeliver is a
-// handler already running there.
+// handler already running there. In distributed runs, closure callbacks on
+// flows started at RUNTIME cannot cross workers; use StartFlowTagged for
+// those (setup-time flows are replicated and keep working as-is).
 func (s *Sim) StartFlowRecv(at des.Time, src, dst model.NodeID, bytes int64, onComplete, onDeliver func(at des.Time)) {
+	s.startFlow(at, src, dst, bytes, onComplete, onDeliver, Tag{})
+}
+
+// startFlow is the shared construction path of StartFlowRecv and
+// StartFlowTagged.
+func (s *Sim) startFlow(at des.Time, src, dst model.NodeID, bytes int64, onComplete, onDeliver func(at des.Time), deliverTag Tag) {
 	if bytes <= 0 {
 		bytes = 1
 	}
@@ -98,9 +112,11 @@ func (s *Sim) StartFlowRecv(at des.Time, src, dst model.NodeID, bytes int64, onC
 		sendTime:   make([]des.Time, pkts),
 		onComplete: onComplete,
 		onDeliver:  onDeliver,
+		deliverTag: deliverTag,
 		ooo:        map[int32]bool{},
 	}
 	f.rtoh = rtoHandler{s: s, f: f}
+	s.registerFlow(f)
 	eng := s.EngineOf(src)
 	s.flowsByEngine[eng] = append(s.flowsByEngine[eng], f)
 	if s.tel != nil {
@@ -164,7 +180,7 @@ func (s *Sim) sendSeg(f *flow, seq int32, fresh bool) {
 // armRTO (re)schedules the retransmission timer. Runs on the source engine.
 func (s *Sim) armRTO(f *flow) {
 	eng := s.ps.Engine(s.EngineOf(f.src))
-	eng.Cancel(&f.rtoEvent) // stale (already fired) handles are a safe no-op
+	eng.Cancel(f.rtoEvent) // stale (already fired) handles are a safe no-op
 	at := eng.Now() + f.rto
 	if at >= s.cfg.End {
 		f.rtoArmed = false
@@ -265,7 +281,7 @@ func (s *Sim) onAck(f *flow, pkt Packet) {
 			if s.tel != nil {
 				s.tel.FlowsDone.Inc()
 			}
-			eng.Cancel(&f.rtoEvent)
+			eng.Cancel(f.rtoEvent)
 			f.rtoArmed = false
 			if f.onComplete != nil {
 				f.onComplete(now)
@@ -323,6 +339,9 @@ func clampRTO(rto des.Time) des.Time {
 // the destination's engine.
 func (s *Sim) deliver(node model.NodeID, pkt Packet) {
 	eng := s.EngineOf(node)
+	if pkt.flow == nil && pkt.wref != nil {
+		pkt.flow = s.adoptFlow(&pkt) // wire packet for a flow this worker has not seen
+	}
 	switch {
 	case pkt.flow != nil && pkt.Ack:
 		s.onAck(pkt.flow, pkt)

@@ -28,6 +28,7 @@ import (
 	"massf/internal/cluster"
 	"massf/internal/des"
 	"massf/internal/telemetry"
+	"massf/internal/wire"
 )
 
 // Config configures a parallel simulation.
@@ -74,6 +75,27 @@ type Config struct {
 	// then pays only a nil check per window. Use one SimTelemetry per
 	// run — Run closes its window ring on completion.
 	Telemetry *telemetry.SimTelemetry
+
+	// Transport, when non-nil, runs this Sim as ONE WORKER of a distributed
+	// simulation: only the engines in [FirstEngine, FirstEngine+HostedEngines)
+	// execute live on this process, and the barrier + cross-worker event
+	// exchange are driven through the Transport once per window. Nil (the
+	// default) selects the built-in in-process exchange — shared-memory
+	// parity buffers, zero behavior change, allocation-free. See Transport
+	// for the window protocol and the replicated-setup (SPMD) model the
+	// distributed mode assumes.
+	Transport Transport
+	// Codec serializes remote events crossing worker processes (required
+	// when Transport is set). Events scheduled through ScheduleRemoteEvent
+	// to a non-hosted engine are encoded with it; closure events
+	// (ScheduleRemote) cannot cross workers and panic.
+	Codec Codec
+	// FirstEngine is the global index of the first engine hosted by this
+	// worker (only meaningful with Transport).
+	FirstEngine int
+	// HostedEngines is the number of engines this worker runs live. Zero
+	// with a Transport means Engines-FirstEngine.
+	HostedEngines int
 }
 
 func (c *Config) setDefaults() {
@@ -147,6 +169,14 @@ type Engine struct {
 	seq       uint64
 	windowEnd des.Time
 
+	// hostLo/hostHi delimit the engines hosted by this process. In-process
+	// runs host everything ([0, N)), so the range test in the remote
+	// schedule path is one always-taken branch; on a distributed worker,
+	// destinations outside the range divert to the wire outbox.
+	hostLo, hostHi int
+	wireOut        []wireSend   // events leaving this worker, encoded at the barrier
+	wireEnc        []wire.Event // this window's encoded wire outbox
+
 	events      uint64 // total events processed
 	remoteSends uint64
 	winEvents   uint64 // events in the current window
@@ -179,7 +209,7 @@ func (e *Engine) ScheduleEvent(at des.Time, eh des.EventHandler) des.Event {
 
 // Cancel cancels a local event. Stale handles (already fired or cancelled)
 // are a safe no-op.
-func (e *Engine) Cancel(ev *des.Event) { e.k.Cancel(ev) }
+func (e *Engine) Cancel(ev des.Event) { e.k.Cancel(&ev) }
 
 // enqueueRemote appends to the current-parity outbox for dst. On the first
 // write to a destination this window the engine registers the (src, dst)
@@ -201,6 +231,20 @@ func (e *Engine) enqueueRemote(dst int, re remoteEvent) {
 	e.winRemote++
 }
 
+// enqueueWire appends to the cross-worker outbox. It advances the same
+// per-engine send sequence as enqueueRemote, so the (src, seq) labels a
+// given logical send receives are identical whether its destination is
+// hosted here or on another worker — the property that makes a distributed
+// run's merge order byte-identical to the in-process run's.
+func (e *Engine) enqueueWire(dst int, re remoteEvent) {
+	re.seq = e.seq
+	re.src = int32(e.id)
+	e.wireOut = append(e.wireOut, wireSend{re: re, dst: int32(dst)})
+	e.seq++
+	e.remoteSends++
+	e.winRemote++
+}
+
 // ScheduleRemote enqueues an event on engine dst at time at. When dst is
 // the local engine it schedules directly. For a true remote destination,
 // at must not precede the end of the current window — the conservative
@@ -213,6 +257,9 @@ func (e *Engine) ScheduleRemote(dst int, at des.Time, h des.Handler) {
 	}
 	if at < e.windowEnd {
 		panic(fmt.Sprintf("pdes: remote event at %v violates window end %v (MLL too large for this cut)", at, e.windowEnd))
+	}
+	if dst < e.hostLo || dst >= e.hostHi {
+		panic(fmt.Sprintf("pdes: closure event for engine %d cannot cross workers (hosted range [%d,%d)); use ScheduleRemoteEvent with a codec-registered kind", dst, e.hostLo, e.hostHi))
 	}
 	e.enqueueRemote(dst, remoteEvent{at: at, h: h})
 }
@@ -227,7 +274,11 @@ func (e *Engine) ScheduleRemoteEvent(dst int, at des.Time, eh des.EventHandler) 
 	if at < e.windowEnd {
 		panic(fmt.Sprintf("pdes: remote event at %v violates window end %v (MLL too large for this cut)", at, e.windowEnd))
 	}
-	e.enqueueRemote(dst, remoteEvent{at: at, eh: eh})
+	if dst >= e.hostLo && dst < e.hostHi {
+		e.enqueueRemote(dst, remoteEvent{at: at, eh: eh})
+	} else {
+		e.enqueueWire(dst, remoteEvent{at: at, eh: eh})
+	}
 }
 
 // Stats summarizes a completed run.
@@ -270,6 +321,10 @@ type Stats struct {
 	// Stopped reports that the run was cancelled via Sim.Stop before
 	// reaching the configured horizon.
 	Stopped bool
+	// Err reports a transport failure that aborted a distributed run — the
+	// coordinator/worker attribution is in the error chain (see dist
+	// package). Always nil for in-process runs.
+	Err error
 }
 
 // Sim is a configured parallel simulation.
@@ -307,6 +362,21 @@ func New(cfg Config) (*Sim, error) {
 		return nil, fmt.Errorf("pdes: end must be positive, got %v", cfg.End)
 	}
 	cfg.setDefaults()
+	hostLo, hostHi := 0, cfg.Engines
+	if cfg.Transport != nil {
+		if cfg.HostedEngines == 0 {
+			cfg.HostedEngines = cfg.Engines - cfg.FirstEngine
+		}
+		if cfg.FirstEngine < 0 || cfg.HostedEngines < 1 ||
+			cfg.FirstEngine+cfg.HostedEngines > cfg.Engines {
+			return nil, fmt.Errorf("pdes: hosted range [%d,%d) outside [0,%d)",
+				cfg.FirstEngine, cfg.FirstEngine+cfg.HostedEngines, cfg.Engines)
+		}
+		if cfg.Codec == nil && cfg.HostedEngines < cfg.Engines {
+			return nil, fmt.Errorf("pdes: Transport with a partial hosted range requires a Codec")
+		}
+		hostLo, hostHi = cfg.FirstEngine, cfg.FirstEngine+cfg.HostedEngines
+	}
 	s := &Sim{
 		cfg:     cfg,
 		active:  make([][]int32, cfg.Engines),
@@ -314,9 +384,11 @@ func New(cfg Config) (*Sim, error) {
 	}
 	for i := 0; i < cfg.Engines; i++ {
 		e := &Engine{
-			id:  i,
-			sim: s,
-			rng: rand.New(rand.NewSource(cfg.Seed + int64(i)*7919)),
+			id:     i,
+			sim:    s,
+			rng:    rand.New(rand.NewSource(cfg.Seed + int64(i)*7919)),
+			hostLo: hostLo,
+			hostHi: hostHi,
 		}
 		e.outbox[0] = make([][]remoteEvent, cfg.Engines)
 		e.outbox[1] = make([][]remoteEvent, cfg.Engines)
@@ -339,8 +411,14 @@ func (s *Sim) Engine(i int) *Engine { return s.engines[i] }
 func (s *Sim) Engines() int { return s.cfg.Engines }
 
 // Run executes the simulation to the configured horizon and returns stats.
-// It blocks until every engine finishes.
+// It blocks until every engine finishes. With a Transport configured, only
+// the hosted engine range runs, synchronized with the other workers
+// through the transport (see runTransport); otherwise all engines run
+// in-process over the shared-memory exchange below.
 func (s *Sim) Run() Stats {
+	if s.cfg.Transport != nil {
+		return s.runTransport()
+	}
 	cfg := s.cfg
 	n := cfg.Engines
 	totalWindows := int((cfg.End + cfg.Window - 1) / cfg.Window)

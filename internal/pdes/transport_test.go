@@ -1,0 +1,323 @@
+package pdes
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"massf/internal/des"
+	"massf/internal/wire"
+)
+
+// xModel is a replicated-setup test workload: every worker builds the full
+// model; counters are written only by the owning engine, so worker partials
+// merge by sum.
+type xModel struct {
+	sim    *Sim
+	n      int
+	window des.Time
+	counts []uint64
+	sums   []uint64
+}
+
+type xEvent struct {
+	m   *xModel
+	eng int
+	val uint64
+	ttl int
+}
+
+func (ev *xEvent) OnEvent(now des.Time) {
+	m := ev.m
+	m.counts[ev.eng]++
+	m.sums[ev.eng] += ev.val
+	if ev.ttl <= 0 {
+		return
+	}
+	e := m.sim.Engine(ev.eng)
+	d1 := (ev.eng + 1) % m.n
+	d2 := (ev.eng + 3) % m.n
+	e.ScheduleRemoteEvent(d1, now+m.window, &xEvent{m: m, eng: d1, val: ev.val*3 + 1, ttl: ev.ttl - 1})
+	if d2 != d1 {
+		e.ScheduleRemoteEvent(d2, now+m.window+m.window/2, &xEvent{m: m, eng: d2, val: ev.val + 7, ttl: ev.ttl - 1})
+	}
+}
+
+type xCodec struct{ m *xModel }
+
+func (c xCodec) Encode(eh des.EventHandler) (uint16, []byte, error) {
+	ev, ok := eh.(*xEvent)
+	if !ok {
+		return 0, nil, fmt.Errorf("unknown handler %T", eh)
+	}
+	var b wire.Buffer
+	b.I32(int32(ev.eng))
+	b.U64(ev.val)
+	b.I32(int32(ev.ttl))
+	return 1, b.B, nil
+}
+
+func (c xCodec) Decode(dst int, kind uint16, payload []byte) (des.EventHandler, error) {
+	if kind != 1 {
+		return nil, fmt.Errorf("unknown kind %d", kind)
+	}
+	r := wire.NewReader(payload)
+	ev := &xEvent{m: c.m, eng: int(r.I32()), val: r.U64(), ttl: int(r.I32())}
+	return ev, r.Err()
+}
+
+func buildX(t *testing.T, cfg Config) *xModel {
+	t.Helper()
+	m := &xModel{n: cfg.Engines, window: cfg.Window,
+		counts: make([]uint64, cfg.Engines), sums: make([]uint64, cfg.Engines)}
+	if cfg.Transport != nil {
+		cfg.Codec = xCodec{m: m}
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.sim = s
+	// Replicated setup: every engine gets its seed events regardless of the
+	// hosted range.
+	for i := 0; i < cfg.Engines; i++ {
+		ev := &xEvent{m: m, eng: i, val: uint64(i)*13 + 1, ttl: 12}
+		s.Engine(i).ScheduleEvent(des.Time(i+1)*cfg.Window/2, ev)
+	}
+	return m
+}
+
+// memHub is an in-memory coordinator for k workers sharing one process: it
+// performs exactly the reduction and routing the dist coordinator performs
+// over TCP — global stop OR, global next-event min folding wire timestamps,
+// star-topology event routing.
+type memHub struct {
+	k      int
+	window des.Time
+	total  int
+	first  []int // first engine per worker
+	last   []int // one past last engine per worker
+	ch     chan memDone
+	errAt  int // inject an exchange error at this window (-1 never)
+}
+
+type memDone struct {
+	worker int
+	d      WindowDone
+	reply  chan memReply
+}
+
+type memReply struct {
+	g   WindowGo
+	err error
+}
+
+type memTransport struct {
+	hub    *memHub
+	worker int
+}
+
+func (t *memTransport) Exchange(d WindowDone) (WindowGo, error) {
+	reply := make(chan memReply, 1)
+	t.hub.ch <- memDone{worker: t.worker, d: d, reply: reply}
+	r := <-reply
+	return r.g, r.err
+}
+
+func (h *memHub) serve() {
+	pending := make([]memDone, 0, h.k)
+	for {
+		pending = pending[:0]
+		for len(pending) < h.k {
+			pending = append(pending, <-h.ch)
+		}
+		w := pending[0].d.Window
+		if h.errAt >= 0 && w >= h.errAt {
+			for _, p := range pending {
+				p.reply <- memReply{err: errors.New("injected exchange failure")}
+			}
+			return
+		}
+		stop := false
+		globalNext := des.EndOfTime
+		outs := make([][]wire.Event, h.k)
+		for _, p := range pending {
+			if p.d.Window != w {
+				panic("workers disagree on window")
+			}
+			stop = stop || p.d.Stop
+			if p.d.LocalNext < globalNext {
+				globalNext = p.d.LocalNext
+			}
+			for _, ev := range p.d.Events {
+				if des.Time(ev.At) < globalNext {
+					globalNext = des.Time(ev.At)
+				}
+				routed := false
+				for j := 0; j < h.k; j++ {
+					if int(ev.Dst) >= h.first[j] && int(ev.Dst) < h.last[j] {
+						outs[j] = append(outs[j], ev)
+						routed = true
+						break
+					}
+				}
+				if !routed {
+					panic("event with unroutable destination")
+				}
+			}
+		}
+		next := w + 1
+		if skip := int(globalNext / h.window); skip > next {
+			next = skip
+		}
+		for _, p := range pending {
+			p.reply <- memReply{g: WindowGo{NextWindow: next, Stop: stop, Events: outs[p.worker]}}
+		}
+		if stop || next >= h.total {
+			return
+		}
+	}
+}
+
+func runDistX(t *testing.T, base Config, k int, errAt int) ([]Stats, []*xModel) {
+	t.Helper()
+	per := base.Engines / k
+	hub := &memHub{
+		k: k, window: base.Window,
+		total: int((base.End + base.Window - 1) / base.Window),
+		ch:    make(chan memDone, k), errAt: errAt,
+	}
+	for j := 0; j < k; j++ {
+		first := j * per
+		last := first + per
+		if j == k-1 {
+			last = base.Engines
+		}
+		hub.first = append(hub.first, first)
+		hub.last = append(hub.last, last)
+	}
+	go hub.serve()
+	stats := make([]Stats, k)
+	models := make([]*xModel, k)
+	var wg sync.WaitGroup
+	for j := 0; j < k; j++ {
+		j := j
+		cfg := base
+		cfg.Transport = &memTransport{hub: hub, worker: j}
+		cfg.FirstEngine = hub.first[j]
+		cfg.HostedEngines = hub.last[j] - hub.first[j]
+		m := buildX(t, cfg)
+		models[j] = m
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			stats[j] = m.sim.Run()
+		}()
+	}
+	wg.Wait()
+	return stats, models
+}
+
+func TestTransportMatchesInProcess(t *testing.T) {
+	base := Config{Engines: 8, Window: des.Millisecond, End: 60 * des.Millisecond, Seed: 42}
+
+	ref := buildX(t, base)
+	refStats := ref.sim.Run()
+	if refStats.TotalEvents == 0 || refStats.RemoteEvents == 0 {
+		t.Fatalf("degenerate reference run: %+v", refStats)
+	}
+
+	for _, k := range []int{2, 3, 4, 8} {
+		k := k
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			stats, models := runDistX(t, base, k, -1)
+			counts := make([]uint64, base.Engines)
+			sums := make([]uint64, base.Engines)
+			var totalEvents, remote uint64
+			engineEvents := make([]uint64, base.Engines)
+			for j := 0; j < k; j++ {
+				if stats[j].Err != nil {
+					t.Fatalf("worker %d: %v", j, stats[j].Err)
+				}
+				if stats[j].Windows != refStats.Windows {
+					t.Errorf("worker %d executed %d windows, reference %d", j, stats[j].Windows, refStats.Windows)
+				}
+				totalEvents += stats[j].TotalEvents
+				remote += stats[j].RemoteEvents
+				for i := 0; i < base.Engines; i++ {
+					counts[i] += models[j].counts[i]
+					sums[i] += models[j].sums[i]
+					engineEvents[i] += stats[j].EngineEvents[i]
+				}
+			}
+			if totalEvents != refStats.TotalEvents {
+				t.Errorf("total events %d, reference %d", totalEvents, refStats.TotalEvents)
+			}
+			if remote != refStats.RemoteEvents {
+				t.Errorf("remote sends %d, reference %d", remote, refStats.RemoteEvents)
+			}
+			for i := 0; i < base.Engines; i++ {
+				if counts[i] != ref.counts[i] || sums[i] != ref.sums[i] {
+					t.Errorf("engine %d: counts/sums (%d,%d), reference (%d,%d)",
+						i, counts[i], sums[i], ref.counts[i], ref.sums[i])
+				}
+				if engineEvents[i] != refStats.EngineEvents[i] {
+					t.Errorf("engine %d: %d kernel events, reference %d", i, engineEvents[i], refStats.EngineEvents[i])
+				}
+			}
+		})
+	}
+}
+
+func TestTransportExchangeErrorAborts(t *testing.T) {
+	base := Config{Engines: 4, Window: des.Millisecond, End: 60 * des.Millisecond, Seed: 7}
+	stats, _ := runDistX(t, base, 2, 5)
+	for j, st := range stats {
+		if st.Err == nil {
+			t.Fatalf("worker %d: expected transport error, got nil (windows=%d)", j, st.Windows)
+		}
+	}
+}
+
+func TestTransportClosureEventPanics(t *testing.T) {
+	cfg := Config{Engines: 4, Window: des.Millisecond, End: 4 * des.Millisecond, Seed: 1,
+		Transport: &memTransport{}, FirstEngine: 0, HostedEngines: 2, Codec: xCodec{}}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := s.Engine(0)
+	e.ScheduleEvent(0, desFunc(func(now des.Time) {
+		defer func() {
+			if recover() == nil {
+				t.Error("ScheduleRemote closure across workers did not panic")
+			}
+		}()
+		e.ScheduleRemote(3, now+2*des.Millisecond, func(des.Time) {})
+	}))
+	// Run only the kernel of engine 0 far enough to fire the probe; we never
+	// start the barrier loop, so no transport traffic happens.
+	e.k.RunUntil(des.Millisecond)
+}
+
+// desFunc adapts a func to des.EventHandler for tests.
+type desFunc func(des.Time)
+
+func (f desFunc) OnEvent(now des.Time) { f(now) }
+
+func TestTransportConfigValidation(t *testing.T) {
+	base := Config{Engines: 4, Window: des.Millisecond, End: des.Millisecond,
+		Transport: &memTransport{}}
+	bad := base
+	bad.FirstEngine = 3
+	bad.HostedEngines = 2
+	if _, err := New(bad); err == nil {
+		t.Error("out-of-range hosted window accepted")
+	}
+	noCodec := base
+	noCodec.HostedEngines = 2
+	if _, err := New(noCodec); err == nil {
+		t.Error("partial hosted range without codec accepted")
+	}
+}

@@ -14,13 +14,13 @@ import (
 	"time"
 
 	"massf/internal/core"
-	"massf/internal/des"
 	"massf/internal/dml"
 	"massf/internal/experiments"
 	"massf/internal/mabrite"
 	"massf/internal/metrics"
 	"massf/internal/model"
 	"massf/internal/profile"
+	"massf/internal/runspec"
 	"massf/internal/telemetry"
 	"massf/internal/topology"
 )
@@ -55,10 +55,11 @@ type Spec struct {
 	// PROF2, HTOP, HPROF). Default HTOP. Profile-based approaches run a
 	// sequential profiling pass first, doubling the run's cost.
 	Approach string `json:"approach,omitempty"`
-	// Engines is the simulated engine-node count. Default 4.
-	Engines int `json:"engines,omitempty"`
-	// Seconds is the simulated horizon. Default 2.
-	Seconds float64 `json:"seconds,omitempty"`
+	// RunSpec carries the run-level knobs shared with every other launch
+	// surface — engines, seconds, seed, realtime, event_cost_us,
+	// series_buckets — embedded so the HTTP wire format stays flat and
+	// defaults and range checks live in one place (runspec).
+	runspec.RunSpec
 	// App selects the foreground workload: scalapack, gridnpb or none
 	// (background HTTP only). Default none.
 	App string `json:"app,omitempty"`
@@ -72,35 +73,17 @@ type Spec struct {
 	// it directly instead of running a sequential profiling pass first —
 	// the paper's measured-feedback loop over HTTP.
 	Profile string `json:"profile,omitempty"`
-	// Seed is the simulation seed. Default 1.
-	Seed int64 `json:"seed,omitempty"`
-	// RealTimeFactor paces the run against the wall clock (0 = as fast
-	// as possible) — the paper's online-simulation mode.
-	RealTimeFactor float64 `json:"realtime,omitempty"`
-	// EventCostUS is the modeled per-event cost in microseconds.
-	// Default 15.
-	EventCostUS float64 `json:"event_cost_us,omitempty"`
 }
 
-// normalize applies defaults in place.
+// normalize applies defaults in place; the shared run-level defaults come
+// from runspec.
 func (s *Spec) normalize() {
+	s.RunSpec.Normalize()
 	if s.Approach == "" {
 		s.Approach = "HTOP"
 	}
-	if s.Engines == 0 {
-		s.Engines = 4
-	}
-	if s.Seconds == 0 {
-		s.Seconds = 2
-	}
 	if s.App == "" {
 		s.App = "none"
-	}
-	if s.Seed == 0 {
-		s.Seed = 1
-	}
-	if s.EventCostUS == 0 {
-		s.EventCostUS = 15
 	}
 }
 
@@ -125,14 +108,8 @@ func (s *Spec) validate() error {
 	if _, err := parseWorkload(s.App); err != nil {
 		return err
 	}
-	if s.Engines < 1 || s.Engines > 1024 {
-		return fmt.Errorf("runctl: engines %d out of range [1, 1024]", s.Engines)
-	}
-	if s.Seconds < 0 || s.Seconds > 3600 {
-		return fmt.Errorf("runctl: seconds %g out of range (0, 3600]", s.Seconds)
-	}
-	if s.RealTimeFactor < 0 {
-		return fmt.Errorf("runctl: realtime factor must be ≥ 0")
+	if err := s.RunSpec.Validate(); err != nil {
+		return err
 	}
 	if s.Profile != "" {
 		if _, err := profile.Read(strings.NewReader(s.Profile)); err != nil {
@@ -584,8 +561,8 @@ func (m *Manager) execute(r *Run) (*metrics.Report, *NetSummary, error) {
 		Name: "massfd", Hosts: net.NumHosts(),
 		Clients: nc, Servers: ns, AppHosts: appHosts,
 		Engines:   spec.Engines,
-		Horizon:   experiments.SecondsToTime(spec.Seconds),
-		EventCost: des.Time(spec.EventCostUS * float64(des.Microsecond)),
+		Horizon:   spec.Horizon(),
+		EventCost: spec.EventCost(),
 		Seed:      spec.Seed,
 	}
 	st, err := experiments.NewSetup(net, sc, multi)

@@ -13,6 +13,7 @@ import (
 
 	"massf/internal/flight"
 	"massf/internal/profile"
+	"massf/internal/runspec"
 	"massf/internal/telemetry"
 )
 
@@ -22,14 +23,16 @@ import (
 // tests can observe it in flight.
 func testSpec(name string, seed int64, seconds, realtime float64) Spec {
 	return Spec{
-		Name:           name,
-		Flat:           &FlatSpec{Routers: 40, Hosts: 20},
-		Approach:       "HTOP",
-		Engines:        2,
-		Seconds:        seconds,
-		App:            "scalapack",
-		Seed:           seed,
-		RealTimeFactor: realtime,
+		Name:     name,
+		Flat:     &FlatSpec{Routers: 40, Hosts: 20},
+		Approach: "HTOP",
+		RunSpec: runspec.RunSpec{
+			Engines:        2,
+			Seconds:        seconds,
+			Seed:           seed,
+			RealTimeFactor: realtime,
+		},
+		App: "scalapack",
 	}
 }
 

@@ -1,0 +1,103 @@
+// Package runspec defines RunSpec, the single run-configuration surface
+// shared by every way of launching a simulation: the massf facade
+// (massf.RunSpec), the experiments harness (experiments.SimOptions is a
+// deprecated alias) and the runctl daemon (runctl.Spec embeds it, so the
+// HTTP wire format is unchanged). Before this package each of those
+// declared its own overlapping knob set — engine count, horizon, seed,
+// pacing, event cost — with defaults and range checks duplicated or
+// missing. A RunSpec is normalized and validated once, here; embedders
+// add only what is genuinely theirs (topology sources, workload names).
+package runspec
+
+import (
+	"fmt"
+
+	"massf/internal/des"
+	"massf/internal/netsim"
+	"massf/internal/telemetry"
+)
+
+// RunSpec holds the run-level knobs shared by every execution surface.
+// The zero value is usable after Normalize; Validate rejects what no
+// surface can execute.
+type RunSpec struct {
+	// Engines is the simulated engine-node count. Default 4.
+	Engines int `json:"engines,omitempty"`
+	// Seconds is the simulated horizon. Default 2.
+	Seconds float64 `json:"seconds,omitempty"`
+	// Seed is the simulation seed. Default 1.
+	Seed int64 `json:"seed,omitempty"`
+	// RealTimeFactor paces the run against the wall clock (0 = as fast
+	// as possible) — the paper's online-simulation mode.
+	RealTimeFactor float64 `json:"realtime,omitempty"`
+	// EventCostUS is the modeled per-event cost in microseconds.
+	// Default 15.
+	EventCostUS float64 `json:"event_cost_us,omitempty"`
+	// SeriesBuckets caps the per-window load series length (0 keeps
+	// every window).
+	SeriesBuckets int `json:"series_buckets,omitempty"`
+	// Telemetry receives live observability data (nil disables it). Use
+	// one SimTelemetry per run. Never serialized.
+	Telemetry *telemetry.SimTelemetry `json:"-"`
+}
+
+// Normalize applies defaults in place.
+func (s *RunSpec) Normalize() {
+	if s.Engines == 0 {
+		s.Engines = 4
+	}
+	if s.Seconds == 0 {
+		s.Seconds = 2
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.EventCostUS == 0 {
+		s.EventCostUS = 15
+	}
+}
+
+// Validate rejects out-of-range knobs before any work starts.
+func (s *RunSpec) Validate() error {
+	if s.Engines < 1 || s.Engines > 1024 {
+		return fmt.Errorf("runspec: engines %d out of range [1, 1024]", s.Engines)
+	}
+	if s.Seconds < 0 || s.Seconds > 3600 {
+		return fmt.Errorf("runspec: seconds %g out of range (0, 3600]", s.Seconds)
+	}
+	if s.RealTimeFactor < 0 {
+		return fmt.Errorf("runspec: realtime factor must be ≥ 0")
+	}
+	if s.EventCostUS < 0 {
+		return fmt.Errorf("runspec: event cost must be ≥ 0")
+	}
+	if s.SeriesBuckets < 0 {
+		return fmt.Errorf("runspec: series buckets must be ≥ 0")
+	}
+	return nil
+}
+
+// Horizon returns the simulated horizon as engine time.
+func (s *RunSpec) Horizon() des.Time {
+	return des.Time(s.Seconds * float64(des.Second))
+}
+
+// EventCost returns the modeled per-event cost as engine time.
+func (s *RunSpec) EventCost() des.Time {
+	return des.Time(s.EventCostUS * float64(des.Microsecond))
+}
+
+// SimConfig seeds a packet-simulation config with the spec's knobs. The
+// caller still supplies everything a run spec cannot know — the network,
+// routes, partition and barrier window — before netsim.New.
+func (s *RunSpec) SimConfig() netsim.Config {
+	return netsim.Config{
+		Engines:        s.Engines,
+		End:            s.Horizon(),
+		Seed:           s.Seed,
+		EventCost:      s.EventCost(),
+		RealTimeFactor: s.RealTimeFactor,
+		SeriesBuckets:  s.SeriesBuckets,
+		Telemetry:      s.Telemetry,
+	}
+}

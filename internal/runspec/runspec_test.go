@@ -1,0 +1,90 @@
+package runspec
+
+import (
+	"encoding/json"
+	"testing"
+
+	"massf/internal/des"
+)
+
+func TestNormalizeDefaults(t *testing.T) {
+	var s RunSpec
+	s.Normalize()
+	if s.Engines != 4 || s.Seconds != 2 || s.Seed != 1 || s.EventCostUS != 15 {
+		t.Fatalf("defaults wrong: %+v", s)
+	}
+	// Explicit values survive.
+	s = RunSpec{Engines: 8, Seconds: 0.5, Seed: 7, EventCostUS: 3}
+	s.Normalize()
+	if s.Engines != 8 || s.Seconds != 0.5 || s.Seed != 7 || s.EventCostUS != 3 {
+		t.Fatalf("normalize clobbered explicit values: %+v", s)
+	}
+}
+
+func TestValidateRanges(t *testing.T) {
+	good := RunSpec{Engines: 4, Seconds: 2, Seed: 1, EventCostUS: 15}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	bad := []RunSpec{
+		{Engines: 0, Seconds: 2},
+		{Engines: 2000, Seconds: 2},
+		{Engines: 4, Seconds: -1},
+		{Engines: 4, Seconds: 4000},
+		{Engines: 4, Seconds: 2, RealTimeFactor: -0.5},
+		{Engines: 4, Seconds: 2, EventCostUS: -1},
+		{Engines: 4, Seconds: 2, SeriesBuckets: -1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted: %+v", i, s)
+		}
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	s := RunSpec{Seconds: 1.5, EventCostUS: 15}
+	if s.Horizon() != 1500*des.Millisecond {
+		t.Errorf("Horizon = %v, want 1.5s", s.Horizon())
+	}
+	if s.EventCost() != 15*des.Microsecond {
+		t.Errorf("EventCost = %v, want 15µs", s.EventCost())
+	}
+}
+
+func TestSimConfigSeeding(t *testing.T) {
+	s := RunSpec{Engines: 8, Seconds: 2, Seed: 9, EventCostUS: 15,
+		RealTimeFactor: 1.5, SeriesBuckets: 128}
+	cfg := s.SimConfig()
+	if cfg.Engines != 8 || cfg.End != 2*des.Second || cfg.Seed != 9 ||
+		cfg.EventCost != 15*des.Microsecond || cfg.RealTimeFactor != 1.5 ||
+		cfg.SeriesBuckets != 128 {
+		t.Fatalf("SimConfig seeded wrong: %+v", cfg)
+	}
+	if cfg.Net != nil || cfg.Part != nil || cfg.Window != 0 {
+		t.Fatalf("SimConfig invented run-site fields: %+v", cfg)
+	}
+}
+
+// The JSON field names are a wire format (runctl's HTTP API flattens an
+// embedded RunSpec into its Spec); renaming a tag is a breaking change.
+func TestWireFieldNames(t *testing.T) {
+	s := RunSpec{Engines: 2, Seconds: 0.5, Seed: 3, RealTimeFactor: 1,
+		EventCostUS: 10, SeriesBuckets: 64}
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"engines", "seconds", "seed", "realtime", "event_cost_us", "series_buckets"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("marshaled spec lacks %q: %s", key, b)
+		}
+	}
+	if _, ok := m["Telemetry"]; ok {
+		t.Errorf("telemetry leaked into the wire format: %s", b)
+	}
+}

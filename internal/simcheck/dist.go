@@ -1,0 +1,296 @@
+// Distributed conformance checking: the oracle's scenario runs split
+// across worker processes joined by the dist TCP transport, with the
+// merged worker partials diffed against the sequential reference AND the
+// in-process parallel run of the same partition. Passing means the wire
+// path changed nothing: coordinator-routed events reproduce the
+// shared-memory exchange byte for byte.
+package simcheck
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"massf/internal/core"
+	"massf/internal/des"
+	"massf/internal/dist"
+	"massf/internal/pdes"
+	"massf/internal/profile"
+)
+
+// DistJobKind is the dist job kind naming the simcheck scenario runner.
+const DistJobKind = "simcheck"
+
+// distSpec is the serialized job description every worker of a distributed
+// check receives: the full scenario (each worker rebuilds it — replicated
+// setup) plus the run geometry the coordinator chose. Fields are exported
+// for JSON only.
+type distSpec struct {
+	Scenario Scenario
+	K        int
+	Part     []int32
+	Window   des.Time
+}
+
+// Runners is the runner registry a simcheck-capable worker process needs;
+// the cmd layer hands it to dist.RunWorker.
+func Runners() map[string]dist.Runner {
+	return map[string]dist.Runner{DistJobKind: DistRunner}
+}
+
+// DistRunner executes one worker's share of a distributed scenario run:
+// rebuild the scenario from the spec, run the hosted engine range through
+// the transport, and return the worker's partial Observation as JSON.
+func DistRunner(job dist.Job, t pdes.Transport) ([]byte, error) {
+	var spec distSpec
+	if err := json.Unmarshal(job.Spec, &spec); err != nil {
+		return nil, fmt.Errorf("simcheck: job spec: %w", err)
+	}
+	bundle, err := buildBundle(spec.Scenario)
+	if err != nil {
+		return nil, fmt.Errorf("simcheck: rebuilding scenario: %w", err)
+	}
+	obs, _, err := runOnce(bundle, spec.Scenario, spec.K, spec.Part, spec.Window, nil, nil,
+		&distRun{transport: t, first: job.First, hosted: job.Hosted})
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(obs)
+}
+
+// MergeObservations folds worker partials into the global observation.
+// Counters sum (a worker only counts its hosted engines); per-flow times
+// take the unique non-zero report (each callback fires on exactly one
+// worker — two workers reporting the same slot is itself a conformance
+// failure); LastCompletion is the max.
+func MergeObservations(parts []*Observation) (*Observation, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("simcheck: no worker observations to merge")
+	}
+	m := &Observation{
+		NodeEvents: make([]uint64, len(parts[0].NodeEvents)),
+		LinkBits:   make([]uint64, len(parts[0].LinkBits)),
+		LinkDrops:  make([]uint64, len(parts[0].LinkDrops)),
+		TCPDone:    make([]des.Time, len(parts[0].TCPDone)),
+		TCPRecv:    make([]des.Time, len(parts[0].TCPRecv)),
+		UDPRecv:    make([]des.Time, len(parts[0].UDPRecv)),
+	}
+	sumSlice := func(dst, src []uint64, field string, wi int) error {
+		if len(src) != len(dst) {
+			return fmt.Errorf("simcheck: worker %d reports %d %s entries, worker 0 reports %d",
+				wi, len(src), field, len(dst))
+		}
+		for i := range src {
+			dst[i] += src[i]
+		}
+		return nil
+	}
+	mergeTimes := func(dst, src []des.Time, field string, wi int) error {
+		if len(src) != len(dst) {
+			return fmt.Errorf("simcheck: worker %d reports %d %s entries, worker 0 reports %d",
+				wi, len(src), field, len(dst))
+		}
+		for i, t := range src {
+			if t == 0 {
+				continue
+			}
+			if dst[i] != 0 {
+				return fmt.Errorf("simcheck: %s[%d] reported by two workers (%v and %v)",
+					field, i, dst[i], t)
+			}
+			dst[i] = t
+		}
+		return nil
+	}
+	for wi, p := range parts {
+		m.TotalEvents += p.TotalEvents
+		m.DeliveredBits += p.DeliveredBits
+		m.Dropped += p.Dropped
+		m.Retransmissions += p.Retransmissions
+		m.FlowsStarted += p.FlowsStarted
+		m.FlowsCompleted += p.FlowsCompleted
+		m.HTTPRequests += p.HTTPRequests
+		m.HTTPResponses += p.HTTPResponses
+		if p.LastCompletion > m.LastCompletion {
+			m.LastCompletion = p.LastCompletion
+		}
+		if err := sumSlice(m.NodeEvents, p.NodeEvents, "NodeEvents", wi); err != nil {
+			return nil, err
+		}
+		if err := sumSlice(m.LinkBits, p.LinkBits, "LinkBits", wi); err != nil {
+			return nil, err
+		}
+		if err := sumSlice(m.LinkDrops, p.LinkDrops, "LinkDrops", wi); err != nil {
+			return nil, err
+		}
+		if err := mergeTimes(m.TCPDone, p.TCPDone, "TCPDone", wi); err != nil {
+			return nil, err
+		}
+		if err := mergeTimes(m.TCPRecv, p.TCPRecv, "TCPRecv", wi); err != nil {
+			return nil, err
+		}
+		if err := mergeTimes(m.UDPRecv, p.UDPRecv, "UDPRecv", wi); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// DistReport is the outcome of one distributed conformance check: the same
+// scenario run three ways — sequential reference, in-process on k engines,
+// and distributed across worker processes on the SAME k-engine partition —
+// with both parallel observations diffed against the reference.
+type DistReport struct {
+	Scenario   Scenario
+	K, Workers int
+	Window     des.Time
+	Windows    int // barrier windows the coordinator drove
+	Names      []string
+
+	Ref    *Observation // sequential N=1
+	InProc *Observation // in-process k engines
+	Dist   *Observation // merged worker partials
+
+	DivsInProc []Divergence // InProc vs Ref
+	DivsDist   []Divergence // Dist vs Ref
+}
+
+// Failed reports whether either parallel run diverged from the reference.
+func (r *DistReport) Failed() bool {
+	return len(r.DivsInProc) > 0 || len(r.DivsDist) > 0
+}
+
+// SplitEngines carves k engines into n contiguous near-equal
+// [first, first+hosted) ranges, one per worker.
+func SplitEngines(k, workers int) [][2]int {
+	ranges := make([][2]int, workers)
+	base, extra := k/workers, k%workers
+	first := 0
+	for i := range ranges {
+		hosted := base
+		if i < extra {
+			hosted++
+		}
+		ranges[i] = [2]int{first, hosted}
+		first += hosted
+	}
+	return ranges
+}
+
+// PlanDistributed runs the local legs of a distributed check — the
+// sequential reference (which also feeds profile-based mapping) and the
+// in-process k-engine run — and returns the report skeleton plus the
+// dist.RunConfig whose jobs the workers execute.
+func PlanDistributed(sc Scenario, k, workers int) (*DistReport, dist.RunConfig, error) {
+	if workers < 1 || workers > k {
+		return nil, dist.RunConfig{}, fmt.Errorf("simcheck: %d workers for %d engines", workers, k)
+	}
+	bundle, err := buildBundle(sc)
+	if err != nil {
+		return nil, dist.RunConfig{}, err
+	}
+	ref, refRes, err := runOnce(bundle, sc, 1, nil, core.MaxMLL, nil, nil, nil)
+	if err != nil {
+		return nil, dist.RunConfig{}, fmt.Errorf("simcheck: reference run: %w", err)
+	}
+	var prof *profile.Profile
+	if sc.Approach.ProfileBased() {
+		prof = profile.FromResult(refRes, sc.Horizon)
+	}
+	m, err := core.Map(bundle.net, sc.Approach, core.Config{Engines: k, Seed: sc.Seed}, prof)
+	if err != nil {
+		return nil, dist.RunConfig{}, fmt.Errorf("simcheck: map k=%d: %w", k, err)
+	}
+	window := m.MLL
+	if window > core.MaxMLL {
+		window = core.MaxMLL
+	}
+	inProc, _, err := runOnce(bundle, sc, k, m.Part, window, nil, nil, nil)
+	if err != nil {
+		return nil, dist.RunConfig{}, fmt.Errorf("simcheck: in-process run k=%d: %w", k, err)
+	}
+
+	spec, err := json.Marshal(distSpec{Scenario: sc, K: k, Part: m.Part, Window: window})
+	if err != nil {
+		return nil, dist.RunConfig{}, err
+	}
+	rc := dist.RunConfig{
+		WindowNS: int64(window),
+		// Must match the worker-side horizon arithmetic in pdes.runTransport.
+		TotalWindows: int((sc.Horizon + window - 1) / window),
+	}
+	for _, r := range SplitEngines(k, workers) {
+		rc.Jobs = append(rc.Jobs, dist.Job{
+			Kind: DistJobKind, First: r[0], Hosted: r[1], Spec: spec,
+		})
+	}
+	rep := &DistReport{
+		Scenario: sc, K: k, Workers: workers, Window: window,
+		Ref: ref, InProc: inProc, DivsInProc: Diff(ref, inProc),
+	}
+	return rep, rc, nil
+}
+
+// ServeDistributed plans a distributed check and coordinates it over ln.
+// The caller launches the worker processes (massfd -worker, or in-process
+// dist.RunWorker goroutines) against ln's address; any worker failure
+// comes back as a *dist.WorkerError naming the culprit.
+func ServeDistributed(ln net.Listener, sc Scenario, k, workers int, opt dist.Options) (*DistReport, error) {
+	rep, rc, err := PlanDistributed(sc, k, workers)
+	if err != nil {
+		return nil, err
+	}
+	res, err := dist.Serve(ln, rc, opt)
+	if err != nil {
+		return nil, err
+	}
+	parts := make([]*Observation, len(res.Payloads))
+	for i, p := range res.Payloads {
+		parts[i] = &Observation{}
+		if err := json.Unmarshal(p, parts[i]); err != nil {
+			return nil, fmt.Errorf("simcheck: worker %d (%q) result: %w", i, res.Names[i], err)
+		}
+	}
+	merged, err := MergeObservations(parts)
+	if err != nil {
+		return nil, err
+	}
+	rep.Windows = res.Windows
+	rep.Names = res.Names
+	rep.Dist = merged
+	rep.DivsDist = Diff(rep.Ref, merged)
+	return rep, nil
+}
+
+// CheckDistributed is the self-contained distributed conformance check:
+// coordinator plus `workers` worker loops in this process, joined over
+// loopback TCP — every byte still crosses the real wire protocol.
+func CheckDistributed(sc Scenario, k, workers int, opt dist.Options) (*DistReport, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer ln.Close()
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = dist.RunWorker(ln.Addr().String(), fmt.Sprintf("worker-%d", i), Runners(), opt)
+		}()
+	}
+	rep, err := ServeDistributed(ln, sc, k, workers, opt)
+	wg.Wait()
+	if err != nil {
+		return nil, err
+	}
+	for i, werr := range errs {
+		if werr != nil {
+			return nil, fmt.Errorf("simcheck: worker %d: %w", i, werr)
+		}
+	}
+	return rep, nil
+}

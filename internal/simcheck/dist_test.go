@@ -1,0 +1,120 @@
+package simcheck
+
+import (
+	"strings"
+	"testing"
+
+	"massf/internal/core"
+	"massf/internal/des"
+	"massf/internal/dist"
+)
+
+func TestSplitEngines(t *testing.T) {
+	cases := []struct {
+		k, workers int
+		want       [][2]int
+	}{
+		{4, 1, [][2]int{{0, 4}}},
+		{4, 2, [][2]int{{0, 2}, {2, 2}}},
+		{4, 4, [][2]int{{0, 1}, {1, 1}, {2, 1}, {3, 1}}},
+		{8, 3, [][2]int{{0, 3}, {3, 3}, {6, 2}}},
+	}
+	for _, c := range cases {
+		got := SplitEngines(c.k, c.workers)
+		if len(got) != len(c.want) {
+			t.Fatalf("SplitEngines(%d,%d) = %v", c.k, c.workers, got)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("SplitEngines(%d,%d) = %v, want %v", c.k, c.workers, got, c.want)
+			}
+		}
+	}
+}
+
+func TestMergeObservations(t *testing.T) {
+	a := &Observation{
+		TotalEvents: 10, DeliveredBits: 100, FlowsStarted: 2, LastCompletion: 5,
+		NodeEvents: []uint64{1, 0}, LinkBits: []uint64{8, 0}, LinkDrops: []uint64{1, 0},
+		TCPDone: []des.Time{3, 0}, TCPRecv: []des.Time{2, 0}, UDPRecv: []des.Time{0, 4},
+	}
+	b := &Observation{
+		TotalEvents: 5, DeliveredBits: 50, FlowsStarted: 1, LastCompletion: 9,
+		NodeEvents: []uint64{0, 2}, LinkBits: []uint64{0, 16}, LinkDrops: []uint64{0, 3},
+		TCPDone: []des.Time{0, 7}, TCPRecv: []des.Time{0, 6}, UDPRecv: []des.Time{1, 0},
+	}
+	m, err := MergeObservations([]*Observation{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TotalEvents != 15 || m.DeliveredBits != 150 || m.FlowsStarted != 3 ||
+		m.LastCompletion != 9 {
+		t.Fatalf("scalar merge wrong: %+v", m)
+	}
+	if m.NodeEvents[0] != 1 || m.NodeEvents[1] != 2 || m.LinkBits[1] != 16 || m.LinkDrops[1] != 3 {
+		t.Fatalf("per-element merge wrong: %+v", m)
+	}
+	if m.TCPDone[0] != 3 || m.TCPDone[1] != 7 || m.TCPRecv[1] != 6 || m.UDPRecv[0] != 1 || m.UDPRecv[1] != 4 {
+		t.Fatalf("time merge wrong: %+v", m)
+	}
+
+	// Two workers reporting the same per-flow slot is a conformance failure.
+	dup := &Observation{
+		NodeEvents: []uint64{0, 0}, LinkBits: []uint64{0, 0}, LinkDrops: []uint64{0, 0},
+		TCPDone: []des.Time{1, 0}, TCPRecv: []des.Time{0, 0}, UDPRecv: []des.Time{0, 0},
+	}
+	if _, err := MergeObservations([]*Observation{a, dup}); err == nil ||
+		!strings.Contains(err.Error(), "TCPDone[0]") {
+		t.Fatalf("duplicate slot not detected: %v", err)
+	}
+	// Mismatched slice geometry means the workers did not run the same
+	// scenario.
+	short := &Observation{NodeEvents: []uint64{0}}
+	if _, err := MergeObservations([]*Observation{a, short}); err == nil {
+		t.Fatal("slice length mismatch not detected")
+	}
+	if _, err := MergeObservations(nil); err == nil {
+		t.Fatal("empty merge not detected")
+	}
+}
+
+// distScenario is a fixed scenario with every traffic type, used by the
+// loopback distributed checks. Mirrors the acceptance criterion: k=4, TCP +
+// UDP + background HTTP, compared against in-process k=4 and sequential.
+func distScenario() Scenario {
+	return Scenario{
+		Seed: 5, Routers: 40, Hosts: 30,
+		TCPFlows: 12, UDPSends: 12, HTTPClients: 3, HTTPServers: 2,
+		Horizon: 250 * des.Millisecond, Approach: core.TOP2, Ks: []int{4},
+	}
+}
+
+// TestCheckDistributedMatchesReference: the same scenario run sequentially,
+// in-process on k=4, and across loopback TCP workers hosting the same
+// k=4 partition must produce byte-identical observables — for every worker
+// count that divides the partition differently.
+func TestCheckDistributedMatchesReference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributed oracle run skipped in -short")
+	}
+	sc := distScenario()
+	for _, workers := range []int{2, 4} {
+		rep, err := CheckDistributed(sc, 4, workers, dist.Options{})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if rep.Ref.TotalEvents == 0 || rep.Ref.HTTPResponses == 0 {
+			t.Fatalf("workers=%d: degenerate reference run: events=%d http=%d",
+				workers, rep.Ref.TotalEvents, rep.Ref.HTTPResponses)
+		}
+		for _, d := range rep.DivsInProc {
+			t.Errorf("workers=%d in-process k=4: %v", workers, d)
+		}
+		for _, d := range rep.DivsDist {
+			t.Errorf("workers=%d distributed: %v", workers, d)
+		}
+		if len(rep.Names) != workers || rep.Windows == 0 {
+			t.Fatalf("workers=%d: names=%v windows=%d", workers, rep.Names, rep.Windows)
+		}
+	}
+}

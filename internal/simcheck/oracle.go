@@ -40,16 +40,32 @@ type Observation struct {
 	HTTPResponses uint64
 }
 
+// distRun configures runOnce as ONE WORKER of a distributed run: the Sim
+// still builds the full replicated scenario, but only engines
+// [first, first+hosted) execute, synchronized through the transport. The
+// captured Observation is then a worker partial (see MergeObservations).
+type distRun struct {
+	transport     pdes.Transport
+	first, hosted int
+}
+
 // runOnce executes the scenario once on k engines under the given partition
 // and window, and captures an Observation. part nil with k=1 is the
 // sequential reference. inv, when non-nil, attaches the pdes runtime
-// invariant hooks. The netsim.Result is returned for profile capture.
-func runOnce(net *netsimNet, sc Scenario, k int, part []int32, window des.Time, inv *pdes.Invariants, tel *telemetry.SimTelemetry) (*Observation, *netsim.Result, error) {
-	s, err := netsim.New(netsim.Config{
+// invariant hooks. dr, when non-nil, runs the scenario as one distributed
+// worker. The netsim.Result is returned for profile capture.
+func runOnce(net *netsimNet, sc Scenario, k int, part []int32, window des.Time, inv *pdes.Invariants, tel *telemetry.SimTelemetry, dr *distRun) (*Observation, *netsim.Result, error) {
+	cfg := netsim.Config{
 		Net: net.net, Routes: net.routes, Part: part, Engines: k,
 		Window: window, End: sc.Horizon, Seed: sc.Seed,
 		Invariants: inv, Telemetry: tel,
-	})
+	}
+	if dr != nil {
+		cfg.Transport = dr.transport
+		cfg.FirstEngine = dr.first
+		cfg.HostedEngines = dr.hosted
+	}
+	s, err := netsim.New(cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -78,6 +94,9 @@ func runOnce(net *netsimNet, sc Scenario, k int, part []int32, window des.Time, 
 		})
 	}
 	res := s.Run()
+	if res.Err != nil {
+		return nil, nil, res.Err
+	}
 	obs.TotalEvents = res.TotalEvents
 	obs.DeliveredBits = res.DeliveredBits
 	obs.Dropped = res.Dropped
@@ -103,6 +122,18 @@ type netsimNet struct {
 	hosts  []model.NodeID
 	tcp    []tcpSpec
 	udp    []udpSpec
+}
+
+// buildBundle materializes a scenario into the bundle every run of it
+// shares. Distributed workers call it too: building from the same Scenario
+// value is what makes their setup replicas identical.
+func buildBundle(sc Scenario) (*netsimNet, error) {
+	mnet, routes, hosts, err := sc.Build()
+	if err != nil {
+		return nil, err
+	}
+	tcp, udp := sc.script(hosts)
+	return &netsimNet{net: mnet, routes: routes, hosts: hosts, tcp: tcp, udp: udp}, nil
 }
 
 // Divergence is one observable difference between the sequential reference
@@ -178,14 +209,12 @@ func (r *Report) Failed() bool {
 // run's measured profile into the mapper — the same feedback loop the real
 // experiments use.
 func Check(sc Scenario) (*Report, error) {
-	mnet, routes, hosts, err := sc.Build()
+	bundle, err := buildBundle(sc)
 	if err != nil {
 		return nil, err
 	}
-	tcp, udp := sc.script(hosts)
-	bundle := &netsimNet{net: mnet, routes: routes, hosts: hosts, tcp: tcp, udp: udp}
 
-	ref, refRes, err := runOnce(bundle, sc, 1, nil, core.MaxMLL, nil, nil)
+	ref, refRes, err := runOnce(bundle, sc, 1, nil, core.MaxMLL, nil, nil, nil)
 	if err != nil {
 		return nil, fmt.Errorf("simcheck: reference run: %w", err)
 	}
@@ -196,7 +225,7 @@ func Check(sc Scenario) (*Report, error) {
 
 	rep := &Report{Scenario: sc, Ref: ref}
 	for _, k := range sc.Ks {
-		m, err := core.Map(mnet, sc.Approach, core.Config{Engines: k, Seed: sc.Seed}, prof)
+		m, err := core.Map(bundle.net, sc.Approach, core.Config{Engines: k, Seed: sc.Seed}, prof)
 		if err != nil {
 			return nil, fmt.Errorf("simcheck: map k=%d: %w", k, err)
 		}
@@ -205,7 +234,7 @@ func Check(sc Scenario) (*Report, error) {
 			window = core.MaxMLL
 		}
 		inv := &pdes.Invariants{}
-		obs, res, err := runOnce(bundle, sc, k, m.Part, window, inv, nil)
+		obs, res, err := runOnce(bundle, sc, k, m.Part, window, inv, nil, nil)
 		if err != nil {
 			return nil, fmt.Errorf("simcheck: parallel run k=%d: %w", k, err)
 		}
@@ -278,21 +307,19 @@ func Diff(seq, par *Observation) []Divergence {
 // the artifact to open next to a divergence report: the divergent window
 // index from KRun.DivergentWindow locates the exchange that went wrong.
 func TraceRun(sc Scenario, k int, w io.Writer) error {
-	mnet, routes, hosts, err := sc.Build()
+	bundle, err := buildBundle(sc)
 	if err != nil {
 		return err
 	}
-	tcp, udp := sc.script(hosts)
-	bundle := &netsimNet{net: mnet, routes: routes, hosts: hosts, tcp: tcp, udp: udp}
 	var prof *profile.Profile
 	if sc.Approach.ProfileBased() {
-		_, refRes, err := runOnce(bundle, sc, 1, nil, core.MaxMLL, nil, nil)
+		_, refRes, err := runOnce(bundle, sc, 1, nil, core.MaxMLL, nil, nil, nil)
 		if err != nil {
 			return err
 		}
 		prof = profile.FromResult(refRes, sc.Horizon)
 	}
-	m, err := core.Map(mnet, sc.Approach, core.Config{Engines: k, Seed: sc.Seed}, prof)
+	m, err := core.Map(bundle.net, sc.Approach, core.Config{Engines: k, Seed: sc.Seed}, prof)
 	if err != nil {
 		return err
 	}
@@ -301,7 +328,7 @@ func TraceRun(sc Scenario, k int, w io.Writer) error {
 		window = core.MaxMLL
 	}
 	tel := telemetry.New(k, 1<<16)
-	if _, _, err := runOnce(bundle, sc, k, m.Part, window, &pdes.Invariants{}, tel); err != nil {
+	if _, _, err := runOnce(bundle, sc, k, m.Part, window, &pdes.Invariants{}, tel, nil); err != nil {
 		return err
 	}
 	return telemetry.WriteChromeTrace(w, tel.Windows.Snapshot(), map[string]string{

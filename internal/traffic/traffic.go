@@ -83,9 +83,60 @@ func sum(v []uint64) uint64 {
 	return t
 }
 
+// Tag kinds the HTTP workload registers on its simulation (a model-level
+// namespace; keep distinct from any other RegisterTag caller on the same
+// Sim).
+const (
+	// TagHTTPRequest marks a request flow: fires on the server when the
+	// request fully arrives. A = client index, B = response size in bytes.
+	TagHTTPRequest uint16 = 1
+	// TagHTTPResponse marks a response flow: fires on the client when the
+	// file fully arrives. A = client index.
+	TagHTTPResponse uint16 = 2
+)
+
+// httpWorkload is the per-Sim state behind the tag resolvers: replicated
+// setup builds an identical copy on every worker of a distributed run, so
+// a Tag resolves to an equivalent callback wherever it lands. Per-client
+// RNGs are drawn only from handlers on the client's engine, keeping them
+// single-owner (and, distributed, single-worker).
+type httpWorkload struct {
+	s     *netsim.Sim
+	cfg   HTTPConfig
+	stats *HTTPStats
+	rngs  []*rand.Rand
+	zipfs []*rand.Zipf
+}
+
+// issue sends client ci's next request at time at. Runs on the client's
+// engine.
+func (h *httpWorkload) issue(ci int, at des.Time) {
+	rng := h.rngs[ci]
+	var server model.NodeID
+	if h.zipfs[ci] != nil {
+		server = h.cfg.Servers[h.zipfs[ci].Uint64()]
+	} else {
+		server = h.cfg.Servers[rng.Intn(len(h.cfg.Servers))]
+	}
+	size := drawSize(rng, h.cfg)
+	if size < 1000 {
+		size = 1000
+	}
+	h.stats.Requests[ci]++
+	// Request flow; when it fully arrives at the server, the server sends
+	// the file; when the file fully arrives back, the client thinks and
+	// repeats. The chain crosses engine (and worker) boundaries through
+	// tags, so every callback runs on the engine owning the host it
+	// manipulates — on whichever worker hosts it.
+	h.s.StartFlowTagged(at, h.cfg.Clients[ci], server, h.cfg.RequestBytes,
+		netsim.Tag{}, netsim.Tag{Kind: TagHTTPRequest, A: uint64(ci), B: uint64(size)})
+}
+
 // InstallHTTP wires the background workload into the simulation. Call
-// before Run. Each client starts its first request at a random fraction of
-// the think time so load ramps smoothly.
+// before Run (in distributed runs: during the replicated setup, on every
+// worker). Each client starts its first request at a random fraction of
+// the think time so load ramps smoothly. At most one HTTP workload per
+// simulation (the tag kinds would collide).
 func InstallHTTP(s *netsim.Sim, cfg HTTPConfig) *HTTPStats {
 	cfg.setDefaults()
 	stats := &HTTPStats{
@@ -95,42 +146,36 @@ func InstallHTTP(s *netsim.Sim, cfg HTTPConfig) *HTTPStats {
 	if len(cfg.Servers) == 0 {
 		return stats
 	}
-	for ci, client := range cfg.Clients {
-		ci, client := ci, client
-		rng := rand.New(rand.NewSource(cfg.Seed + int64(ci)*104729))
-		var zipf *rand.Zipf
-		if cfg.ZipfS > 1 {
-			zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(cfg.Servers)-1))
+	h := &httpWorkload{
+		s: s, cfg: cfg, stats: stats,
+		rngs:  make([]*rand.Rand, len(cfg.Clients)),
+		zipfs: make([]*rand.Zipf, len(cfg.Clients)),
+	}
+	s.RegisterTag(TagHTTPRequest, func(t netsim.Tag, src, dst model.NodeID) func(des.Time) {
+		return func(at des.Time) {
+			// On the server (dst): send the file back to the client (src).
+			h.s.StartFlowTagged(at, dst, src, int64(t.B),
+				netsim.Tag{}, netsim.Tag{Kind: TagHTTPResponse, A: t.A})
 		}
-		var issue func(at des.Time)
-		issue = func(at des.Time) {
-			var server model.NodeID
-			if zipf != nil {
-				server = cfg.Servers[zipf.Uint64()]
-			} else {
-				server = cfg.Servers[rng.Intn(len(cfg.Servers))]
-			}
-			size := drawSize(rng, cfg)
-			if size < 1000 {
-				size = 1000
-			}
-			stats.Requests[ci]++
-			// Request flow; when it fully arrives at the server, the
-			// server sends the file; when the file fully arrives back,
-			// the client thinks and repeats. Every callback runs on the
-			// engine owning the host it manipulates.
-			s.StartFlowRecv(at, client, server, cfg.RequestBytes, nil,
-				func(reqArrived des.Time) {
-					s.StartFlowRecv(reqArrived, server, client, size, nil,
-						func(respArrived des.Time) {
-							stats.Responses[ci]++
-							gap := des.Time(rng.ExpFloat64() * float64(cfg.MeanGap))
-							issue(respArrived + gap)
-						})
-				})
+	})
+	s.RegisterTag(TagHTTPResponse, func(t netsim.Tag, src, dst model.NodeID) func(des.Time) {
+		ci := int(t.A)
+		return func(at des.Time) {
+			// On the client: count the file, think, request again.
+			h.stats.Responses[ci]++
+			gap := des.Time(h.rngs[ci].ExpFloat64() * float64(h.cfg.MeanGap))
+			h.issue(ci, at+gap)
+		}
+	})
+	for ci, client := range cfg.Clients {
+		ci := ci
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(ci)*104729))
+		h.rngs[ci] = rng
+		if cfg.ZipfS > 1 {
+			h.zipfs[ci] = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(cfg.Servers)-1))
 		}
 		first := des.Time(rng.Float64() * float64(cfg.MeanGap))
-		s.ScheduleAt(client, first, func(at des.Time) { issue(at) })
+		s.ScheduleAt(client, first, func(at des.Time) { h.issue(ci, at) })
 	}
 	return stats
 }

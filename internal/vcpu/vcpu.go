@@ -18,11 +18,12 @@ import (
 
 // Scheduler is the event-scheduling surface a CPU needs; *pdes.Engine
 // satisfies it. Schedule returns a value handle (see des.Event): keep it
-// by value and cancel through its address — scheduling never allocates.
+// by value and pass it back to Cancel — scheduling never allocates, and a
+// stale handle cancels as a safe no-op.
 type Scheduler interface {
 	Now() des.Time
 	Schedule(at des.Time, h des.Handler) des.Event
-	Cancel(e *des.Event)
+	Cancel(e des.Event)
 }
 
 // task is one unit of work in the processor-sharing queue.
@@ -84,7 +85,7 @@ func (c *CPU) advance() {
 // work.
 func (c *CPU) rearm() {
 	if c.timer.Scheduled() {
-		c.sched.Cancel(&c.timer)
+		c.sched.Cancel(c.timer)
 		c.timer = des.Event{}
 	}
 	if len(c.running) == 0 {

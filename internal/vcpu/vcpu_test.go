@@ -14,7 +14,7 @@ func (s kernelSched) Now() des.Time { return s.k.Now() }
 func (s kernelSched) Schedule(at des.Time, h des.Handler) des.Event {
 	return s.k.ScheduleFunc(at, h)
 }
-func (s kernelSched) Cancel(e *des.Event) { s.k.Cancel(e) }
+func (s kernelSched) Cancel(e des.Event) { s.k.Cancel(&e) }
 
 func run(k *des.Kernel) { k.Run(des.EndOfTime) }
 

@@ -1,0 +1,81 @@
+// Remote-event batch encoding: the typed, serializable representation of
+// events crossing engine processes at a barrier. Each event is a message
+// kind plus a model-defined payload; the transport carries the routing key
+// (at, src, dst, seq) explicitly so the destination worker can merge wire
+// events with locally-exchanged ones under the engine's strict
+// (at, src, seq) total order.
+package wire
+
+// Event is one remote simulation event in wire form.
+type Event struct {
+	// At is the simulated timestamp (des.Time as int64).
+	At int64
+	// Src and Dst are global engine indices.
+	Src, Dst int32
+	// Seq is the source engine's send sequence — with Src it forms the
+	// deterministic tie-break of the exchange order.
+	Seq uint64
+	// Kind selects the decoder in the model layer's registry.
+	Kind uint16
+	// Payload is the kind-specific fixed payload.
+	Payload []byte
+}
+
+// AppendEvent appends one event's encoding to buf.
+func AppendEvent(buf []byte, ev *Event) []byte {
+	e := Buffer{B: buf}
+	e.I64(ev.At)
+	e.I32(ev.Src)
+	e.I32(ev.Dst)
+	e.U64(ev.Seq)
+	e.U16(ev.Kind)
+	e.U16(uint16(len(ev.Payload)))
+	e.B = append(e.B, ev.Payload...)
+	return e.B
+}
+
+// AppendEvents appends a count-prefixed batch.
+func AppendEvents(buf []byte, evs []Event) []byte {
+	e := Buffer{B: buf}
+	e.U32(uint32(len(evs)))
+	buf = e.B
+	for i := range evs {
+		buf = AppendEvent(buf, &evs[i])
+	}
+	return buf
+}
+
+// ReadEvent decodes one event from r. The payload aliases r's buffer.
+func ReadEvent(r *Reader) (Event, error) {
+	var ev Event
+	ev.At = r.I64()
+	ev.Src = r.I32()
+	ev.Dst = r.I32()
+	ev.Seq = r.U64()
+	ev.Kind = r.U16()
+	n := int(r.U16())
+	ev.Payload = r.take(n)
+	return ev, r.Err()
+}
+
+// ReadEvents decodes a count-prefixed batch. Payloads alias r's buffer.
+func ReadEvents(r *Reader) ([]Event, error) {
+	n := r.U32()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	// Each event needs ≥ 26 bytes; reject counts the buffer cannot hold
+	// before allocating.
+	if uint64(n)*26 > uint64(r.Len()) {
+		return nil, ErrShort
+	}
+	evs := make([]Event, 0, n)
+	for i := uint32(0); i < n; i++ {
+		ev, err := ReadEvent(r)
+		if err != nil {
+			return nil, err
+		}
+		evs = append(evs, ev)
+	}
+	return evs, nil
+}

@@ -54,6 +54,7 @@ import (
 	"massf/internal/routing/bgp"
 	"massf/internal/routing/interdomain"
 	"massf/internal/routing/ospf"
+	"massf/internal/runspec"
 	"massf/internal/telemetry"
 	"massf/internal/topology"
 	"massf/internal/traffic"
@@ -172,7 +173,18 @@ func ReadProfile(r io.Reader) (*Profile, error) { return profile.Read(r) }
 
 // Simulation.
 type (
-	// SimConfig configures a packet-level simulation.
+	// RunSpec is the unified run configuration: the engine count, horizon,
+	// seed, real-time pacing, event cost, series resolution and telemetry
+	// knobs that previously appeared — with diverging defaults and
+	// validation — on SimConfig, experiments.SimOptions and the daemon's
+	// runctl.Spec. Normalize applies the shared defaults, Validate the
+	// shared range checks, and SimConfig() seeds a packet-simulation
+	// config; the daemon's Spec embeds it and the experiments harness
+	// aliases it, so a RunSpec is validated exactly once on every path.
+	RunSpec = runspec.RunSpec
+	// SimConfig configures a packet-level simulation in full detail:
+	// the shared RunSpec knobs plus everything a spec cannot know (the
+	// network, routes, partition, barrier window, transport).
 	SimConfig = netsim.Config
 	// Simulation is a configured simulation; inject traffic, then Run.
 	Simulation = netsim.Sim
