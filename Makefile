@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-all smoke clean
+.PHONY: check vet build test race bench bench-all smoke churn clean
 
-check: vet build race smoke
+check: vet build race smoke churn
 
 vet:
 	$(GO) vet ./...
@@ -25,6 +25,12 @@ race:
 # loopback TCP, including the kill-a-worker failure attribution path.
 smoke:
 	$(GO) test -count=1 -run 'TestToolsEndToEnd|TestMassfdSmoke|TestDistributedEndToEnd|TestDistributedWorkerKillAttribution' .
+
+# Conformance under scripted link/router churn: 25 seeded scenarios, each
+# given a derived fault script and checked sequential vs k∈{2,4,8}, plus a
+# distributed k=4 leg over two in-process workers.
+churn:
+	$(GO) run ./cmd/simcheck -scenarios 25 -churn -dist 2 -dist-k 4
 
 # Perf trajectory: run the event-pipeline benchmarks (kernel, barrier
 # window, Fig6 end-to-end, telemetry publish) with allocation counting and

@@ -61,6 +61,7 @@ func run(args []string, out io.Writer, nowNano func() int64) error {
 		profPath  = fs.String("profile", "", "traffic profile input")
 		profIn    = fs.String("profile-in", "", "alias for -profile (pairs with -profile-out)")
 		profOut   = fs.String("profile-out", "", "write the measured profile here")
+		faultPath = fs.String("faults", "", "JSON fault script: scripted link/router churn with live reconvergence")
 		traceOut  = fs.String("trace", "", "write the run's flight recording here as Chrome trace JSON (load in ui.perfetto.dev)")
 		straggler = fs.Int("stragglers", 0, "print the top-K straggler report after the run (0 = off)")
 		seed      = fs.Int64("seed", 0, "simulation seed (0 = derive from the clock)")
@@ -143,6 +144,22 @@ func run(args []string, out io.Writer, nowNano func() int64) error {
 		}
 	}
 
+	var plane *massf.FaultPlane
+	if *faultPath != "" {
+		ff, err := os.Open(*faultPath)
+		if err != nil {
+			return err
+		}
+		script, err := massf.LoadFaultScript(ff)
+		ff.Close()
+		if err != nil {
+			return err
+		}
+		if plane, err = massf.NewFaultPlane(net, routes, script); err != nil {
+			return err
+		}
+	}
+
 	mapping, err := massf.Map(net, a, massf.MappingConfig{Engines: *engines, Seed: *seed}, prof)
 	if err != nil {
 		return err
@@ -155,11 +172,15 @@ func run(args []string, out io.Writer, nowNano func() int64) error {
 	if *traceOut != "" || *straggler > 0 {
 		tel = massf.NewTelemetry(*engines)
 	}
-	sim, err := massf.NewSimulation(massf.SimConfig{
+	cfg := massf.SimConfig{
 		Net: net, Routes: routes, Part: mapping.Part, Engines: *engines,
 		Window: mapping.MLL, End: end, Seed: *seed,
 		EventCost: cost, RealTimeFactor: *realTime, Telemetry: tel,
-	})
+	}
+	if plane != nil {
+		cfg.Faults = plane
+	}
+	sim, err := massf.NewSimulation(cfg)
 	if err != nil {
 		return err
 	}
@@ -173,6 +194,9 @@ func run(args []string, out io.Writer, nowNano func() int64) error {
 	}
 	if len(hosts) < 9 {
 		return fmt.Errorf("network has only %d hosts; need ≥ 9", len(hosts))
+	}
+	if plane != nil {
+		plane.Prepare(hosts)
 	}
 	appHosts := hosts[:7]
 	free := hosts[7:]
@@ -226,6 +250,30 @@ func run(args []string, out io.Writer, nowNano func() int64) error {
 		httpStats.TotalRequests(), httpStats.TotalResponses())
 	for i, ws := range appFlows {
 		fmt.Fprintf(out, "app[%d]               %d rounds, first finish %v\n", i, ws.Rounds, ws.FirstFinish)
+	}
+	if plane != nil {
+		var lost uint64
+		for _, d := range res.FaultDrops {
+			lost += d
+		}
+		fmt.Fprintf(out, "faults               %d events, %d pkts lost during reconvergence\n",
+			plane.NumFaults(), lost)
+		for i, ev := range plane.Events() {
+			target := fmt.Sprintf("link %d", ev.Link)
+			if ev.Kind == massf.NodeFaultDown || ev.Kind == massf.NodeFaultUp {
+				target = fmt.Sprintf("node %d", ev.Node)
+			}
+			if ev.NoOp {
+				fmt.Fprintf(out, "fault[%d]             %s %s at %v: no-op\n", i, ev.Kind, target, ev.At)
+				continue
+			}
+			var drops uint64
+			if i < len(res.FaultDrops) {
+				drops = res.FaultDrops[i]
+			}
+			fmt.Fprintf(out, "fault[%d]             %s %s at %v: %d bgp msgs, %d routes changed, routes live at %v, %d pkts lost\n",
+				i, ev.Kind, target, ev.At, ev.UpdateMsgs, ev.RoutesChanged, ev.RoutesAt, drops)
+		}
 	}
 
 	if *profOut != "" {

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"massf/internal/dist"
+	"massf/internal/faults"
 	"massf/internal/runctl"
 	"massf/internal/simcheck"
 )
@@ -46,6 +47,7 @@ func main() {
 		workers   = flag.Int("workers", maxInt(1, runtime.NumCPU()/2), "maximum concurrent simulations")
 		ringCap   = flag.Int("ring", 4096, "per-run window-record ring capacity")
 		withPprof = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ and expvar under /debug/vars")
+		faultPath = flag.String("faults", "", "JSON fault script applied to every submitted run that carries none of its own")
 
 		worker     = flag.Bool("worker", false, "run as a distributed-simulation worker instead of the HTTP daemon")
 		join       = flag.String("join", "", "coordinator address to dial (worker mode)")
@@ -75,6 +77,21 @@ func main() {
 	}
 
 	mgr := runctl.NewManager(*workers, *ringCap)
+	if *faultPath != "" {
+		ff, err := os.Open(*faultPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "massfd:", err)
+			os.Exit(1)
+		}
+		script, err := faults.Load(ff)
+		ff.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "massfd:", err)
+			os.Exit(1)
+		}
+		mgr.SetDefaultFaults(script)
+		log.Printf("massfd: default fault script %s (%d events)", *faultPath, len(script.Events))
+	}
 	var handler http.Handler = runctl.NewServer(mgr)
 	if *withPprof {
 		// Host-side profiling of the daemon itself (goroutine/heap/CPU),

@@ -11,6 +11,7 @@
 //	simcheck -repro 42 -v                   # re-check one seed verbosely
 //	simcheck -repro 42 -trace div.json      # dump the failing run's trace
 //	simcheck -scenario-json '{"Seed":42,...}'  # re-check a shrunk reproducer
+//	simcheck -scenarios 25 -churn -dist 2 -dist-k 4  # churn sweep + distributed leg
 package main
 
 import (
@@ -49,7 +50,9 @@ func run(args []string, out io.Writer) (bool, error) {
 	shrink := fs.Bool("shrink", true, "shrink a failing seed to a minimal reproducer")
 	shrinkBudget := fs.Int("shrink-budget", 40, "max oracle re-runs the shrinker may spend")
 	trace := fs.String("trace", "", "on failure, write a Chrome trace of the first failing run to this file")
+	churn := fs.Bool("churn", false, "inject seeded link/router fault churn into every swept scenario (the fault-plane conformance dimension)")
 	distWorkers := fs.Int("dist", 0, "also run each scenario across this many loopback TCP workers (largest k in -ks) and diff the merged observables")
+	distK := fs.Int("dist-k", 0, "with -dist: pin the distributed engine count (default: largest k in -ks)")
 	distListen := fs.String("dist-listen", "", "with -dist: listen on this address and wait for external workers (massfd -worker -join <addr>) instead of spawning in-process worker loops")
 	verbose := fs.Bool("v", false, "print every scenario, not just failures")
 	if err := fs.Parse(args); err != nil {
@@ -72,11 +75,17 @@ func run(args []string, out io.Writer) (bool, error) {
 	case *repro != 0:
 		sc := simcheck.NewScenario(*repro)
 		sc.Ks = kList
+		if *churn {
+			sc = simcheck.Churn(sc)
+		}
 		list = []simcheck.Scenario{sc}
 	default:
 		for i := 0; i < *scenarios; i++ {
 			sc := simcheck.NewScenario(*seed + int64(i))
 			sc.Ks = kList
+			if *churn {
+				sc = simcheck.Churn(sc)
+			}
 			list = append(list, sc)
 		}
 	}
@@ -89,7 +98,7 @@ func run(args []string, out io.Writer) (bool, error) {
 		}
 		if !rep.Failed() {
 			if *distWorkers > 0 {
-				ok, err := checkDistributed(out, sc, *distWorkers, *distListen, *verbose)
+				ok, err := checkDistributed(out, sc, *distWorkers, *distK, *distListen, *verbose)
 				if err != nil {
 					return false, fmt.Errorf("seed %d distributed: %w", sc.Seed, err)
 				}
@@ -110,6 +119,11 @@ func run(args []string, out io.Writer) (bool, error) {
 				r, err := simcheck.Check(c)
 				return err == nil && r.Failed()
 			}, *shrinkBudget)
+			// Freeze seeded churn into its explicit fault timeline so the
+			// reproducer JSON survives generator changes.
+			if mat, err := min.Materialized(); err == nil {
+				min = mat
+			}
 			b, _ := json.Marshal(min)
 			fmt.Fprintf(out, "shrunk reproducer: %s\n", min)
 			fmt.Fprintf(out, "re-check with: simcheck -scenario-json '%s'\n", b)
@@ -137,19 +151,22 @@ func run(args []string, out io.Writer) (bool, error) {
 	return true, nil
 }
 
-// checkDistributed reruns a passing scenario with its largest engine count
-// split across `workers` TCP workers and diffs the merged observables
-// against the sequential reference. With listen == "" the workers are
-// in-process loopback loops; otherwise the oracle listens there and waits
-// for external worker processes (massfd -worker) to join.
-func checkDistributed(out io.Writer, sc simcheck.Scenario, workers int, listen string, verbose bool) (bool, error) {
-	k := 0
-	for _, c := range sc.Ks {
-		if c >= workers && c > k {
-			k = c
+// checkDistributed reruns a passing scenario with one engine count (pinned
+// by -dist-k, else the largest in Ks) split across `workers` TCP workers
+// and diffs the merged observables against the sequential reference. With
+// listen == "" the workers are in-process loopback loops; otherwise the
+// oracle listens there and waits for external worker processes
+// (massfd -worker) to join.
+func checkDistributed(out io.Writer, sc simcheck.Scenario, workers, pinnedK int, listen string, verbose bool) (bool, error) {
+	k := pinnedK
+	if k == 0 {
+		for _, c := range sc.Ks {
+			if c >= workers && c > k {
+				k = c
+			}
 		}
 	}
-	if k == 0 {
+	if k == 0 || k < workers {
 		return true, nil // no engine count can host that many workers
 	}
 	var rep *simcheck.DistReport

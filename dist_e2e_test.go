@@ -95,6 +95,62 @@ func TestDistributedEndToEnd(t *testing.T) {
 	}
 }
 
+// TestDistributedChurnEndToEnd is the subprocess variant of the churn
+// conformance dimension: the same scripted link/router faults are compiled
+// independently by the coordinator and by both massfd -worker processes
+// (replicated setup), and the merged k=4 observables — per-fault loss
+// attribution included — must match the sequential reference exactly.
+func TestDistributedChurnEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs massfd worker subprocesses")
+	}
+	bin := buildMassfd(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	const workers = 2
+	var wg sync.WaitGroup
+	outs := make([][]byte, workers)
+	errs := make([]error, workers)
+	for i := 0; i < workers; i++ {
+		i := i
+		cmd := exec.Command(bin, "-worker", "-join", ln.Addr().String(),
+			"-worker-name", "w"+string(rune('0'+i)))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			outs[i], errs[i] = cmd.CombinedOutput()
+		}()
+	}
+
+	sc := simcheck.Churn(distE2EScenario())
+	rep, err := simcheck.ServeDistributed(ln, sc, 4, workers, dist.Options{})
+	wg.Wait()
+	if err != nil {
+		for i := range outs {
+			t.Logf("worker %d output:\n%s", i, outs[i])
+		}
+		t.Fatalf("distributed churn run failed: %v", err)
+	}
+	for i, werr := range errs {
+		if werr != nil {
+			t.Fatalf("worker %d exited with error: %v\n%s", i, werr, outs[i])
+		}
+	}
+	if len(rep.Ref.FaultDrops) == 0 {
+		t.Fatal("churn scenario compiled no fault plane")
+	}
+	for _, d := range rep.DivsInProc {
+		t.Errorf("in-process k=4 divergence: %v", d)
+	}
+	for _, d := range rep.DivsDist {
+		t.Errorf("distributed divergence: %v", d)
+	}
+}
+
 // notifyListener counts accepted connections so the test can act once
 // every worker has joined. SetDeadline forwards so the coordinator's join
 // deadline still works through the wrapper.

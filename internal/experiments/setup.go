@@ -12,6 +12,7 @@ import (
 	"massf/internal/cluster"
 	"massf/internal/core"
 	"massf/internal/des"
+	"massf/internal/faults"
 	"massf/internal/mabrite"
 	"massf/internal/model"
 	"massf/internal/netsim"
@@ -120,7 +121,10 @@ type Setup struct {
 	MultiAS bool
 	Net     *model.Network
 	Routes  netsim.Routes
-	Sync    cluster.SyncCostModel
+	// Router is the concrete interdomain router behind Routes — the base
+	// routing epoch a fault plane advances from.
+	Router *interdomain.Router
+	Sync   cluster.SyncCostModel
 
 	Hosts    []model.NodeID
 	AppHosts []model.NodeID
@@ -168,6 +172,7 @@ func finishSetup(sc Scale, net *model.Network, multi bool) (*Setup, error) {
 	st := &Setup{Scale: sc, MultiAS: multi, Net: net, Sync: cluster.DefaultTeraGrid()}
 	router := interdomain.New(net)
 	st.Routes = router
+	st.Router = router
 	for i := range net.Nodes {
 		if net.Nodes[i].Kind == model.Host {
 			st.Hosts = append(st.Hosts, model.NodeID(i))
@@ -294,13 +299,26 @@ func (st *Setup) BuildSim(m *core.Mapping, w Workload, opt SimOptions) (*netsim.
 	if window > core.MaxMLL {
 		window = core.MaxMLL
 	}
-	s, err := netsim.New(netsim.Config{
+	var plane *faults.Plane
+	if opt.Faults != nil {
+		var err error
+		plane, err = faults.NewPlane(st.Net, st.Router, opt.Faults)
+		if err != nil {
+			return nil, nil, err
+		}
+		plane.Prepare(st.Hosts)
+	}
+	cfg := netsim.Config{
 		Net: st.Net, Routes: st.Routes, Part: m.Part, Engines: st.Scale.Engines,
 		Window: window, End: st.Scale.Horizon,
 		Sync: st.Sync, EventCost: st.Scale.EventCost, Seed: st.Scale.Seed,
 		SeriesBuckets: opt.SeriesBuckets, RealTimeFactor: opt.RealTimeFactor,
 		Telemetry: opt.Telemetry,
-	})
+	}
+	if plane != nil {
+		cfg.Faults = plane
+	}
+	s, err := netsim.New(cfg)
 	if err != nil {
 		return nil, nil, err
 	}

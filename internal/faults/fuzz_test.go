@@ -1,0 +1,72 @@
+package faults
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"massf/internal/des"
+	"massf/internal/model"
+	"massf/internal/routing/interdomain"
+)
+
+// fuzzTarget lazily builds the fixed two-AS network (provider 0, customer
+// 1, one host each) every fuzz iteration compiles scripts against.
+var fuzzTarget = sync.OnceValues(func() (*model.Network, *interdomain.Router) {
+	net := &model.Network{}
+	r0 := net.AddNode(model.Router, 0, 0, 0)
+	r1 := net.AddNode(model.Router, 1, 100, 0)
+	h0 := net.AddNode(model.Host, 0, 0, 10)
+	h1 := net.AddNode(model.Host, 1, 100, 10)
+	lid := net.AddLink(r0, r1, 1_000_000, model.Bps1G)
+	net.AddLink(h0, r0, 10_000, model.Bps1G)
+	net.AddLink(h1, r1, 10_000, model.Bps1G)
+	net.ASes = []model.AS{
+		{ID: 0, Routers: []model.NodeID{r0}, Hosts: []model.NodeID{h0}, DefaultBorder: -1,
+			Neighbors: []model.ASNeighbor{{AS: 1, Rel: model.RelCustomer, LocalBorder: r0, RemoteBorder: r1, Link: lid}}},
+		{ID: 1, Routers: []model.NodeID{r1}, Hosts: []model.NodeID{h1}, DefaultBorder: -1,
+			Neighbors: []model.ASNeighbor{{AS: 0, Rel: model.RelProvider, LocalBorder: r1, RemoteBorder: r0, Link: lid}}},
+	}
+	if err := net.Validate(); err != nil {
+		panic(err)
+	}
+	return net, interdomain.New(net)
+})
+
+// FuzzFaultScript feeds arbitrary JSON through the full script pipeline:
+// parse, structural validation, target validation, plane compilation, and
+// probe lookups. Anything that passes validation must compile and answer
+// queries without panicking, and every fault must converge no earlier than
+// it strikes.
+func FuzzFaultScript(f *testing.F) {
+	f.Add([]byte(`{"events":[{"at_ns":1000000,"kind":"link-down","link":0}]}`))
+	f.Add([]byte(`{"spf_delay_ns":1000,"per_msg_ns":10,"events":[{"at_ns":5000000,"kind":"link-flap","link":0,"period_ns":100000,"count":3}]}`))
+	f.Add([]byte(`{"events":[{"at_ns":2000000,"kind":"node-down","node":1},{"at_ns":4000000,"kind":"node-up","node":1}]}`))
+	f.Add([]byte(`{"events":[{"at_ns":1,"kind":"link-down","link":1,"converge_ns":1},{"at_ns":2,"kind":"link-up","link":1}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return // malformed input is the parser's problem, not a crash
+		}
+		net, base := fuzzTarget()
+		if err := sc.ValidateFor(net); err != nil {
+			return
+		}
+		p, err := NewPlane(net, base, sc)
+		if err != nil {
+			t.Fatalf("validated script failed to compile: %v", err)
+		}
+		for _, at := range []des.Time{0, des.Millisecond, des.Second, 2 * des.Second, maxEventTime} {
+			p.NextLink(at, 0, 3)
+			p.NextLink(at, 2, 3)
+			p.LinkUp(at, 0)
+			p.NodeUp(at, 1)
+		}
+		for i := 0; i < p.NumFaults(); i++ {
+			if p.FaultRoutesAt(i) < p.FaultAt(i) {
+				t.Fatalf("fault %d: routes take effect at %v, before the fault at %v",
+					i, p.FaultRoutesAt(i), p.FaultAt(i))
+			}
+		}
+	})
+}

@@ -190,6 +190,7 @@ func (c netCodec) Encode(eh des.EventHandler) (uint16, []byte, error) {
 	}
 	var b wire.Buffer
 	b.U32(uint32(h.node))
+	b.U32(uint32(h.link))
 	b.U32(uint32(pkt.Src))
 	b.U32(uint32(pkt.Dst))
 	b.I64(pkt.Bits)
@@ -220,6 +221,7 @@ func (c netCodec) Decode(dst int, kind uint16, payload []byte) (des.EventHandler
 	s := c.s
 	r := wire.NewReader(payload)
 	node := model.NodeID(r.U32())
+	link := model.LinkID(r.U32())
 	pkt := Packet{
 		Src:    model.NodeID(r.U32()),
 		Dst:    model.NodeID(r.U32()),
@@ -265,6 +267,7 @@ func (c netCodec) Decode(dst int, kind uint16, payload []byte) (des.EventHandler
 	}
 	h := s.newHop(dst)
 	h.node = node
+	h.link = link
 	h.pkt = pkt
 	return h, nil
 }

@@ -30,6 +30,29 @@ type Routes interface {
 	NextLink(cur, dst model.NodeID) model.LinkID
 }
 
+// FaultPlane is the scripted-churn hook (implemented by faults.Plane; an
+// interface here to keep netsim decoupled from the routing stack). Every
+// method must be a pure function of simulated time — concurrent engines
+// and replicated distributed workers query it independently and must see
+// identical answers — and safe for concurrent use.
+type FaultPlane interface {
+	// NumFaults is the expanded fault-event count; FaultAt gives event i's
+	// physical time. Used to schedule telemetry marker events.
+	NumFaults() int
+	FaultAt(i int) des.Time
+	// FaultConvergeNS and FaultRoutesAt describe event i's modeled
+	// reconvergence (for telemetry gauges).
+	FaultConvergeNS(i int) int64
+	FaultRoutesAt(i int) des.Time
+	// NextLink is time-aware forwarding: the routing regime in force at
+	// now decides the hop.
+	NextLink(now des.Time, cur, dst model.NodeID) model.LinkID
+	// LinkUp / NodeUp report physical element state at now; when down, the
+	// second result is the responsible fault index (for loss attribution).
+	LinkUp(now des.Time, lid model.LinkID) (bool, int)
+	NodeUp(now des.Time, n model.NodeID) (bool, int)
+}
+
 // Config configures a network simulation.
 type Config struct {
 	// Net is the virtual network.
@@ -68,6 +91,13 @@ type Config struct {
 	// kernel structure) for this simulation; see pdes.Invariants. Nil (the
 	// default) disables them at zero per-event cost.
 	Invariants *pdes.Invariants
+	// Faults, when non-nil, enables the scripted fault plane: forwarding
+	// becomes time-aware (NextLink consults the routing epoch in force),
+	// packets touching failed links or nodes drop with per-fault
+	// attribution, and each fault event fires a telemetry marker. Nil (the
+	// default) keeps the static-routing hot path unchanged at a nil check
+	// per hop.
+	Faults FaultPlane
 	// Transport, when non-nil, runs this Sim as one worker of a
 	// distributed simulation (see pdes.Config.Transport): the full
 	// scenario must be built identically on every worker (replicated
@@ -122,15 +152,16 @@ const DefaultTTL = 64
 type hopEvent struct {
 	s    *Sim
 	node model.NodeID
+	link model.LinkID // link the packet arrives over (fault-plane checks)
 	pkt  Packet
 }
 
 func (h *hopEvent) OnEvent(now des.Time) {
-	s, node, pkt := h.s, h.node, h.pkt
+	s, node, link, pkt := h.s, h.node, h.link, h.pkt
 	h.pkt = Packet{} // drop flow/callback references while pooled
 	eng := s.EngineOf(node)
 	s.hopFree[eng] = append(s.hopFree[eng], h)
-	s.arrive(node, pkt)
+	s.arrive(now, node, link, pkt)
 }
 
 // newHop takes a hop event from engine's pool, allocating only when the
@@ -157,6 +188,9 @@ type Sim struct {
 	dirs       []linkDir // 2*link+dirIndex
 	nodeEvents []uint64  // per-node kernel event counts (profiling)
 	queueNS    []int64   // per link: max queueing delay before tail drop
+
+	faults     FaultPlane // nil ⇒ static routing, zero fault overhead
+	faultDrops [][]uint64 // [engine][fault]: losses attributed to each fault
 
 	flowsByEngine [][]*flow // flows started, accumulated per owning engine
 	delivered     []uint64  // per-engine bits delivered to hosts
@@ -251,7 +285,56 @@ func New(cfg Config) (*Sim, error) {
 	for i := range cfg.Net.Links {
 		s.queueNS[i] = cfg.QueueBytes * 8 * int64(des.Second) / cfg.Net.Links[i].Bandwidth
 	}
+	if cfg.Faults != nil {
+		s.faults = cfg.Faults
+		nf := s.faults.NumFaults()
+		s.faultDrops = make([][]uint64, cfg.Engines)
+		for e := range s.faultDrops {
+			s.faultDrops[e] = make([]uint64, nf)
+		}
+		// Marker events make faults visible in the kernel event stream and
+		// telemetry. All on engine 0, so the event count stays independent
+		// of the partition — and in distributed mode only engine 0's host
+		// executes them, so each marker fires exactly once globally.
+		for i := 0; i < nf; i++ {
+			i := i
+			at := s.faults.FaultAt(i)
+			if at >= cfg.End {
+				continue
+			}
+			s.ps.Engine(0).Schedule(at, func(des.Time) {
+				if s.tel != nil {
+					s.tel.FaultEvents.Inc()
+					s.tel.FaultConverge.Set(s.faults.FaultConvergeNS(i))
+					s.tel.FaultRoutesAt.Set(int64(s.faults.FaultRoutesAt(i)))
+				}
+			})
+		}
+	}
 	return s, nil
+}
+
+// nextLink resolves forwarding at simulated time now: time-aware through
+// the fault plane when one is configured, the static Routes otherwise.
+func (s *Sim) nextLink(now des.Time, cur, dst model.NodeID) model.LinkID {
+	if s.faults != nil {
+		return s.faults.NextLink(now, cur, dst)
+	}
+	return s.cfg.Routes.NextLink(cur, dst)
+}
+
+// faultDrop records a packet lost to fault fi (-1 for an unattributed
+// fault-state drop) at node's engine.
+func (s *Sim) faultDrop(node model.NodeID, fi int) {
+	e := s.EngineOf(node)
+	s.dropped[e]++
+	if fi >= 0 {
+		s.faultDrops[e][fi]++
+	}
+	if s.tel != nil {
+		s.tel.Drops.Inc()
+		s.tel.FaultDrops.Inc()
+	}
 }
 
 // EngineOf returns the engine that owns node n.
@@ -279,6 +362,12 @@ func (s *Sim) transmit(node model.NodeID, lid model.LinkID, pkt Packet) {
 	dir := &s.dirs[dirIdx]
 	eng := s.ps.Engine(s.EngineOf(node))
 	now := eng.Now()
+	if s.faults != nil {
+		if up, fi := s.faults.LinkUp(now, lid); !up {
+			s.faultDrop(node, fi)
+			return
+		}
+	}
 	start := now
 	if dir.busyUntil > start {
 		start = dir.busyUntil
@@ -305,6 +394,7 @@ func (s *Sim) transmit(node model.NodeID, lid model.LinkID, pkt Packet) {
 	dstEng := s.EngineOf(next)
 	h := s.newHop(eng.ID())
 	h.node = next
+	h.link = lid
 	h.pkt = pkt
 	if dstEng == eng.ID() {
 		eng.ScheduleEvent(arrival, h)
@@ -313,8 +403,23 @@ func (s *Sim) transmit(node model.NodeID, lid model.LinkID, pkt Packet) {
 	}
 }
 
-// arrive processes a packet landing on node. Must run on node's engine.
-func (s *Sim) arrive(node model.NodeID, pkt Packet) {
+// arrive processes a packet landing on node at time now, having crossed
+// link via (-1 when locally originated). Must run on node's engine.
+func (s *Sim) arrive(now des.Time, node model.NodeID, via model.LinkID, pkt Packet) {
+	if s.faults != nil {
+		// A link that failed while the packet was in flight takes the
+		// packet with it; a failed node neither receives nor forwards.
+		if via >= 0 {
+			if up, fi := s.faults.LinkUp(now, via); !up {
+				s.faultDrop(node, fi)
+				return
+			}
+		}
+		if up, fi := s.faults.NodeUp(now, node); !up {
+			s.faultDrop(node, fi)
+			return
+		}
+	}
 	s.nodeEvents[node]++
 	if node == pkt.Dst {
 		s.deliver(node, pkt)
@@ -328,7 +433,7 @@ func (s *Sim) arrive(node model.NodeID, pkt Packet) {
 		}
 		return // TTL exhausted (forwarding loop protection)
 	}
-	lid := s.cfg.Routes.NextLink(node, pkt.Dst)
+	lid := s.nextLink(now, node, pkt.Dst)
 	if lid < 0 {
 		s.dropped[s.EngineOf(node)]++
 		if s.tel != nil {
@@ -339,16 +444,22 @@ func (s *Sim) arrive(node model.NodeID, pkt Packet) {
 	s.transmit(node, lid, pkt)
 }
 
-// inject starts a packet at its source node (host or router). Must run on
-// the source's engine.
-func (s *Sim) inject(pkt Packet) {
+// inject starts a packet at its source node (host or router) at time now.
+// Must run on the source's engine.
+func (s *Sim) inject(now des.Time, pkt Packet) {
+	if s.faults != nil {
+		if up, fi := s.faults.NodeUp(now, pkt.Src); !up {
+			s.faultDrop(pkt.Src, fi)
+			return
+		}
+	}
 	pkt.ttl = DefaultTTL
 	s.nodeEvents[pkt.Src]++
 	if pkt.Src == pkt.Dst {
 		s.deliver(pkt.Dst, pkt)
 		return
 	}
-	lid := s.cfg.Routes.NextLink(pkt.Src, pkt.Dst)
+	lid := s.nextLink(now, pkt.Src, pkt.Dst)
 	if lid < 0 {
 		s.dropped[s.EngineOf(pkt.Src)]++
 		if s.tel != nil {
@@ -372,8 +483,8 @@ func (s *Sim) SendUDP(at des.Time, src, dst model.NodeID, bytes int64, onDeliver
 		udpID = int32(len(s.udpCbs))
 		s.flowMu.Unlock()
 	}
-	s.ScheduleAt(src, at, func(des.Time) {
-		s.inject(Packet{Src: src, Dst: dst, Bits: bytes * 8, deliverCb: onDeliver, udpID: udpID})
+	s.ScheduleAt(src, at, func(now des.Time) {
+		s.inject(now, Packet{Src: src, Dst: dst, Bits: bytes * 8, deliverCb: onDeliver, udpID: udpID})
 	})
 }
 
@@ -401,6 +512,9 @@ type Result struct {
 	// LastCompletion is the time the final completed flow finished (the
 	// paper's application simulation time at app granularity).
 	LastCompletion des.Time
+	// FaultDrops[i] is the number of packets lost to fault event i (nil
+	// when the run had no fault plane). Included in Dropped.
+	FaultDrops []uint64
 }
 
 // Run executes the simulation and gathers results. In distributed mode the
@@ -426,6 +540,14 @@ func (s *Sim) Run() Result {
 		res.Dropped += s.dropped[e]
 		res.DeliveredBits += s.delivered[e]
 		res.Retransmissions += s.retrans[e]
+	}
+	if s.faults != nil {
+		res.FaultDrops = make([]uint64, s.faults.NumFaults())
+		for e := 0; e < s.cfg.Engines; e++ {
+			for i, d := range s.faultDrops[e] {
+				res.FaultDrops[i] += d
+			}
+		}
 	}
 	// Replicated setup starts every flow on every worker; only the engine
 	// owning a flow's source runs its sender, so a distributed worker

@@ -158,8 +158,9 @@ func (s *Sim) sendWindow(f *flow) {
 // for RTT sampling); retransmissions clear the timestamp per Karn's rule.
 func (s *Sim) sendSeg(f *flow, seq int32, fresh bool) {
 	eng := s.ps.Engine(s.EngineOf(f.src))
+	now := eng.Now()
 	if fresh && f.sendTime[seq] == 0 {
-		f.sendTime[seq] = eng.Now()
+		f.sendTime[seq] = now
 	} else {
 		f.sendTime[seq] = 0
 		s.retrans[eng.ID()]++
@@ -169,7 +170,7 @@ func (s *Sim) sendSeg(f *flow, seq int32, fresh bool) {
 	}
 	s.nodeEvents[f.src]++
 	pkt := Packet{Src: f.src, Dst: f.dst, Bits: f.segBits(seq), Seq: seq, flow: f, ttl: DefaultTTL}
-	lid := s.cfg.Routes.NextLink(f.src, f.dst)
+	lid := s.nextLink(now, f.src, f.dst)
 	if lid < 0 {
 		s.dropped[eng.ID()]++
 		return
@@ -233,7 +234,7 @@ func (s *Sim) onData(f *flow, pkt Packet) {
 	}
 	// ACK travels back through the network like any packet.
 	ack := Packet{Src: f.dst, Dst: f.src, Bits: AckBytes * 8, Ack: true, AckNum: f.recvNext, flow: f, ttl: DefaultTTL}
-	lid := s.cfg.Routes.NextLink(f.dst, f.src)
+	lid := s.nextLink(s.ps.Engine(s.EngineOf(f.dst)).Now(), f.dst, f.src)
 	if lid < 0 {
 		s.dropped[s.EngineOf(f.dst)]++
 		return

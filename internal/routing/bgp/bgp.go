@@ -150,6 +150,17 @@ type Simulator struct {
 	rib   *RIB
 	adjIn []map[int32][]*Route
 	queue []update
+	// down marks failed sessions by canonical (min,max) AS pair; queued
+	// updates crossing a down session are discarded undelivered.
+	down map[[2]int32]bool
+}
+
+// sessionKey canonicalizes an AS pair for the down-session set.
+func sessionKey(a, b int32) [2]int32 {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int32{a, b}
 }
 
 // NewSimulator builds an idle simulator: no prefixes originated, empty
@@ -216,6 +227,9 @@ func (s *Simulator) Run() int {
 	for len(s.queue) > 0 {
 		u := s.queue[0]
 		s.queue = s.queue[1:]
+		if s.down[sessionKey(u.from, u.to)] {
+			continue // session failed with the update in flight: lost, uncounted
+		}
 		s.rib.Messages++
 		burst++
 		if burst > bound {
@@ -224,6 +238,91 @@ func (s *Simulator) Run() int {
 		s.process(u)
 	}
 	return burst
+}
+
+// SessionDown fails the BGP session between ASes a and b. Each side
+// immediately withdraws everything it had learned over the session — the
+// same state transition a real speaker performs when the TCP session dies —
+// so a following Run propagates the loss. The synthetic withdrawals are
+// applied directly (the session carries nothing once down); only the
+// resulting propagation to other neighbors counts as messages.
+func (s *Simulator) SessionDown(a, b int32) {
+	key := sessionKey(a, b)
+	if s.down == nil {
+		s.down = make(map[[2]int32]bool)
+	}
+	if s.down[key] {
+		return
+	}
+	s.down[key] = true
+	s.flushSession(a, b)
+	s.flushSession(b, a)
+}
+
+// flushSession withdraws every route `to` had learned from `from`.
+func (s *Simulator) flushSession(from, to int32) {
+	adj := s.adjIn[to][from]
+	for dest, r := range adj {
+		if r != nil {
+			s.process(update{from: from, to: to, dest: int32(dest)})
+		}
+	}
+}
+
+// SessionUp restores the session between ASes a and b. Both sides
+// re-announce their current exportable best routes over it, as a real
+// speaker does on session establishment; a following Run converges the
+// re-learned state.
+func (s *Simulator) SessionUp(a, b int32) {
+	key := sessionKey(a, b)
+	if !s.down[key] {
+		return
+	}
+	delete(s.down, key)
+	s.refreshSession(a, b)
+	s.refreshSession(b, a)
+}
+
+// refreshSession queues announcements of every exportable best route from
+// `from` to `to`.
+func (s *Simulator) refreshSession(from, to int32) {
+	rel := s.relOf(from, to)
+	for dest, best := range s.rib.best[from] {
+		if best != nil && exportable(best, rel) {
+			s.queue = append(s.queue, update{
+				from: from, to: to, dest: int32(dest),
+				route: &Route{Dest: int32(dest), Path: best.Path, MED: best.MED},
+			})
+		}
+	}
+}
+
+// Clone returns an independent copy of the simulator sharing the immutable
+// network (and *Route values, which are never mutated after install) but
+// owning its RIB, adj-RIBs-in, queue and session state, so protocol events
+// applied to the clone never disturb the original.
+func (s *Simulator) Clone() *Simulator {
+	n := len(s.net.ASes)
+	c := &Simulator{
+		net:   s.net,
+		rib:   &RIB{best: make([][]*Route, n), Messages: s.rib.Messages},
+		adjIn: make([]map[int32][]*Route, n),
+		queue: append([]update(nil), s.queue...),
+	}
+	for as := 0; as < n; as++ {
+		c.rib.best[as] = append([]*Route(nil), s.rib.best[as]...)
+		c.adjIn[as] = make(map[int32][]*Route, len(s.adjIn[as]))
+		for nb, routes := range s.adjIn[as] {
+			c.adjIn[as][nb] = append([]*Route(nil), routes...)
+		}
+	}
+	if len(s.down) > 0 {
+		c.down = make(map[[2]int32]bool, len(s.down))
+		for k, v := range s.down {
+			c.down[k] = v
+		}
+	}
+	return c
 }
 
 // process applies one update: import policy, decision process, export.

@@ -280,3 +280,85 @@ func BenchmarkConverge100AS(b *testing.B) {
 		Converge(net)
 	}
 }
+
+// Diamond for session-churn tests: 0 is provider of 1 and 2; 1 and 2 are
+// providers of 3. 3 reaches 0 over either middle AS.
+func diamondNet(t *testing.T) *model.Network {
+	t.Helper()
+	return asNet(t, 4,
+		[][2]int32{{0, 1}, {0, 2}, {1, 3}, {2, 3}},
+		[]model.Relationship{model.RelCustomer, model.RelCustomer, model.RelCustomer, model.RelCustomer})
+}
+
+func converged(t *testing.T, net *model.Network) *Simulator {
+	t.Helper()
+	s := NewSimulator(net)
+	for i := range net.ASes {
+		s.Announce(net.ASes[i].ID)
+	}
+	s.Run()
+	return s
+}
+
+func TestSessionDownWithdrawsAndReroutes(t *testing.T) {
+	s := converged(t, diamondNet(t))
+	nh, ok := s.RIB().NextHopAS(3, 0)
+	if !ok {
+		t.Fatal("precondition: 3 cannot reach 0")
+	}
+	other := int32(1)
+	if nh == 1 {
+		other = 2
+	}
+	s.SessionDown(nh, 3)
+	if msgs := s.Run(); msgs == 0 {
+		t.Fatal("session down propagated zero updates")
+	}
+	got, ok := s.RIB().NextHopAS(3, 0)
+	if !ok || got != other {
+		t.Fatalf("3→0 next hop after downing session %d—3: got %d ok=%v, want %d", nh, got, ok, other)
+	}
+}
+
+func TestSessionDownBothUplinksPartitions(t *testing.T) {
+	s := converged(t, diamondNet(t))
+	s.SessionDown(1, 3)
+	s.SessionDown(2, 3)
+	s.Run()
+	if _, ok := s.RIB().NextHopAS(3, 0); ok {
+		t.Fatal("3 still reaches 0 with both uplink sessions down")
+	}
+	if _, ok := s.RIB().NextHopAS(0, 3); ok {
+		t.Fatal("0 still reaches 3 with both of 3's uplink sessions down")
+	}
+}
+
+func TestSessionUpRestoresConvergedState(t *testing.T) {
+	net := diamondNet(t)
+	s := converged(t, net)
+	before := Compare(s.RIB(), s.RIB())
+	s.SessionDown(1, 3)
+	s.Run()
+	s.SessionUp(1, 3)
+	s.Run()
+	ref := Converge(net)
+	cmp := Compare(s.RIB(), ref)
+	if cmp.SamePath != cmp.Pairs {
+		t.Fatalf("down/up cycle did not restore the converged RIB: %d/%d same paths (self-compare %d/%d)",
+			cmp.SamePath, cmp.Pairs, before.SamePath, before.Pairs)
+	}
+}
+
+func TestCloneIsolatesSessions(t *testing.T) {
+	s := converged(t, diamondNet(t))
+	c := s.Clone()
+	c.SessionDown(1, 3)
+	c.SessionDown(2, 3)
+	c.Run()
+	if _, ok := c.RIB().NextHopAS(3, 0); ok {
+		t.Fatal("clone still routes over its down sessions")
+	}
+	if _, ok := s.RIB().NextHopAS(3, 0); !ok {
+		t.Fatal("downing sessions on the clone broke the original")
+	}
+}

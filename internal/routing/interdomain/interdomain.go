@@ -30,10 +30,22 @@ import (
 // Router resolves next-hop forwarding decisions over a multi-AS network.
 // It is safe for concurrent use after New returns (lookups may lazily add
 // OSPF tables under the domain's lock).
+//
+// A Router is an immutable snapshot of converged routing state. Topology
+// change is modeled by Advance, which derives a NEW router reflecting the
+// post-reconvergence state — the fault plane keeps one router per routing
+// epoch and switches between them by simulated time.
 type Router struct {
 	net     *model.Network
 	domains []*ospf.Domain
 	rib     *bgp.RIB
+	// sim is the live BGP state machine behind rib (nil for single-AS
+	// networks); Advance clones it to replay session failures.
+	sim *bgp.Simulator
+	// linkDown/nodeDown mirror the failure state baked into the domains
+	// and rib of this snapshot (nil ⇒ none failed).
+	linkDown []bool
+	nodeDown []bool
 }
 
 // New converges BGP over net's AS graph and builds one OSPF domain per AS.
@@ -47,7 +59,12 @@ func New(net *model.Network) *Router {
 		r.domains[i] = ospf.NewDomain(net, members)
 	}
 	if len(net.ASes) > 1 {
-		r.rib = bgp.Converge(net)
+		r.sim = bgp.NewSimulator(net)
+		for as := range net.ASes {
+			r.sim.Announce(int32(as))
+		}
+		r.sim.Run()
+		r.rib = r.sim.RIB()
 	}
 	return r
 }
@@ -143,6 +160,133 @@ func (r *Router) stubForward(as *model.AS, cur model.NodeID, dstAS int32, dst mo
 		return provider
 	}
 	return reachable
+}
+
+// Change is one topology delta handed to Advance: a link or a node (the
+// unused field is -1) going down or coming back up.
+type Change struct {
+	Link model.LinkID
+	Node model.NodeID
+	Down bool
+}
+
+// LinkChange builds a link up/down change.
+func LinkChange(lid model.LinkID, down bool) Change {
+	return Change{Link: lid, Node: -1, Down: down}
+}
+
+// NodeChange builds a node up/down change.
+func NodeChange(n model.NodeID, down bool) Change {
+	return Change{Link: -1, Node: n, Down: down}
+}
+
+// Advance derives the routing state after the given topology changes
+// reconverge: affected OSPF domains recompute shortest paths around the
+// failed elements, and BGP sessions whose underlying link or border router
+// changed state are torn down or re-established, with the resulting
+// withdrawal/re-announcement storm run to quiescence. It returns the new
+// immutable router and the number of BGP update messages the storm
+// exchanged (the convergence-work measure). The receiver is untouched;
+// unaffected per-AS state is shared between the two snapshots.
+func (r *Router) Advance(changes []Change) (*Router, int) {
+	if len(changes) == 0 {
+		return r, 0
+	}
+	nr := &Router{
+		net:     r.net,
+		domains: append([]*ospf.Domain(nil), r.domains...),
+		rib:     r.rib,
+		sim:     r.sim,
+		linkDown: append(make([]bool, 0, len(r.net.Links)),
+			r.maskOrZero(r.linkDown, len(r.net.Links))...),
+		nodeDown: append(make([]bool, 0, len(r.net.Nodes)),
+			r.maskOrZero(r.nodeDown, len(r.net.Nodes))...),
+	}
+	// Apply intra-AS (OSPF) consequences, cloning only affected domains.
+	cloned := make(map[int32]bool)
+	domain := func(as int32) *ospf.Domain {
+		if !cloned[as] {
+			nr.domains[as] = nr.domains[as].Clone()
+			cloned[as] = true
+		}
+		return nr.domains[as]
+	}
+	for _, ch := range changes {
+		if ch.Link >= 0 {
+			nr.linkDown[ch.Link] = ch.Down
+			l := &r.net.Links[ch.Link]
+			if a, b := r.net.Nodes[l.A].AS, r.net.Nodes[l.B].AS; a == b {
+				domain(a).SetLinkDown(ch.Link, ch.Down)
+			}
+		}
+		if ch.Node >= 0 {
+			nr.nodeDown[ch.Node] = ch.Down
+			as := r.net.Nodes[ch.Node].AS
+			domain(as).SetNodeDown(ch.Node, ch.Down)
+		}
+	}
+	// Apply inter-AS (BGP) consequences: a session is up iff its link and
+	// both border routers are. Compare old vs new status for adjacencies
+	// touching the changed elements and replay the flips on a cloned
+	// simulator.
+	msgs := 0
+	if r.sim != nil {
+		type flip struct {
+			a, b int32
+			down bool
+		}
+		var flips []flip
+		seen := make(map[[2]int32]bool)
+		for i := range r.net.ASes {
+			as := &r.net.ASes[i]
+			for _, nb := range as.Neighbors {
+				key := [2]int32{min(as.ID, nb.AS), max(as.ID, nb.AS)}
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				was := r.sessionDown(nb)
+				now := nr.sessionDown(nb)
+				if was != now {
+					flips = append(flips, flip{as.ID, nb.AS, now})
+				}
+			}
+		}
+		if len(flips) > 0 {
+			sim := r.sim.Clone()
+			for _, f := range flips {
+				if f.down {
+					sim.SessionDown(f.a, f.b)
+				} else {
+					sim.SessionUp(f.a, f.b)
+				}
+			}
+			msgs = sim.Run()
+			nr.sim = sim
+			nr.rib = sim.RIB()
+		}
+	}
+	return nr, msgs
+}
+
+// sessionDown reports whether adjacency nb is failed under this snapshot's
+// masks: its inter-AS link down or either border router down.
+func (r *Router) sessionDown(nb model.ASNeighbor) bool {
+	if r.linkDown != nil && r.linkDown[nb.Link] {
+		return true
+	}
+	if r.nodeDown != nil && (r.nodeDown[nb.LocalBorder] || r.nodeDown[nb.RemoteBorder]) {
+		return true
+	}
+	return false
+}
+
+// maskOrZero returns mask, or a fresh all-false mask of length n when nil.
+func (r *Router) maskOrZero(mask []bool, n int) []bool {
+	if mask != nil {
+		return mask
+	}
+	return make([]bool, n)
 }
 
 // Prepare precomputes the OSPF tables the simulation will need: shortest

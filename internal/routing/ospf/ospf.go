@@ -23,6 +23,12 @@ type Domain struct {
 	net     *model.Network
 	members []bool // nil ⇒ every node is a member
 
+	// linkDown/nodeDown mark failed elements SPF must route around
+	// (nil ⇒ none). Mutated only via SetLinkDown/SetNodeDown, which also
+	// invalidate any cached trees the change could stale.
+	linkDown []bool
+	nodeDown []bool
+
 	mu     sync.RWMutex
 	tables map[model.NodeID][]int32 // dst → per-node next-hop link id (-1 unknown)
 }
@@ -113,6 +119,102 @@ func (d *Domain) CachedTables() int {
 	return len(d.tables)
 }
 
+// Clone returns an independent copy of the domain sharing the immutable
+// network and member set but owning its cached tables and failure masks,
+// so SetLinkDown/SetNodeDown on the clone never disturb the original. The
+// cached table slices themselves are shared — they are never mutated after
+// computation, only replaced.
+func (d *Domain) Clone() *Domain {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	c := &Domain{
+		net:     d.net,
+		members: d.members,
+		tables:  make(map[model.NodeID][]int32, len(d.tables)),
+	}
+	for dst, t := range d.tables {
+		c.tables[dst] = t
+	}
+	if d.linkDown != nil {
+		c.linkDown = append([]bool(nil), d.linkDown...)
+	}
+	if d.nodeDown != nil {
+		c.nodeDown = append([]bool(nil), d.nodeDown...)
+	}
+	return c
+}
+
+// SetLinkDown marks link lid failed (or restores it) and invalidates every
+// cached tree the change could stale: a failure only invalidates trees that
+// actually route over lid; a restoration invalidates all trees, since any
+// of them might now have a shorter path through the revived link. Later
+// NextLink calls recompute lazily.
+func (d *Domain) SetLinkDown(lid model.LinkID, down bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.linkDown == nil {
+		if !down {
+			return
+		}
+		d.linkDown = make([]bool, len(d.net.Links))
+	}
+	if d.linkDown[lid] == down {
+		return
+	}
+	d.linkDown[lid] = down
+	if !down {
+		clear(d.tables)
+		return
+	}
+	for dst, table := range d.tables {
+		for _, next := range table {
+			if next == int32(lid) {
+				delete(d.tables, dst)
+				break
+			}
+		}
+	}
+}
+
+// SetNodeDown marks node n failed (or restores it). A failed node neither
+// forwards nor receives: trees rooted at it and trees routing through any
+// of its links are invalidated on failure; restoration invalidates all
+// trees.
+func (d *Domain) SetNodeDown(n model.NodeID, down bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.nodeDown == nil {
+		if !down {
+			return
+		}
+		d.nodeDown = make([]bool, len(d.net.Nodes))
+	}
+	if d.nodeDown[n] == down {
+		return
+	}
+	d.nodeDown[n] = down
+	if !down {
+		clear(d.tables)
+		return
+	}
+	incident := make(map[int32]bool)
+	for _, lid := range d.net.Incident(n) {
+		incident[int32(lid)] = true
+	}
+	for dst, table := range d.tables {
+		if dst == n {
+			delete(d.tables, dst)
+			continue
+		}
+		for _, next := range table {
+			if next >= 0 && incident[next] {
+				delete(d.tables, dst)
+				break
+			}
+		}
+	}
+}
+
 func (d *Domain) computeAndStore(dst model.NodeID) []int32 {
 	table := d.spt(dst)
 	d.mu.Lock()
@@ -140,7 +242,8 @@ func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
 func (q *pq) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
 
 // spt runs Dijkstra rooted at dst and records, for every reachable member
-// node, the first link on its shortest path toward dst.
+// node, the first link on its shortest path toward dst. Failed links and
+// nodes are excluded; a tree rooted at a failed destination is all -1.
 func (d *Domain) spt(dst model.NodeID) []int32 {
 	n := len(d.net.Nodes)
 	dist := make([]int64, n)
@@ -149,6 +252,9 @@ func (d *Domain) spt(dst model.NodeID) []int32 {
 	for i := range dist {
 		dist[i] = -1
 		next[i] = -1
+	}
+	if d.nodeDown != nil && d.nodeDown[dst] {
+		return next
 	}
 	dist[dst] = 0
 	q := pq{{dst, 0}}
@@ -160,9 +266,15 @@ func (d *Domain) spt(dst model.NodeID) []int32 {
 		}
 		done[u] = true
 		for _, lid := range d.net.Incident(u) {
+			if d.linkDown != nil && d.linkDown[lid] {
+				continue
+			}
 			l := &d.net.Links[lid]
 			v := l.Other(u)
 			if !d.contains(v) || done[v] {
+				continue
+			}
+			if d.nodeDown != nil && d.nodeDown[v] {
 				continue
 			}
 			nd := it.dist + l.Latency

@@ -195,6 +195,106 @@ func TestQuickRoutingSound(t *testing.T) {
 	}
 }
 
+// triangleNet builds 0—1 (10), 1—2 (10), 0—2 (100): the cheap path to 2
+// transits 1, the expensive direct link is the detour.
+func triangleNet(t *testing.T) (net *model.Network, cheap01, direct model.LinkID) {
+	t.Helper()
+	net = &model.Network{}
+	for i := 0; i < 3; i++ {
+		net.AddNode(model.Router, 0, 0, 0)
+	}
+	cheap01 = net.AddLink(0, 1, 10, model.Bps1G)
+	net.AddLink(1, 2, 10, model.Bps1G)
+	direct = net.AddLink(0, 2, 100, model.Bps1G)
+	return net, cheap01, direct
+}
+
+// Regression for the cached-table staleness bug: a table computed before a
+// link went down must not keep routing over it.
+func TestSetLinkDownInvalidatesCachedTables(t *testing.T) {
+	net, cheap01, direct := triangleNet(t)
+	d := NewDomain(net, nil)
+	if got := d.NextLink(0, 2); got == direct {
+		t.Fatalf("precondition: fresh routing already uses the detour link %d", got)
+	}
+	d.SetLinkDown(cheap01, true)
+	if got := d.NextLink(0, 2); got != direct {
+		t.Fatalf("NextLink(0,2) = %d after downing link %d, want detour %d", got, cheap01, direct)
+	}
+	d.SetLinkDown(cheap01, false)
+	if got := d.NextLink(0, 2); got == direct {
+		t.Fatalf("NextLink(0,2) still uses the detour after the link healed")
+	}
+}
+
+func TestSetNodeDownInvalidatesAndIsolates(t *testing.T) {
+	net, _, direct := triangleNet(t)
+	d := NewDomain(net, nil)
+	d.Prepare([]model.NodeID{1, 2}) // warm the caches the change must invalidate
+	d.SetNodeDown(1, true)
+	if got := d.NextLink(0, 2); got != direct {
+		t.Fatalf("NextLink(0,2) = %d with router 1 down, want detour %d", got, direct)
+	}
+	if got := d.NextLink(0, 1); got != -1 {
+		t.Fatalf("NextLink(0,1) = %d to a down router, want -1", got)
+	}
+	d.SetNodeDown(1, false)
+	if got := d.NextLink(0, 2); got == direct {
+		t.Fatal("NextLink(0,2) still detours after router 1 recovered")
+	}
+}
+
+// Clone must isolate fault state both ways: flips on the clone never leak
+// into the (possibly concurrently-read) original, and vice versa.
+func TestCloneIsolatesFaultState(t *testing.T) {
+	net := lineNet(3, 1000)
+	d := NewDomain(net, nil)
+	d.Prepare([]model.NodeID{0, 2})
+	c := d.Clone()
+	c.SetLinkDown(0, true) // cuts the 0—1—2 chain
+	if got := c.NextLink(0, 2); got != -1 {
+		t.Fatalf("clone routes over its own down link: NextLink = %d", got)
+	}
+	if got := d.NextLink(0, 2); got < 0 {
+		t.Fatal("downing a link on the clone broke routing on the original")
+	}
+	d.SetLinkDown(1, true)
+	if got := c.NextLink(1, 2); got < 0 {
+		t.Fatal("downing a link on the original broke routing on the clone")
+	}
+}
+
+// Property: after downing a random link, no walk ever crosses it, and
+// every reachable destination is still reached without loops.
+func TestDownLinkNeverOnPath(t *testing.T) {
+	net, err := topology.GenerateFlat(topology.FlatOptions{Routers: 60, Hosts: 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, down := range []model.LinkID{0, 7, 31} {
+		d := NewDomain(net, nil)
+		d.SetLinkDown(down, true)
+		for s := 0; s < 12; s++ {
+			src := model.NodeID(s * 5 % len(net.Nodes))
+			dst := model.NodeID((s*11 + 3) % len(net.Nodes))
+			if src == dst {
+				continue
+			}
+			cur := src
+			for hops := 0; cur != dst && hops <= len(net.Nodes); hops++ {
+				lid := d.NextLink(cur, dst)
+				if lid < 0 {
+					break // legitimately unreachable with the link down
+				}
+				if lid == down {
+					t.Fatalf("route %d→%d crosses down link %d", src, dst, down)
+				}
+				cur = net.Links[lid].Other(cur)
+			}
+		}
+	}
+}
+
 func BenchmarkSPT2000Routers(b *testing.B) {
 	net, err := topology.GenerateFlat(topology.FlatOptions{Routers: 2000, Hosts: 0, Seed: 1})
 	if err != nil {

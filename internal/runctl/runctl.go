@@ -16,6 +16,7 @@ import (
 	"massf/internal/core"
 	"massf/internal/dml"
 	"massf/internal/experiments"
+	"massf/internal/faults"
 	"massf/internal/mabrite"
 	"massf/internal/metrics"
 	"massf/internal/model"
@@ -179,6 +180,17 @@ type NetSummary struct {
 	Dropped         uint64 `json:"dropped"`
 	Retransmissions uint64 `json:"retransmissions"`
 	DeliveredBits   uint64 `json:"delivered_bits"`
+	// FaultDrops is the subset of Dropped attributed to scripted faults
+	// (0 for fault-free runs).
+	FaultDrops uint64 `json:"fault_drops,omitempty"`
+}
+
+// FaultRecord is one fault event's full outcome: the plane's reconvergence
+// report plus the packet loss the run attributed to it. Served by
+// GET /runs/{id}/faults.
+type FaultRecord struct {
+	faults.FaultInfo
+	Drops uint64 `json:"drops"`
 }
 
 // Run is one submitted scenario. Its telemetry bundle is live from
@@ -203,6 +215,22 @@ type Run struct {
 	net       *NetSummary
 	part      []int32
 	captured  *profile.Profile
+	faultRecs []FaultRecord
+}
+
+// Faults returns the per-fault reconvergence/loss report of a finished
+// run, or nil while the simulation is in flight (or the run had no fault
+// script).
+func (r *Run) Faults() []FaultRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.faultRecs
+}
+
+func (r *Run) setFaults(recs []FaultRecord) {
+	r.mu.Lock()
+	r.faultRecs = recs
+	r.mu.Unlock()
 }
 
 // Partition returns the node→engine assignment the run executed under
@@ -299,6 +327,9 @@ type Info struct {
 	// ProfileCaptured reports that a measured traffic profile is
 	// available from GET /runs/{id}/profile.
 	ProfileCaptured bool `json:"profile_captured,omitempty"`
+	// FaultEvents is the number of scripted fault events the run executed;
+	// the per-fault report is at GET /runs/{id}/faults.
+	FaultEvents int `json:"fault_events,omitempty"`
 
 	Report *metrics.Report `json:"report,omitempty"`
 	Net    *NetSummary     `json:"net,omitempty"`
@@ -314,6 +345,7 @@ func (r *Run) Info() Info {
 		Submitted: r.submitted, MLLms: r.mllMS,
 		Report: r.report, Net: r.net,
 		ProfileCaptured: r.captured != nil,
+		FaultEvents:     len(r.faultRecs),
 	}
 	if !r.started.IsZero() {
 		t := r.started
@@ -338,6 +370,9 @@ func (r *Run) Info() Info {
 type Manager struct {
 	sem     chan struct{}
 	ringCap int
+	// defaultFaults, when set, is injected into submitted specs that carry
+	// no fault script of their own (the massfd -faults flag).
+	defaultFaults *faults.Script
 
 	mu    sync.Mutex
 	runs  map[string]*Run
@@ -345,6 +380,10 @@ type Manager struct {
 	next  int
 	wg    sync.WaitGroup
 }
+
+// SetDefaultFaults installs a fault script applied to every submission
+// lacking one. Call before serving; not synchronized against Submit.
+func (m *Manager) SetDefaultFaults(sc *faults.Script) { m.defaultFaults = sc }
 
 // NewManager returns a manager executing at most workers simulations
 // concurrently (min 1), each with a window ring of ringCap records.
@@ -365,6 +404,9 @@ func NewManager(workers, ringCap int) *Manager {
 // Submit validates a spec, registers the run and launches its worker
 // goroutine. The returned run is already visible to Get/List.
 func (m *Manager) Submit(spec Spec) (*Run, error) {
+	if spec.Faults == nil {
+		spec.Faults = m.defaultFaults
+	}
 	spec.normalize()
 	if err := spec.validate(); err != nil {
 		return nil, err
@@ -600,6 +642,7 @@ func (m *Manager) execute(r *Run) (*metrics.Report, *NetSummary, error) {
 		Telemetry:      r.Tel,
 		RealTimeFactor: spec.RealTimeFactor,
 		SeriesBuckets:  256,
+		Faults:         spec.Faults,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -616,6 +659,17 @@ func (m *Manager) execute(r *Run) (*metrics.Report, *NetSummary, error) {
 		FlowsStarted: res.FlowsStarted, FlowsCompleted: res.FlowsCompleted,
 		Dropped: res.Dropped, Retransmissions: res.Retransmissions,
 		DeliveredBits: res.DeliveredBits,
+	}
+	if plane, ok := sim.Config().Faults.(*faults.Plane); ok && plane != nil {
+		recs := make([]FaultRecord, len(plane.Events()))
+		for i, ev := range plane.Events() {
+			recs[i] = FaultRecord{FaultInfo: ev}
+			if i < len(res.FaultDrops) {
+				recs[i].Drops = res.FaultDrops[i]
+				sum.FaultDrops += res.FaultDrops[i]
+			}
+		}
+		r.setFaults(recs)
 	}
 	return &rep, sum, nil
 }

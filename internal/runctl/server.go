@@ -23,6 +23,12 @@
 //	                              the run (massf-profile text format);
 //	                              resubmit it in Spec.Profile to drive
 //	                              PROF/HPROF from measured rates
+//	GET    /runs/{id}/faults      per-fault reconvergence report of a
+//	                              finished run: physical time, BGP update
+//	                              messages, modeled convergence delay,
+//	                              when new routes took effect, attributed
+//	                              packet loss (JSON; 404 while in flight
+//	                              or for fault-free runs)
 //	GET    /metrics               aggregate Prometheus exposition across
 //	                              all runs (run="<id>" labels)
 package runctl
@@ -61,6 +67,7 @@ func NewServer(m *Manager) *Server {
 	s.mux.HandleFunc("GET /runs/{id}/trace", s.runTrace)
 	s.mux.HandleFunc("GET /runs/{id}/straggler", s.runStraggler)
 	s.mux.HandleFunc("GET /runs/{id}/profile", s.runProfile)
+	s.mux.HandleFunc("GET /runs/{id}/faults", s.runFaults)
 	s.mux.HandleFunc("GET /metrics", s.aggregateMetrics)
 	return s
 }
@@ -249,6 +256,28 @@ func (s *Server) runProfile(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	p.Write(w)
+}
+
+// runFaults serves the per-fault reconvergence and loss report captured
+// when the simulation returned. 404 while the run is in flight or when it
+// carried no fault script.
+func (s *Server) runFaults(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("runctl: no run %q", r.PathValue("id")))
+		return
+	}
+	recs := run.Faults()
+	if recs == nil {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("runctl: run %q has no fault report (no fault script, or still %s)", run.ID, run.State()))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"run":    run.ID,
+		"count":  len(recs),
+		"faults": recs,
+	})
 }
 
 // aggregateMetrics serves the merged Prometheus exposition: daemon

@@ -11,6 +11,8 @@ import (
 	"testing"
 	"time"
 
+	"massf/internal/des"
+	"massf/internal/faults"
 	"massf/internal/flight"
 	"massf/internal/profile"
 	"massf/internal/runspec"
@@ -521,5 +523,66 @@ func TestServerFlightRecorder(t *testing.T) {
 		if resp.StatusCode != http.StatusNotFound {
 			t.Fatalf("GET %s: status %d, want 404", path, resp.StatusCode)
 		}
+	}
+}
+
+// TestServerFaultReport drives a fault-scripted run over HTTP: the
+// submitted spec carries a link outage, and once the run finishes
+// GET /runs/{id}/faults serves the per-fault reconvergence/loss report.
+// Runs without a script (and runs still in flight) 404.
+func TestServerFaultReport(t *testing.T) {
+	mgr := NewManager(2, 256)
+	ts := httptest.NewServer(NewServer(mgr))
+	defer ts.Close()
+
+	spec := testSpec("churny", 3, 0.5, 0)
+	spec.Faults = &faults.Script{
+		Events: faults.Outage(0, 100*des.Millisecond, 200*des.Millisecond),
+	}
+	info := submitSpec(t, ts.URL, spec)
+	done := waitState(t, ts.URL, info.ID, 30*time.Second, func(i Info) bool { return i.State.Terminal() })
+	if done.State != StateDone {
+		t.Fatalf("run ended %s (err=%q)", done.State, done.Error)
+	}
+
+	resp, err := http.Get(ts.URL + "/runs/" + info.ID + "/faults")
+	if err != nil {
+		t.Fatalf("faults: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("faults: status %d: %s", resp.StatusCode, b)
+	}
+	var rep struct {
+		Run    string        `json:"run"`
+		Count  int           `json:"count"`
+		Faults []FaultRecord `json:"faults"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatalf("faults: decode: %v", err)
+	}
+	if rep.Run != info.ID || rep.Count != 2 || len(rep.Faults) != 2 {
+		t.Fatalf("fault report shape wrong: run=%q count=%d len=%d", rep.Run, rep.Count, len(rep.Faults))
+	}
+	if rep.Faults[0].Kind != faults.LinkDown || rep.Faults[0].At != 100*des.Millisecond {
+		t.Fatalf("fault 0 = %+v, want the scripted link-down at 100ms", rep.Faults[0])
+	}
+	for i, fr := range rep.Faults {
+		if fr.RoutesAt < fr.At {
+			t.Errorf("fault %d: routes live at %v, before the fault at %v", i, fr.RoutesAt, fr.At)
+		}
+	}
+
+	// A scriptless run has no report.
+	plain := submitSpec(t, ts.URL, testSpec("plain", 3, 0.3, 0))
+	waitState(t, ts.URL, plain.ID, 30*time.Second, func(i Info) bool { return i.State.Terminal() })
+	resp, err = http.Get(ts.URL + "/runs/" + plain.ID + "/faults")
+	if err != nil {
+		t.Fatalf("faults (plain): %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("faults on a scriptless run: status %d, want 404", resp.StatusCode)
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"massf/internal/des"
+	"massf/internal/faults"
 	"massf/internal/netsim"
 	"massf/internal/telemetry"
 )
@@ -36,6 +37,11 @@ type RunSpec struct {
 	// SeriesBuckets caps the per-window load series length (0 keeps
 	// every window).
 	SeriesBuckets int `json:"series_buckets,omitempty"`
+	// Faults, when non-nil, is the scripted fault plane injected into the
+	// run: timed link/router churn with modeled OSPF/BGP reconvergence.
+	// The script is structurally validated here; target ids are checked
+	// against the concrete topology when the plane is compiled.
+	Faults *faults.Script `json:"faults,omitempty"`
 	// Telemetry receives live observability data (nil disables it). Use
 	// one SimTelemetry per run. Never serialized.
 	Telemetry *telemetry.SimTelemetry `json:"-"`
@@ -73,6 +79,9 @@ func (s *RunSpec) Validate() error {
 	}
 	if s.SeriesBuckets < 0 {
 		return fmt.Errorf("runspec: series buckets must be ≥ 0")
+	}
+	if err := s.Faults.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

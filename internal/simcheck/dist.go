@@ -76,6 +76,9 @@ func MergeObservations(parts []*Observation) (*Observation, error) {
 		TCPRecv:    make([]des.Time, len(parts[0].TCPRecv)),
 		UDPRecv:    make([]des.Time, len(parts[0].UDPRecv)),
 	}
+	if parts[0].FaultDrops != nil {
+		m.FaultDrops = make([]uint64, len(parts[0].FaultDrops))
+	}
 	sumSlice := func(dst, src []uint64, field string, wi int) error {
 		if len(src) != len(dst) {
 			return fmt.Errorf("simcheck: worker %d reports %d %s entries, worker 0 reports %d",
@@ -122,6 +125,9 @@ func MergeObservations(parts []*Observation) (*Observation, error) {
 			return nil, err
 		}
 		if err := sumSlice(m.LinkDrops, p.LinkDrops, "LinkDrops", wi); err != nil {
+			return nil, err
+		}
+		if err := sumSlice(m.FaultDrops, p.FaultDrops, "FaultDrops", wi); err != nil {
 			return nil, err
 		}
 		if err := mergeTimes(m.TCPDone, p.TCPDone, "TCPDone", wi); err != nil {

@@ -118,3 +118,26 @@ func TestCheckDistributedMatchesReference(t *testing.T) {
 		}
 	}
 }
+
+// TestChurnDistributed: the acceptance case — a churn scenario at k=4
+// split across 2 workers over the wire matches the sequential reference
+// byte for byte, fault-loss attribution included.
+func TestChurnDistributed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributed churn run skipped in -short")
+	}
+	sc := Churn(distScenario())
+	rep, err := CheckDistributed(sc, 4, 2, dist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Ref.FaultDrops) == 0 {
+		t.Fatal("churn scenario compiled no fault plane")
+	}
+	for _, d := range rep.DivsInProc {
+		t.Errorf("in-process k=4: %v", d)
+	}
+	for _, d := range rep.DivsDist {
+		t.Errorf("distributed: %v", d)
+	}
+}

@@ -6,10 +6,12 @@ import (
 
 	"massf/internal/core"
 	"massf/internal/des"
+	"massf/internal/faults"
 	"massf/internal/model"
 	"massf/internal/netsim"
 	"massf/internal/pdes"
 	"massf/internal/profile"
+	"massf/internal/routing/interdomain"
 	"massf/internal/telemetry"
 	"massf/internal/traffic"
 )
@@ -31,6 +33,7 @@ type Observation struct {
 	NodeEvents []uint64 // per router/host: kernel events attributed
 	LinkBits   []uint64 // per link: carried bits
 	LinkDrops  []uint64 // per link: tail drops
+	FaultDrops []uint64 // per scripted fault: loss attributed (churn scenarios)
 
 	TCPDone []des.Time // per scripted TCP flow: completion time (0 = never)
 	TCPRecv []des.Time // per scripted TCP flow: full delivery at receiver
@@ -59,6 +62,9 @@ func runOnce(net *netsimNet, sc Scenario, k int, part []int32, window des.Time, 
 		Net: net.net, Routes: net.routes, Part: part, Engines: k,
 		Window: window, End: sc.Horizon, Seed: sc.Seed,
 		Invariants: inv, Telemetry: tel,
+	}
+	if net.plane != nil {
+		cfg.Faults = net.plane
 	}
 	if dr != nil {
 		cfg.Transport = dr.transport
@@ -107,6 +113,7 @@ func runOnce(net *netsimNet, sc Scenario, k int, part []int32, window des.Time, 
 	obs.NodeEvents = res.NodeEvents
 	obs.LinkBits = res.LinkBits
 	obs.LinkDrops = res.LinkDrops
+	obs.FaultDrops = res.FaultDrops
 	if httpStats != nil {
 		obs.HTTPRequests = httpStats.TotalRequests()
 		obs.HTTPResponses = httpStats.TotalResponses()
@@ -114,26 +121,42 @@ func runOnce(net *netsimNet, sc Scenario, k int, part []int32, window des.Time, 
 	return obs, &res, nil
 }
 
-// netsimNet bundles a built scenario: network, warmed routes, hosts, and
-// the deterministic traffic script replayed into every run.
+// netsimNet bundles a built scenario: network, warmed routes, hosts, the
+// deterministic traffic script replayed into every run, and the compiled
+// fault plane (nil for churn-free scenarios).
 type netsimNet struct {
 	net    *model.Network
 	routes netsim.Routes
 	hosts  []model.NodeID
 	tcp    []tcpSpec
 	udp    []udpSpec
+	plane  *faults.Plane
 }
 
 // buildBundle materializes a scenario into the bundle every run of it
 // shares. Distributed workers call it too: building from the same Scenario
-// value is what makes their setup replicas identical.
+// value is what makes their setup replicas identical — including the fault
+// plane, whose routing epochs each worker precomputes identically.
 func buildBundle(sc Scenario) (*netsimNet, error) {
 	mnet, routes, hosts, err := sc.Build()
 	if err != nil {
 		return nil, err
 	}
 	tcp, udp := sc.script(hosts)
-	return &netsimNet{net: mnet, routes: routes, hosts: hosts, tcp: tcp, udp: udp}, nil
+	b := &netsimNet{net: mnet, routes: routes, hosts: hosts, tcp: tcp, udp: udp}
+	if script := sc.effectiveFaults(mnet); script != nil && len(script.Events) > 0 {
+		router, ok := routes.(*interdomain.Router)
+		if !ok {
+			return nil, fmt.Errorf("simcheck: fault scenarios need interdomain routing, got %T", routes)
+		}
+		plane, err := faults.NewPlane(mnet, router, script)
+		if err != nil {
+			return nil, fmt.Errorf("simcheck: compiling fault plane: %w", err)
+		}
+		plane.Prepare(hosts)
+		b.plane = plane
+	}
+	return b, nil
 }
 
 // Divergence is one observable difference between the sequential reference
@@ -287,6 +310,7 @@ func Diff(seq, par *Observation) []Divergence {
 	uslice("NodeEvents", seq.NodeEvents, par.NodeEvents)
 	uslice("LinkBits", seq.LinkBits, par.LinkBits)
 	uslice("LinkDrops", seq.LinkDrops, par.LinkDrops)
+	uslice("FaultDrops", seq.FaultDrops, par.FaultDrops)
 	tslice := func(field string, a, b []des.Time) {
 		for i := range a {
 			if i < len(b) && a[i] != b[i] {

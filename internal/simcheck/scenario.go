@@ -17,6 +17,7 @@ import (
 
 	"massf/internal/core"
 	"massf/internal/des"
+	"massf/internal/faults"
 	"massf/internal/mabrite"
 	"massf/internal/model"
 	"massf/internal/netsim"
@@ -45,6 +46,15 @@ type Scenario struct {
 	Approach core.Approach
 	// Ks lists the parallel engine counts to compare against N=1.
 	Ks []int
+	// Fault churn: ChurnEvents > 0 generates a ChurnSeed-seeded fault
+	// script at build time, injected identically into the reference and
+	// every parallel run — the churn conformance dimension proves routing
+	// reconvergence is engine-count-independent too. An explicit Faults
+	// script wins over generation (the shrinker materializes one so a
+	// reproducer's JSON carries the exact fault timeline).
+	ChurnEvents int            `json:",omitempty"`
+	ChurnSeed   int64          `json:",omitempty"`
+	Faults      *faults.Script `json:",omitempty"`
 }
 
 // NewScenario derives a scenario from a seed. The distribution covers both
@@ -85,14 +95,59 @@ func NewScenario(seed int64) Scenario {
 	return sc
 }
 
+// Churn returns sc with seeded fault churn enabled: 3–6 fault incidents
+// whose script derives deterministically from the scenario seed.
+func Churn(sc Scenario) Scenario {
+	rng := rand.New(rand.NewSource(sc.Seed ^ 0xfa017c4a2))
+	sc.ChurnEvents = 3 + rng.Intn(4)
+	sc.ChurnSeed = rng.Int63()
+	return sc
+}
+
+// effectiveFaults resolves the fault script every run of this scenario
+// shares: the explicit script if set, else seeded generation.
+func (sc Scenario) effectiveFaults(net *model.Network) *faults.Script {
+	if sc.Faults != nil {
+		return sc.Faults
+	}
+	if sc.ChurnEvents <= 0 {
+		return nil
+	}
+	return faults.Generate(net, faults.GenOptions{
+		Seed: sc.ChurnSeed, Events: sc.ChurnEvents, Horizon: sc.Horizon,
+	})
+}
+
+// Materialized converts seeded churn into the explicit Faults script it
+// generates, so a serialized reproducer carries the exact fault timeline
+// instead of a (seed, count) recipe tied to this binary's generator.
+func (sc Scenario) Materialized() (Scenario, error) {
+	if sc.Faults != nil || sc.ChurnEvents <= 0 {
+		return sc, nil
+	}
+	net, _, _, err := sc.Build()
+	if err != nil {
+		return sc, err
+	}
+	sc.Faults = sc.effectiveFaults(net)
+	sc.ChurnEvents, sc.ChurnSeed = 0, 0
+	return sc, nil
+}
+
 // String is the one-line form used in reports.
 func (sc Scenario) String() string {
 	topo := fmt.Sprintf("flat(r=%d,h=%d)", sc.Routers, sc.Hosts)
 	if sc.MultiAS {
 		topo = fmt.Sprintf("multi-as(as=%d,r/as=%d,h=%d)", sc.ASes, sc.RoutersPerAS, sc.Hosts)
 	}
-	return fmt.Sprintf("seed=%d %s %s tcp=%d udp=%d http=%d horizon=%v ks=%v",
-		sc.Seed, topo, sc.Approach, sc.TCPFlows, sc.UDPSends, sc.HTTPClients, sc.Horizon, sc.Ks)
+	churn := ""
+	if sc.Faults != nil {
+		churn = fmt.Sprintf(" faults=%d", len(sc.Faults.Events))
+	} else if sc.ChurnEvents > 0 {
+		churn = fmt.Sprintf(" churn=%d", sc.ChurnEvents)
+	}
+	return fmt.Sprintf("seed=%d %s %s tcp=%d udp=%d http=%d horizon=%v%s ks=%v",
+		sc.Seed, topo, sc.Approach, sc.TCPFlows, sc.UDPSends, sc.HTTPClients, sc.Horizon, churn, sc.Ks)
 }
 
 // Build constructs the scenario's network, routing (with caches pre-warmed

@@ -54,9 +54,22 @@ func reductions(sc Scenario) []Scenario {
 	var out []Scenario
 	add := func(mut func(*Scenario)) {
 		cand := sc
-		// Ks is the only slice field; reductions never mutate it.
+		// Candidates share sc's Ks slice and Faults pointer; reductions
+		// never mutate Ks and Clone() the script before editing it.
 		mut(&cand)
 		out = append(out, cand)
+	}
+	if sc.Faults != nil || sc.ChurnEvents > 0 {
+		add(func(c *Scenario) { c.Faults = nil; c.ChurnEvents = 0; c.ChurnSeed = 0 })
+	}
+	if sc.Faults != nil && len(sc.Faults.Events) > 1 {
+		add(func(c *Scenario) {
+			c.Faults = c.Faults.Clone()
+			c.Faults.Events = c.Faults.Events[:len(c.Faults.Events)/2]
+		})
+	}
+	if sc.ChurnEvents > 1 {
+		add(func(c *Scenario) { c.ChurnEvents /= 2 })
 	}
 	if sc.TCPFlows > 0 {
 		add(func(c *Scenario) { c.TCPFlows /= 2 })

@@ -215,3 +215,85 @@ func TestShrinkRespectsBudget(t *testing.T) {
 		t.Errorf("zero-budget shrink changed the scenario")
 	}
 }
+
+// TestChurnEquivalence is the fault-plane conformance dimension: the same
+// seeded fault script injected into the reference and every parallel run
+// must leave all observables — including per-fault loss attribution —
+// byte-identical across engine counts.
+func TestChurnEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn oracle sweep skipped in -short")
+	}
+	churned := 0
+	for seed := int64(1); seed <= 5; seed++ {
+		sc := Churn(NewScenario(seed))
+		rep, err := Check(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", sc, err)
+		}
+		if len(rep.Ref.FaultDrops) > 0 {
+			churned++
+		}
+		for i := range rep.Runs {
+			kr := &rep.Runs[i]
+			for _, v := range kr.Violations {
+				t.Errorf("%s k=%d: violation %v", sc, kr.K, v)
+			}
+			for _, d := range kr.Divergences {
+				t.Errorf("%s k=%d: divergence %v", sc, kr.K, d)
+			}
+		}
+	}
+	if churned == 0 {
+		t.Error("no swept scenario actually compiled a fault plane")
+	}
+}
+
+// TestChurnScenarioJSONRoundTrip: a churn scenario (and its materialized
+// explicit-script form) survives the -scenario-json wire format.
+func TestChurnScenarioJSONRoundTrip(t *testing.T) {
+	sc := Churn(NewScenario(3))
+	b, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Scenario
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sc) {
+		t.Fatalf("churn scenario round trip:\n got %+v\nwant %+v", got, sc)
+	}
+	mat, err := sc.Materialized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mat.Faults == nil || mat.ChurnEvents != 0 {
+		t.Fatalf("Materialized did not freeze the script: %+v", mat)
+	}
+	b, err = json.Marshal(mat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got2 Scenario
+	if err := json.Unmarshal(b, &got2); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got2, mat) {
+		t.Fatal("materialized scenario did not survive JSON")
+	}
+	// The frozen script must reproduce the seeded run exactly.
+	if !testing.Short() {
+		a, err := Check(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Check(mat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a.Ref, b.Ref) {
+			t.Fatal("materialized scenario observes differently than its seeded form")
+		}
+	}
+}

@@ -38,6 +38,12 @@ type SimTelemetry struct {
 	FlowsStarted  *Counter
 	FlowsDone     *Counter
 
+	// Fault-plane instruments (internal/faults via internal/netsim).
+	FaultEvents   *Counter // scripted fault events fired
+	FaultDrops    *Counter // packets lost to failed links/nodes
+	FaultConverge *Gauge   // modeled reconvergence delay of the latest fault, ns
+	FaultRoutesAt *Gauge   // when the latest fault's post-fault routes took effect, ns
+
 	// EngineEvents[e] counts kernel events of engine e (labeled
 	// engine="e" in the registry). May be shorter than the engine count
 	// if the run was configured with more engines than New was told; the
@@ -68,6 +74,11 @@ func New(engines, ringCap int) *SimTelemetry {
 		DeliveredBits: reg.Counter("massf_net_delivered_bits_total", "Payload bits delivered to destination hosts."),
 		FlowsStarted:  reg.Counter("massf_net_flows_started_total", "TCP flows started."),
 		FlowsDone:     reg.Counter("massf_net_flows_completed_total", "TCP flows fully acknowledged."),
+
+		FaultEvents:   reg.Counter("massf_net_fault_events_total", "Scripted fault-plane events fired."),
+		FaultDrops:    reg.Counter("massf_net_fault_drops_total", "Packets lost to failed links or nodes."),
+		FaultConverge: reg.Gauge("massf_net_fault_converge_ns", "Modeled reconvergence delay of the latest fault, ns."),
+		FaultRoutesAt: reg.Gauge("massf_net_fault_routes_at_ns", "Simulated time the latest fault's post-fault routes took effect, ns."),
 	}
 	for i := 0; i < engines; i++ {
 		t.EngineEvents = append(t.EngineEvents,

@@ -45,6 +45,7 @@ import (
 	"massf/internal/core"
 	"massf/internal/des"
 	"massf/internal/dml"
+	"massf/internal/faults"
 	"massf/internal/flight"
 	"massf/internal/mabrite"
 	"massf/internal/metrics"
@@ -303,6 +304,52 @@ func CompareRIBs(a, b *BGPRib) RIBComparison { return bgp.Compare(a, b) }
 // ShortestPathRIB computes the policy-free shortest-AS-path baseline for
 // path-inflation studies.
 func ShortestPathRIB(net *Network) *BGPRib { return bgp.ShortestPathRIB(net) }
+
+// Fault plane: scripted link/router churn with live reconvergence.
+type (
+	// FaultScript is a serializable fault timeline (explicit events or
+	// seeded-random via GenerateFaults) plus the convergence-delay model.
+	// Attach it to RunSpec.Faults or compile it with NewFaultPlane.
+	FaultScript = faults.Script
+	// FaultEvent is one scripted fault.
+	FaultEvent = faults.Event
+	// FaultGenOptions parameterizes the seeded-random script generator.
+	FaultGenOptions = faults.GenOptions
+	// FaultPlane is a compiled, immutable fault script: per-epoch routing
+	// tables plus link/node availability as pure functions of simulated
+	// time. Set SimConfig.Faults to inject it into a simulation.
+	FaultPlane = faults.Plane
+	// FaultInfo is the per-fault reconvergence report (update messages,
+	// modeled convergence delay, when new routes took effect).
+	FaultInfo = faults.FaultInfo
+)
+
+// Fault event kinds.
+const (
+	LinkFaultDown = faults.LinkDown
+	LinkFaultUp   = faults.LinkUp
+	NodeFaultDown = faults.NodeDown
+	NodeFaultUp   = faults.NodeUp
+	LinkFaultFlap = faults.LinkFlap
+)
+
+// NewFaultPlane compiles a fault script against a network and its
+// converged routing: every routing epoch (post-fault OSPF/BGP state and
+// when it takes effect) is precomputed here, so the simulation's hot path
+// only does time-indexed lookups. Assign the result to SimConfig.Faults.
+func NewFaultPlane(net *Network, routes *Routing, script *FaultScript) (*FaultPlane, error) {
+	return faults.NewPlane(net, routes, script)
+}
+
+// LoadFaultScript reads and structurally validates a JSON fault script.
+func LoadFaultScript(r io.Reader) (*FaultScript, error) { return faults.Load(r) }
+
+// GenerateFaults produces a seeded-random fault script for net: transient
+// link outages, flaps, router outages and permanent failures landing
+// inside the given horizon.
+func GenerateFaults(net *Network, opt FaultGenOptions) *FaultScript {
+	return faults.Generate(net, opt)
+}
 
 // Live observability (the telemetry subsystem behind cmd/massfd).
 type (
