@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-all smoke churn clean
+.PHONY: check vet build test race bench bench-all bench-gate smoke churn clean
 
 check: vet build race smoke churn
 
@@ -46,6 +46,22 @@ bench:
 
 bench-all:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Perf regression gate (CI): rerun the pipeline benches and fail if the
+# netmon-DISABLED hot path regressed against the committed capture — the
+# steady-state kernel must stay 0 allocs/op and the uninstrumented Fig6
+# run within 3% ns/op of the `net-observability` baseline. The Fig6 regexp
+# is anchored so the instrumented …NetMon variant (recorded for the
+# overhead budget, expected to cost more) never gates.
+GATE_BASELINE ?= net-observability
+
+bench-gate:
+	$(GO) test -run='^$$' -bench='$(PIPELINE_BENCHES)' -benchmem \
+		./internal/des ./internal/pdes ./internal/telemetry . \
+		| $(GO) run ./cmd/benchjson -label ci-gate -out BENCH_pipeline.json \
+		-gate-against '$(GATE_BASELINE)' -gate-max-regress 3 \
+		-gate-bench 'BenchmarkFig6SimTimeSingleAS$$' \
+		-gate-zero-allocs 'BenchmarkKernelSteadyState'
 
 clean:
 	$(GO) clean ./...

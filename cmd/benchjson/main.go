@@ -51,6 +51,10 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:
 func main() {
 	label := flag.String("label", "run", "label for this capture (e.g. before, after)")
 	out := flag.String("out", "BENCH_pipeline.json", "trajectory file to update")
+	gateAgainst := flag.String("gate-against", "", "gate: compare this capture against the recorded run with this label and exit 1 on regression")
+	gateMax := flag.Float64("gate-max-regress", 3, "gate: max allowed ns/op regression in percent for -gate-bench benchmarks")
+	gateBench := flag.String("gate-bench", "", "gate: anchored regexp of benchmarks whose ns/op is gated against the baseline")
+	gateZero := flag.String("gate-zero-allocs", "", "gate: anchored regexp of benchmarks that must report 0 allocs/op in this capture")
 	flag.Parse()
 
 	results := map[string]Result{}
@@ -110,6 +114,85 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results under label %q to %s\n", len(results), *label, *out)
+
+	if err := gate(&f, results, *gateAgainst, *gateMax, *gateBench, *gateZero); err != nil {
+		fatal(err)
+	}
+}
+
+// gate enforces the perf contract on the capture just recorded: every
+// benchmark matching zeroRe must allocate nothing, and every benchmark
+// matching benchRe must stay within maxPct percent of its ns/op in the run
+// labeled against. A gated benchmark missing from the baseline is an
+// error — a silently skipped gate reads as a pass.
+func gate(f *File, results map[string]Result, against string, maxPct float64, benchRe, zeroRe string) error {
+	if against == "" && zeroRe == "" {
+		return nil
+	}
+	var violations []string
+	if zeroRe != "" {
+		re, err := regexp.Compile(zeroRe)
+		if err != nil {
+			return fmt.Errorf("-gate-zero-allocs: %w", err)
+		}
+		matched := false
+		for name, r := range results {
+			if !re.MatchString(name) {
+				continue
+			}
+			matched = true
+			if !r.HasMem {
+				violations = append(violations, fmt.Sprintf("%s: no -benchmem data to prove 0 allocs/op", name))
+			} else if r.AllocsPerOp != 0 {
+				violations = append(violations, fmt.Sprintf("%s: %d allocs/op, want 0", name, r.AllocsPerOp))
+			}
+		}
+		if !matched {
+			return fmt.Errorf("gate: no benchmark matches -gate-zero-allocs %q", zeroRe)
+		}
+	}
+	if against != "" {
+		var base map[string]Result
+		for i := range f.Runs {
+			if f.Runs[i].Label == against {
+				base = f.Runs[i].Results
+			}
+		}
+		if base == nil {
+			return fmt.Errorf("gate: no recorded run labeled %q to gate against", against)
+		}
+		re, err := regexp.Compile(benchRe)
+		if err != nil {
+			return fmt.Errorf("-gate-bench: %w", err)
+		}
+		matched := false
+		for name, r := range results {
+			if benchRe == "" || !re.MatchString(name) {
+				continue
+			}
+			matched = true
+			b, ok := base[name]
+			if !ok {
+				violations = append(violations, fmt.Sprintf("%s: not in baseline %q", name, against))
+				continue
+			}
+			pct := (r.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+			verdict := "ok"
+			if pct > maxPct {
+				verdict = "REGRESSED"
+				violations = append(violations, fmt.Sprintf("%s: %.0f ns/op vs %.0f in %q (%+.1f%%, limit %+.1f%%)",
+					name, r.NsPerOp, b.NsPerOp, against, pct, maxPct))
+			}
+			fmt.Fprintf(os.Stderr, "benchjson: gate %s: %+.1f%% vs %q (%s)\n", name, pct, against, verdict)
+		}
+		if benchRe != "" && !matched {
+			return fmt.Errorf("gate: no benchmark matches -gate-bench %q", benchRe)
+		}
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("gate failed:\n  %s", strings.Join(violations, "\n  "))
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -64,6 +65,10 @@ func run(args []string, out io.Writer, nowNano func() int64) error {
 		faultPath = fs.String("faults", "", "JSON fault script: scripted link/router churn with live reconvergence")
 		traceOut  = fs.String("trace", "", "write the run's flight recording here as Chrome trace JSON (load in ui.perfetto.dev)")
 		straggler = fs.Int("stragglers", 0, "print the top-K straggler report after the run (0 = off)")
+		netStats  = fs.Bool("netstats", false, "attach the network observability plane and print busiest links, drop split and FCT percentiles")
+		netSample = fs.Int("netsample", 0, "sample every k-th injected packet for path tracing (0 = off; implies -netstats)")
+		pathTrace = fs.String("pathtrace", "", "write sampled packet paths as Chrome trace lanes next to the engine tracks (implies -netsample 16 if unset)")
+		jsonOut   = fs.Bool("json", false, "emit the full result as JSON instead of the text report")
 		seed      = fs.Int64("seed", 0, "simulation seed (0 = derive from the clock)")
 		realTime  = fs.Float64("realtime", 0, "real-time pacing factor (0 = as fast as possible, 8 = paper's slowdown)")
 		eventCost = fs.Float64("event-cost-us", 15, "modeled per-event cost in µs")
@@ -167,15 +172,32 @@ func run(args []string, out io.Writer, nowNano func() int64) error {
 	end := massf.Time(*horizon * float64(massf.Second))
 	cost := massf.Time(*eventCost * float64(massf.Microsecond))
 	// The flight recorder costs one ring append per barrier window, so it
-	// is only armed when a trace or straggler report was asked for.
+	// is only armed when a trace or straggler report was asked for. The
+	// path-trace lanes align to the engine tracks, so -pathtrace arms it
+	// too.
 	var tel *massf.Telemetry
-	if *traceOut != "" || *straggler > 0 {
+	if *traceOut != "" || *straggler > 0 || *pathTrace != "" {
 		tel = massf.NewTelemetry(*engines)
+	}
+	if *pathTrace != "" && *netSample == 0 {
+		*netSample = 16
+	}
+	var mon *massf.NetMon
+	if *netStats || *netSample > 0 {
+		bw := make([]int64, len(net.Links))
+		for i := range net.Links {
+			bw[i] = net.Links[i].Bandwidth
+		}
+		mon = massf.NewNetMon(massf.NetMonOptions{
+			Links: len(net.Links), Horizon: end,
+			SampleEvery: *netSample, Bandwidths: bw,
+		})
 	}
 	cfg := massf.SimConfig{
 		Net: net, Routes: routes, Part: mapping.Part, Engines: *engines,
 		Window: mapping.MLL, End: end, Seed: *seed,
 		EventCost: cost, RealTimeFactor: *realTime, Telemetry: tel,
+		NetMon: mon,
 	}
 	if plane != nil {
 		cfg.Faults = plane
@@ -233,10 +255,132 @@ func run(args []string, out io.Writer, nowNano func() int64) error {
 
 	res := sim.Run()
 	rep := massf.ReportFor(a.String(), &res, cost)
+	if *jsonOut {
+		doc := map[string]any{
+			"approach":   a.String(),
+			"engines":    *engines,
+			"seed":       *seed,
+			"mll_ns":     int64(mapping.MLL),
+			"horizon_ns": int64(end),
+			"report":     rep,
+			"http": map[string]uint64{
+				"requests": httpStats.TotalRequests(), "responses": httpStats.TotalResponses(),
+			},
+		}
+		// Stats.Err is an interface; surface it as a string and clear it so
+		// the embedded Result marshals cleanly.
+		if res.Err != nil {
+			doc["error"] = res.Err.Error()
+			res.Err = nil
+		}
+		doc["result"] = &res
+		if len(appFlows) > 0 {
+			apps := make([]map[string]any, len(appFlows))
+			for i, ws := range appFlows {
+				apps[i] = map[string]any{"rounds": ws.Rounds, "first_finish_ns": int64(ws.FirstFinish)}
+			}
+			doc["apps"] = apps
+		}
+		if plane != nil {
+			doc["faults"] = plane.Events()
+		}
+		if mon != nil {
+			doc["netmon"] = map[string]any{
+				"summary": mon.Summary(),
+				"links":   mon.LinkReport(32, false),
+				"flows":   mon.FlowReport(false),
+			}
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			return err
+		}
+	}
+	if !*jsonOut {
+		printTextReport(out, a, *engines, *seed, mapping.MLL, end, &res, rep, httpStats, appFlows, plane, mon)
+	}
+
+	if *profOut != "" {
+		p := massf.ProfileFromResult(&res, end)
+		of, err := os.Create(*profOut)
+		if err != nil {
+			return err
+		}
+		if err := p.Write(of); err != nil {
+			of.Close()
+			return err
+		}
+		if err := of.Close(); err != nil {
+			return err
+		}
+	}
+
+	if *traceOut != "" {
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		err = massf.WriteChromeTrace(tf, tel.Windows.Snapshot(), map[string]string{
+			"approach": a.String(),
+			"engines":  fmt.Sprint(*engines),
+			"net":      *netPath,
+		})
+		if cerr := tf.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "trace                %s (%d windows recorded)\n", *traceOut, res.Windows)
+	}
+	if *pathTrace != "" {
+		recs := tel.Windows.Snapshot()
+		spans := mon.Spans()
+		events := massf.BuildTraceEvents(recs)
+		events = append(events, massf.PathTraceEvents(spans, recs)...)
+		pf, err := os.Create(*pathTrace)
+		if err != nil {
+			return err
+		}
+		err = massf.WriteChromeTraceEvents(pf, events, map[string]string{
+			"approach":     a.String(),
+			"engines":      fmt.Sprint(*engines),
+			"net":          *netPath,
+			"sample_every": fmt.Sprint(*netSample),
+		})
+		if cerr := pf.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "pathtrace            %s (%d sampled paths, %d hop spans)\n",
+			*pathTrace, len(mon.Paths()), len(spans))
+	}
+	if *straggler > 0 {
+		rep := massf.AnalyzeFlight(tel.Windows.Snapshot(), *straggler)
+		rep.AttributeRouters(mapping.Part, res.NodeEvents, 5)
+		fmt.Fprintln(out)
+		if err := rep.WriteText(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printTextReport writes the human-readable run report: the headline
+// metrics, per-app workflow progress, the fault timeline when a fault
+// script ran, and the network observability digest when the plane was
+// attached.
+func printTextReport(out io.Writer, a massf.Approach, engines int, seed int64,
+	mll, end massf.Time, res *massf.Result, rep massf.Report,
+	httpStats *massf.HTTPStats, appFlows []*massf.WorkflowStats,
+	plane *massf.FaultPlane, mon *massf.NetMon) {
 	fmt.Fprintf(out, "approach             %v\n", a)
-	fmt.Fprintf(out, "engines              %d\n", *engines)
-	fmt.Fprintf(out, "seed                 %d\n", *seed)
-	fmt.Fprintf(out, "achieved MLL         %v\n", mapping.MLL)
+	fmt.Fprintf(out, "engines              %d\n", engines)
+	fmt.Fprintf(out, "seed                 %d\n", seed)
+	fmt.Fprintf(out, "achieved MLL         %v\n", mll)
 	fmt.Fprintf(out, "simulated horizon    %v\n", end)
 	fmt.Fprintf(out, "events               %d (%d remote)\n", res.TotalEvents, res.RemoteEvents)
 	fmt.Fprintf(out, "barrier windows      %d\n", res.Windows)
@@ -275,47 +419,24 @@ func run(args []string, out io.Writer, nowNano func() int64) error {
 				i, ev.Kind, target, ev.At, ev.UpdateMsgs, ev.RoutesChanged, ev.RoutesAt, drops)
 		}
 	}
-
-	if *profOut != "" {
-		p := massf.ProfileFromResult(&res, end)
-		of, err := os.Create(*profOut)
-		if err != nil {
-			return err
+	if mon != nil {
+		sum := mon.Summary()
+		fmt.Fprintf(out, "net drops            %d tail, %d no-route, %d ttl, %d fault\n",
+			sum.DropsTail, sum.DropsNoRoute, sum.DropsTTL, sum.DropsFault)
+		fmt.Fprintf(out, "net flows            %d recorded, %d completed\n",
+			sum.FlowsRecorded, sum.FlowsCompleted)
+		if sum.FlowsCompleted > 0 {
+			fmt.Fprintf(out, "net FCT              p50 %v, p90 %v, p99 %v\n",
+				massf.Time(sum.FCTP50NS), massf.Time(sum.FCTP90NS), massf.Time(sum.FCTP99NS))
 		}
-		if err := p.Write(of); err != nil {
-			of.Close()
-			return err
+		lr := mon.LinkReport(5, false)
+		for i, d := range lr.Links {
+			fmt.Fprintf(out, "net link[%d]          link %d dir %d: %d bits, mean util %.3f, peak %.3f, max queue %v\n",
+				i, d.Link, d.Dir, d.Bits, d.MeanUtil, d.PeakUtil, massf.Time(d.QueueMaxNS))
 		}
-		if err := of.Close(); err != nil {
-			return err
-		}
-	}
-
-	if *traceOut != "" {
-		tf, err := os.Create(*traceOut)
-		if err != nil {
-			return err
-		}
-		err = massf.WriteChromeTrace(tf, tel.Windows.Snapshot(), map[string]string{
-			"approach": a.String(),
-			"engines":  fmt.Sprint(*engines),
-			"net":      *netPath,
-		})
-		if cerr := tf.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "trace                %s (%d windows recorded)\n", *traceOut, res.Windows)
-	}
-	if *straggler > 0 {
-		rep := massf.AnalyzeFlight(tel.Windows.Snapshot(), *straggler)
-		rep.AttributeRouters(mapping.Part, res.NodeEvents, 5)
-		fmt.Fprintln(out)
-		if err := rep.WriteText(out); err != nil {
-			return err
+		if mon.Sampling() {
+			fmt.Fprintf(out, "net paths            %d sampled (every %d pkts), %d hop spans\n",
+				len(mon.Paths()), mon.SampleEvery(), sum.Spans)
 		}
 	}
-	return nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -83,6 +84,94 @@ func TestDerivedSeedIsReproducible(t *testing.T) {
 	}
 	if got, want := stripWallTime(second.String()), stripWallTime(first.String()); got != want {
 		t.Errorf("report not reproduced byte for byte from the printed seed:\n--- derived run ---\n%s\n--- seeded rerun ---\n%s", want, got)
+	}
+}
+
+// TestNetObservabilityFlags drives the command with the observability
+// plane on: the text report gains the net digest, -pathtrace writes a
+// loadable Chrome trace with path lanes, and -json emits the whole
+// result — including the netmon views — as one JSON document.
+func TestNetObservabilityFlags(t *testing.T) {
+	netPath := writeTestNet(t)
+	tracePath := filepath.Join(t.TempDir(), "paths.json")
+	base := []string{"-net", netPath, "-engines", "4", "-approach", "TOP2",
+		"-seconds", "2", "-app", "none", "-seed", "7"}
+
+	var text bytes.Buffer
+	err := run(append(append([]string{}, base...),
+		"-netstats", "-netsample", "4", "-pathtrace", tracePath), &text,
+		func() int64 { return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"net drops", "net flows", "net FCT", "net link[0]", "net paths", "pathtrace "} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("text report missing %q:\n%s", want, text.String())
+		}
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			PID  int    `json:"pid"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &trace); err != nil {
+		t.Fatalf("pathtrace is not Chrome trace JSON: %v", err)
+	}
+	pids := map[int]int{}
+	for _, ev := range trace.TraceEvents {
+		pids[ev.PID]++
+	}
+	if len(pids) < 2 {
+		t.Fatalf("pathtrace has no extra path lanes beside the engine tracks: pids %v", pids)
+	}
+
+	var jsonBuf bytes.Buffer
+	err = run(append(append([]string{}, base...), "-json", "-netsample", "4"), &jsonBuf,
+		func() int64 { return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Approach string `json:"approach"`
+		Seed     int64  `json:"seed"`
+		Result   struct {
+			FlowsCompleted uint64 `json:"FlowsCompleted"`
+			LinkDrops      []any  `json:"LinkDrops"`
+		} `json:"result"`
+		NetMon struct {
+			Summary struct {
+				SampleEvery int `json:"sample_every"`
+				Spans       int `json:"spans"`
+			} `json:"summary"`
+			Links struct {
+				Links []any `json:"links"`
+			} `json:"links"`
+			Flows struct {
+				Recorded int `json:"recorded"`
+			} `json:"flows"`
+		} `json:"netmon"`
+	}
+	if err := json.Unmarshal(jsonBuf.Bytes(), &doc); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, jsonBuf.String())
+	}
+	if doc.Approach != "TOP2" || doc.Seed != 7 {
+		t.Fatalf("json header wrong: %+v", doc)
+	}
+	if doc.Result.FlowsCompleted == 0 || len(doc.Result.LinkDrops) == 0 {
+		t.Fatalf("json result missing flow/drop detail: %+v", doc.Result)
+	}
+	if doc.NetMon.Summary.SampleEvery != 4 || doc.NetMon.Summary.Spans == 0 ||
+		len(doc.NetMon.Links.Links) == 0 || doc.NetMon.Flows.Recorded == 0 {
+		t.Fatalf("json netmon views empty: %+v", doc.NetMon)
+	}
+	if strings.Contains(jsonBuf.String(), "approach             ") {
+		t.Fatal("-json run also printed the text report")
 	}
 }
 

@@ -12,6 +12,7 @@
 //	simcheck -repro 42 -trace div.json      # dump the failing run's trace
 //	simcheck -scenario-json '{"Seed":42,...}'  # re-check a shrunk reproducer
 //	simcheck -scenarios 25 -churn -dist 2 -dist-k 4  # churn sweep + distributed leg
+//	simcheck -scenarios 25 -netmon 4        # + observer-neutrality dimension (stride 4)
 package main
 
 import (
@@ -51,6 +52,7 @@ func run(args []string, out io.Writer) (bool, error) {
 	shrinkBudget := fs.Int("shrink-budget", 40, "max oracle re-runs the shrinker may spend")
 	trace := fs.String("trace", "", "on failure, write a Chrome trace of the first failing run to this file")
 	churn := fs.Bool("churn", false, "inject seeded link/router fault churn into every swept scenario (the fault-plane conformance dimension)")
+	netmonSample := fs.Int("netmon", 0, "also run each passing scenario with the netmon observability plane attached at this sampling stride and prove observer neutrality (largest k in -ks)")
 	distWorkers := fs.Int("dist", 0, "also run each scenario across this many loopback TCP workers (largest k in -ks) and diff the merged observables")
 	distK := fs.Int("dist-k", 0, "with -dist: pin the distributed engine count (default: largest k in -ks)")
 	distListen := fs.String("dist-listen", "", "with -dist: listen on this address and wait for external workers (massfd -worker -join <addr>) instead of spawning in-process worker loops")
@@ -101,6 +103,16 @@ func run(args []string, out io.Writer) (bool, error) {
 				ok, err := checkDistributed(out, sc, *distWorkers, *distK, *distListen, *verbose)
 				if err != nil {
 					return false, fmt.Errorf("seed %d distributed: %w", sc.Seed, err)
+				}
+				if !ok {
+					fmt.Fprintf(out, "%d/%d scenarios passed before first failure\n", pass, len(list))
+					return false, nil
+				}
+			}
+			if *netmonSample > 0 {
+				ok, err := checkNeutrality(out, sc, kList, *netmonSample, *verbose)
+				if err != nil {
+					return false, fmt.Errorf("seed %d neutrality: %w", sc.Seed, err)
 				}
 				if !ok {
 					fmt.Fprintf(out, "%d/%d scenarios passed before first failure\n", pass, len(list))
@@ -200,6 +212,36 @@ func checkDistributed(out io.Writer, sc simcheck.Scenario, workers, pinnedK int,
 	}
 	for _, d := range rep.DivsDist {
 		fmt.Fprintf(out, "  distributed divergence: %v\n", d)
+	}
+	return false, nil
+}
+
+// checkNeutrality reruns a passing scenario with the netmon observability
+// plane attached (sampling every `sample` packets) at the largest engine
+// count and verifies the observer changed nothing.
+func checkNeutrality(out io.Writer, sc simcheck.Scenario, ks []int, sample int, verbose bool) (bool, error) {
+	k := ks[0]
+	for _, c := range ks {
+		if c > k {
+			k = c
+		}
+	}
+	rep, err := simcheck.CheckNeutrality(sc, k, sample)
+	if err != nil {
+		return false, err
+	}
+	if !rep.Failed() {
+		if verbose {
+			fmt.Fprintf(out, "ok   %s %s\n", sc, rep)
+		}
+		return true, nil
+	}
+	fmt.Fprintf(out, "FAIL %s %s\n", sc, rep)
+	for _, d := range rep.DivsSeq {
+		fmt.Fprintf(out, "  sequential perturbation: %v\n", d)
+	}
+	for _, d := range rep.DivsPar {
+		fmt.Fprintf(out, "  parallel perturbation: %v\n", d)
 	}
 	return false, nil
 }

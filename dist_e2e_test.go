@@ -5,6 +5,7 @@ import (
 	"net"
 	"os/exec"
 	"path/filepath"
+	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -148,6 +149,114 @@ func TestDistributedChurnEndToEnd(t *testing.T) {
 	}
 	for _, d := range rep.DivsDist {
 		t.Errorf("distributed divergence: %v", d)
+	}
+}
+
+// TestDistributedPathTraceEndToEnd is the subprocess variant of the
+// observer-neutrality dimension: two real `massfd -worker` processes run
+// an instrumented k=4 partition over loopback TCP, the merged observables
+// must match the *uninstrumented* sequential reference (the plane observed
+// without perturbing, even across the wire), the stitched spans must be
+// byte-identical to the in-process run of the same partition, and the
+// sampled paths must follow the routes actually in force — with at least
+// one path crossing the worker boundary.
+func TestDistributedPathTraceEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs massfd worker subprocesses")
+	}
+	bin := buildMassfd(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	const workers = 2
+	var wg sync.WaitGroup
+	outs := make([][]byte, workers)
+	errs := make([]error, workers)
+	for i := 0; i < workers; i++ {
+		i := i
+		cmd := exec.Command(bin, "-worker", "-join", ln.Addr().String(),
+			"-worker-name", "w"+string(rune('0'+i)))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			outs[i], errs[i] = cmd.CombinedOutput()
+		}()
+	}
+
+	sc := distE2EScenario()
+	sc.NetSample = 3
+	rep, err := simcheck.ServeDistributed(ln, sc, 4, workers, dist.Options{})
+	wg.Wait()
+	if err != nil {
+		for i := range outs {
+			t.Logf("worker %d output:\n%s", i, outs[i])
+		}
+		t.Fatalf("distributed instrumented run failed: %v", err)
+	}
+	for i, werr := range errs {
+		if werr != nil {
+			t.Fatalf("worker %d exited with error: %v\n%s", i, werr, outs[i])
+		}
+	}
+	for _, d := range rep.DivsInProc {
+		t.Errorf("in-process instrumented divergence: %v", d)
+	}
+	for _, d := range rep.DivsDist {
+		t.Errorf("distributed instrumented divergence: %v", d)
+	}
+
+	// Neutrality across the wire: diff the instrumented subprocess run
+	// against the reference of the SAME scenario with the plane off.
+	plain := sc
+	plain.NetSample = 0
+	plainRep, _, err := simcheck.PlanDistributed(plain, 4, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range simcheck.Diff(plainRep.Ref, rep.Dist) {
+		t.Errorf("instrumented wire run diverges from uninstrumented reference: %v", d)
+	}
+
+	// The wire changed nothing about the sampled spans either: every span a
+	// worker shipped is byte-identical to the in-process run of the same
+	// partition, recording engines included.
+	if len(rep.Dist.PathSpans) == 0 {
+		t.Fatal("workers shipped no path spans")
+	}
+	if !reflect.DeepEqual(rep.InProc.PathSpans, rep.Dist.PathSpans) {
+		t.Fatalf("merged worker spans differ from the in-process run: %d vs %d spans",
+			len(rep.Dist.PathSpans), len(rep.InProc.PathSpans))
+	}
+
+	// Every stitched path must follow the forwarding table; at least one
+	// complete path must have spans recorded on both workers' engine ranges
+	// (worker 0 hosts engines 0-1, worker 1 hosts 2-3).
+	paths, err := simcheck.AuditScenarioTraces(sc, rep.Dist.PathSpans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	complete, crossWorker := 0, 0
+	for _, p := range paths {
+		if p.Err != "" {
+			t.Errorf("trace %d deviates from the route: %s", p.Trace, p.Err)
+		}
+		if !p.Complete {
+			continue
+		}
+		complete++
+		if len(p.Engines) > 0 && p.Engines[0] < 2 && p.Engines[len(p.Engines)-1] >= 2 {
+			crossWorker++
+		}
+	}
+	if complete == 0 {
+		t.Fatal("no sampled path reached its destination")
+	}
+	if crossWorker == 0 {
+		t.Fatalf("no complete path crossed the worker boundary (%d complete of %d)",
+			complete, len(paths))
 	}
 }
 

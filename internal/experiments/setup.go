@@ -15,6 +15,7 @@ import (
 	"massf/internal/faults"
 	"massf/internal/mabrite"
 	"massf/internal/model"
+	"massf/internal/netmon"
 	"massf/internal/netsim"
 	"massf/internal/profile"
 	"massf/internal/routing/interdomain"
@@ -285,9 +286,10 @@ type RunOutcome struct {
 //
 // Deprecated: SimOptions is a thin alias of the unified run configuration
 // runspec.RunSpec (massf.RunSpec), kept so existing callers compile.
-// BuildSim reads only the run-surface knobs — Telemetry, RealTimeFactor
-// and SeriesBuckets; the scale-level fields (Engines, Seconds, Seed,
-// EventCostUS) are taken from Setup.Scale, which was sized before mapping.
+// BuildSim reads only the run-surface knobs — Telemetry, RealTimeFactor,
+// SeriesBuckets, Faults, NetMon and NetSample; the scale-level fields
+// (Engines, Seconds, Seed, EventCostUS) are taken from Setup.Scale, which
+// was sized before mapping.
 type SimOptions = runspec.RunSpec
 
 // BuildSim constructs (but does not run) the full simulation for mapping m
@@ -317,6 +319,16 @@ func (st *Setup) BuildSim(m *core.Mapping, w Workload, opt SimOptions) (*netsim.
 	}
 	if plane != nil {
 		cfg.Faults = plane
+	}
+	if opt.NetMon || opt.NetSample > 0 {
+		bw := make([]int64, len(st.Net.Links))
+		for i := range st.Net.Links {
+			bw[i] = st.Net.Links[i].Bandwidth
+		}
+		cfg.NetMon = netmon.New(netmon.Options{
+			Links: len(st.Net.Links), Horizon: st.Scale.Horizon,
+			SampleEvery: opt.NetSample, Bandwidths: bw,
+		})
 	}
 	s, err := netsim.New(cfg)
 	if err != nil {

@@ -36,6 +36,10 @@ import (
 // workers: a packet hop.
 const hopKind uint16 = 1
 
+// flagTraced marks a hop payload that carries a netmon path-trace id as
+// its trailing U64 (flag bit 1 is the ACK bit).
+const flagTraced byte = 1 << 1
+
 // runtimeFlowIDBase separates runtime flow ids ((engine+1)<<40 | counter)
 // from setup-time sequential ids.
 const runtimeFlowIDBase uint64 = 1 << 40
@@ -200,6 +204,9 @@ func (c netCodec) Encode(eh des.EventHandler) (uint16, []byte, error) {
 	if pkt.Ack {
 		flags |= 1
 	}
+	if pkt.trace != 0 {
+		flags |= flagTraced
+	}
 	b.U8(flags)
 	b.U8(byte(pkt.ttl))
 	b.U32(uint32(pkt.udpID))
@@ -210,6 +217,13 @@ func (c netCodec) Encode(eh des.EventHandler) (uint16, []byte, error) {
 		b.U16(ref.deliverTag.Kind)
 		b.U64(ref.deliverTag.A)
 		b.U64(ref.deliverTag.B)
+	}
+	if pkt.trace != 0 {
+		// Path-trace id: carried only for sampled packets, so the common
+		// untraced hop costs no extra wire bytes. Crossing workers with
+		// the packet is what lets hop spans recorded on different workers
+		// stitch into one path.
+		b.U64(pkt.trace)
 	}
 	return hopKind, b.B, nil
 }
@@ -229,7 +243,8 @@ func (c netCodec) Decode(dst int, kind uint16, payload []byte) (des.EventHandler
 		Seq:    r.I32(),
 		AckNum: r.I32(),
 	}
-	pkt.Ack = r.U8()&1 != 0
+	flags := r.U8()
+	pkt.Ack = flags&1 != 0
 	pkt.ttl = int8(r.U8())
 	pkt.udpID = int32(r.U32())
 	flowID := r.U64()
@@ -237,6 +252,9 @@ func (c netCodec) Decode(dst int, kind uint16, payload []byte) (des.EventHandler
 	if flowID != 0 {
 		ref = &wireRef{flowID: flowID, totalPkts: r.I32(), lastBits: r.I64()}
 		ref.deliverTag = Tag{Kind: r.U16(), A: r.U64(), B: r.U64()}
+	}
+	if flags&flagTraced != 0 {
+		pkt.trace = r.U64()
 	}
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("netsim: malformed hop event: %w", err)

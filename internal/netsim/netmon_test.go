@@ -1,0 +1,204 @@
+package netsim
+
+import (
+	"reflect"
+	"testing"
+
+	"massf/internal/cluster"
+	"massf/internal/des"
+	"massf/internal/model"
+	"massf/internal/netmon"
+	"massf/internal/routing/ospf"
+)
+
+// monSim is sim() with a netmon plane and a queue-size override attached.
+func monSim(t *testing.T, net *model.Network, part []int32, engines int, window, end des.Time, mon *netmon.Mon, queueBytes int64) *Sim {
+	t.Helper()
+	s, err := New(Config{
+		Net: net, Routes: ospf.NewDomain(net, nil), Part: part, Engines: engines,
+		Window: window, End: end, Sync: cluster.Fixed{CostNS: 1000}, Seed: 1,
+		NetMon: mon, QueueBytes: queueBytes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// observables strips a Result down to the partition-independent fields the
+// simcheck oracle also compares.
+type observables struct {
+	TotalEvents     uint64
+	NodeEvents      []uint64
+	LinkBits        []uint64
+	LinkDrops       []uint64
+	Dropped         uint64
+	Retransmissions uint64
+	DeliveredBits   uint64
+	FlowsStarted    int
+	FlowsCompleted  int
+	LastCompletion  des.Time
+}
+
+func observe(r Result) observables {
+	return observables{
+		TotalEvents: r.TotalEvents, NodeEvents: r.NodeEvents,
+		LinkBits: r.LinkBits, LinkDrops: r.LinkDrops,
+		Dropped: r.Dropped, Retransmissions: r.Retransmissions,
+		DeliveredBits: r.DeliveredBits,
+		FlowsStarted:  r.FlowsStarted, FlowsCompleted: r.FlowsCompleted,
+		LastCompletion: r.LastCompletion,
+	}
+}
+
+// monScenario loads a chain with enough TCP and UDP traffic to retransmit
+// under a tight queue, returns the run's Result.
+func monScenario(t *testing.T, engines int, mon *netmon.Mon) (Result, *model.Network) {
+	t.Helper()
+	net, a, b := chainNet(3, des.Millisecond, 20_000_000)
+	part := make([]int32, len(net.Nodes))
+	if engines > 1 {
+		// Split the chain in the middle: a,r0 on engine 0, rest on 1.
+		for n := 2; n < len(net.Nodes); n++ {
+			part[n] = 1
+		}
+	}
+	s := monSim(t, net, part, engines, des.Millisecond, 2*des.Second, mon, 4000)
+	s.StartFlow(0, a, b, 400_000, nil)
+	s.StartFlow(des.Millisecond, b, a, 100_000, nil)
+	s.SendUDP(10*des.Millisecond, a, b, 2000, nil)
+	return s.Run(), net
+}
+
+// TestNetMonObserverNeutrality proves attaching a Mon does not perturb the
+// simulation: instrumented and uninstrumented runs must agree on every
+// observable, sequentially and partitioned — and the instrumented
+// partitioned run must record the same series and spans as the sequential
+// one (sampling is partition-independent).
+func TestNetMonObserverNeutrality(t *testing.T) {
+	newMon := func() *netmon.Mon {
+		return netmon.New(netmon.Options{Links: 5, Horizon: 2 * des.Second, SampleEvery: 3})
+	}
+	plain1, _ := monScenario(t, 1, nil)
+	mon1 := newMon()
+	inst1, _ := monScenario(t, 1, mon1)
+	if !reflect.DeepEqual(observe(plain1), observe(inst1)) {
+		t.Fatalf("sequential observables diverge:\nplain %+v\ninst  %+v", observe(plain1), observe(inst1))
+	}
+	plain2, _ := monScenario(t, 2, nil)
+	mon2 := newMon()
+	inst2, _ := monScenario(t, 2, mon2)
+	if !reflect.DeepEqual(observe(plain2), observe(inst2)) {
+		t.Fatalf("partitioned observables diverge:\nplain %+v\ninst  %+v", observe(plain2), observe(inst2))
+	}
+	if !reflect.DeepEqual(observe(plain1), observe(plain2)) {
+		t.Fatalf("N=1 vs N=2 diverge (scenario bug): %+v vs %+v", observe(plain1), observe(plain2))
+	}
+
+	if mon1.Summary().FlowsCompleted != 2 || mon2.Summary().FlowsCompleted != 2 {
+		t.Fatalf("instrumentation recorded nothing: %+v / %+v", mon1.Summary(), mon2.Summary())
+	}
+	// The sampled span sets must agree across partitionings, up to the
+	// engine that recorded them.
+	s1, s2 := mon1.Spans(), mon2.Spans()
+	for i := range s1 {
+		s1[i].Engine = 0
+	}
+	for i := range s2 {
+		s2[i].Engine = 0
+	}
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("sampled spans depend on the partition: %d vs %d spans", len(s1), len(s2))
+	}
+	if len(s1) == 0 {
+		t.Fatal("stride-3 sampling recorded no spans")
+	}
+	// The tight queue must have produced attributed tail drops whose
+	// split matches the aggregate drop counters.
+	sum := mon1.Summary()
+	if sum.DropsTail == 0 {
+		t.Error("no tail drops recorded under a 4 KB queue")
+	}
+	if got := sum.DropsTail + sum.DropsNoRoute + sum.DropsTTL + sum.DropsFault; got != plain1.Dropped {
+		t.Errorf("drop split %d != Result.Dropped %d", got, plain1.Dropped)
+	}
+}
+
+// TestNetMonPathValidation traces every packet of a single UDP send and
+// checks the recorded hop chain is exactly the route in force.
+func TestNetMonPathValidation(t *testing.T) {
+	net, a, b := chainNet(3, des.Millisecond, model.Bps1G)
+	mon := netmon.New(netmon.Options{Links: len(net.Links), Horizon: des.Second, SampleEvery: 1})
+	s := monSim(t, net, nil, 1, des.Millisecond, des.Second, mon, 0)
+	s.SendUDP(0, a, b, 1500, nil)
+	res := s.Run()
+	if res.DeliveredBits != 1500*8 {
+		t.Fatalf("datagram not delivered: %+v", res)
+	}
+	spans := mon.Spans()
+	if len(spans) != len(net.Links)+1 {
+		t.Fatalf("want %d spans (hops + deliver), got %+v", len(net.Links)+1, spans)
+	}
+	cur := a
+	for i, sp := range spans[:len(spans)-1] {
+		want := s.cfg.Routes.NextLink(cur, b)
+		if sp.Kind != netmon.SpanHop || sp.Node != cur || sp.Link != want {
+			t.Fatalf("hop %d: got %+v, want node %d link %d", i, sp, cur, want)
+		}
+		if sp.End <= sp.Start {
+			t.Fatalf("hop %d: non-positive span %+v", i, sp)
+		}
+		cur = net.Links[want].Other(cur)
+	}
+	last := spans[len(spans)-1]
+	if last.Kind != netmon.SpanDeliver || last.Node != b || cur != b {
+		t.Fatalf("path does not terminate at the destination: %+v (cur %d)", last, cur)
+	}
+
+	// Flow records for a TCP transfer over the same chain.
+	mon2 := netmon.New(netmon.Options{Links: len(net.Links), Horizon: des.Second})
+	s2 := monSim(t, net, nil, 1, des.Millisecond, des.Second, mon2, 0)
+	s2.StartFlow(0, a, b, 50_000, nil)
+	s2.Run()
+	rep := mon2.FlowReport(true)
+	if rep.Recorded != 1 || rep.FCT.Count != 1 {
+		t.Fatalf("flow report: %+v", rep)
+	}
+	f := rep.Flows[0]
+	if f.CompletedNS == 0 || f.FirstByteNS == 0 || f.FirstByteNS > f.CompletedNS {
+		t.Errorf("flow times: %+v", f)
+	}
+	if f.GoodputBps <= 0 || len(f.Samples) == 0 {
+		t.Errorf("flow trajectory: %+v", f)
+	}
+}
+
+// TestNetCodecTracePropagation pins the wire layout: the trace id crosses
+// workers exactly when sampled, and untraced packets pay no extra bytes.
+func TestNetCodecTracePropagation(t *testing.T) {
+	s := &Sim{hopFree: make([][]*hopEvent, 1), flows: map[uint64]*flow{}, tags: map[uint16]TagResolver{}}
+	c := netCodec{s: s}
+	for _, trace := range []uint64{0, 0xdeadbeefcafe} {
+		h := &hopEvent{s: s, node: 3, link: 2, pkt: Packet{
+			Src: 1, Dst: 3, Bits: 12000, Seq: 7, ttl: 60, trace: trace,
+		}}
+		kind, payload, err := c.Encode(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eh, err := c.Decode(0, kind, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := eh.(*hopEvent)
+		if got.pkt.trace != trace || got.pkt.Seq != 7 || got.node != 3 || got.link != 2 {
+			t.Fatalf("round trip lost data: %+v", got.pkt)
+		}
+	}
+	// Untraced payload is 8 bytes (the U64 id) shorter than traced.
+	_, plain, _ := c.Encode(&hopEvent{s: s, pkt: Packet{Src: 1, Dst: 2, Bits: 8}})
+	_, traced, _ := c.Encode(&hopEvent{s: s, pkt: Packet{Src: 1, Dst: 2, Bits: 8, trace: 5}})
+	if len(traced)-len(plain) != 8 {
+		t.Fatalf("trace id costs %d wire bytes, want 8", len(traced)-len(plain))
+	}
+}

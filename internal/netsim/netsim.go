@@ -19,6 +19,7 @@ import (
 	"massf/internal/cluster"
 	"massf/internal/des"
 	"massf/internal/model"
+	"massf/internal/netmon"
 	"massf/internal/pdes"
 	"massf/internal/telemetry"
 )
@@ -91,6 +92,15 @@ type Config struct {
 	// kernel structure) for this simulation; see pdes.Invariants. Nil (the
 	// default) disables them at zero per-event cost.
 	Invariants *pdes.Invariants
+	// NetMon, when non-nil, attaches the network observability plane:
+	// per-link-direction bucketed series (bits, queue high-water, drops by
+	// cause), per-flow TCP records with a completion-time histogram, and —
+	// when the Mon samples — deterministic packet-path traces whose hop
+	// spans ride the wire codec across distributed workers. Observation is
+	// inert (the simulated event stream is unchanged; simcheck's
+	// neutrality dimension enforces it) and nil costs one check per record
+	// point.
+	NetMon *netmon.Mon
 	// Faults, when non-nil, enables the scripted fault plane: forwarding
 	// becomes time-aware (NextLink consults the routing epoch in force),
 	// packets touching failed links or nodes drop with per-fault
@@ -134,6 +144,7 @@ type Packet struct {
 	deliverCb func(at des.Time) // UDP delivery callback
 	udpID     int32             // wire identity of deliverCb (distributed runs)
 	wref      *wireRef          // wire flow reference when flow is unknown locally
+	trace     uint64            // netmon path-trace id (0 = not sampled)
 	ttl       int8
 }
 
@@ -184,6 +195,7 @@ type Sim struct {
 	ps   *pdes.Sim
 	part []int32
 	tel  *telemetry.SimTelemetry
+	mon  *netmon.Mon // nil ⇒ network observability off, zero overhead
 
 	dirs       []linkDir // 2*link+dirIndex
 	nodeEvents []uint64  // per-node kernel event counts (profiling)
@@ -244,6 +256,7 @@ func New(cfg Config) (*Sim, error) {
 		cfg:           cfg,
 		part:          part,
 		tel:           cfg.Telemetry,
+		mon:           cfg.NetMon,
 		dirs:          make([]linkDir, 2*len(cfg.Net.Links)),
 		nodeEvents:    make([]uint64, len(cfg.Net.Nodes)),
 		queueNS:       make([]int64, len(cfg.Net.Links)),
@@ -340,6 +353,32 @@ func (s *Sim) faultDrop(node model.NodeID, fi int) {
 // EngineOf returns the engine that owns node n.
 func (s *Sim) EngineOf(n model.NodeID) int { return int(s.part[n]) }
 
+// arriveDir is the netmon direction index of the link direction a packet
+// ARRIVED over at node: the transmitting end was the far endpoint, so the
+// index is 2*via (+1 when the sender was the link's B end). -1 when the
+// packet did not cross a link.
+func (s *Sim) arriveDir(node model.NodeID, via model.LinkID) int {
+	if via < 0 {
+		return -1
+	}
+	d := 2 * int(via)
+	if s.cfg.Net.Links[via].A == node {
+		d++ // sender was B
+	}
+	return d
+}
+
+// monSpan records one path span of a traced packet. Callers guard on
+// s.mon != nil && pkt.trace != 0.
+func (s *Sim) monSpan(pkt *Packet, node model.NodeID, link model.LinkID, start, end des.Time, kind netmon.SpanKind) {
+	s.mon.Span(netmon.HopSpan{
+		Trace: pkt.trace, Src: pkt.Src, Dst: pkt.Dst,
+		Node: node, Link: link, Kind: kind,
+		Start: start, End: end, Engine: s.EngineOf(node),
+		Ack: pkt.Ack, Seq: pkt.Seq,
+	})
+}
+
 // ScheduleAt schedules fn to run at simulated time at in the context of
 // node n's engine. Use during setup (before Run) or from a handler already
 // running on that engine.
@@ -365,6 +404,12 @@ func (s *Sim) transmit(node model.NodeID, lid model.LinkID, pkt Packet) {
 	if s.faults != nil {
 		if up, fi := s.faults.LinkUp(now, lid); !up {
 			s.faultDrop(node, fi)
+			if s.mon != nil {
+				s.mon.LinkDrop(dirIdx, now, netmon.DropFault)
+				if pkt.trace != 0 {
+					s.monSpan(&pkt, node, lid, now, now, netmon.SpanDropFault)
+				}
+			}
 			return
 		}
 	}
@@ -378,6 +423,12 @@ func (s *Sim) transmit(node model.NodeID, lid model.LinkID, pkt Packet) {
 		if s.tel != nil {
 			s.tel.Drops.Inc()
 		}
+		if s.mon != nil {
+			s.mon.LinkDrop(dirIdx, now, netmon.DropTail)
+			if pkt.trace != 0 {
+				s.monSpan(&pkt, node, lid, now, now, netmon.SpanDropTail)
+			}
+		}
 		return // tail drop
 	}
 	ser := serialization(pkt.Bits, l.Bandwidth)
@@ -387,6 +438,12 @@ func (s *Sim) transmit(node model.NodeID, lid model.LinkID, pkt Packet) {
 		s.tel.LinkBits.Add(uint64(pkt.Bits))
 	}
 	arrival := start + ser + des.Time(l.Latency)
+	if s.mon != nil {
+		s.mon.LinkSend(dirIdx, now, pkt.Bits, int64(start-now))
+		if pkt.trace != 0 {
+			s.monSpan(&pkt, node, lid, now, arrival, netmon.SpanHop)
+		}
+	}
 	next := l.Other(node)
 	if arrival >= s.cfg.End {
 		return // beyond horizon; nobody will process it
@@ -412,16 +469,31 @@ func (s *Sim) arrive(now des.Time, node model.NodeID, via model.LinkID, pkt Pack
 		if via >= 0 {
 			if up, fi := s.faults.LinkUp(now, via); !up {
 				s.faultDrop(node, fi)
+				if s.mon != nil {
+					s.mon.LinkDrop(s.arriveDir(node, via), now, netmon.DropFault)
+					if pkt.trace != 0 {
+						s.monSpan(&pkt, node, via, now, now, netmon.SpanDropFault)
+					}
+				}
 				return
 			}
 		}
 		if up, fi := s.faults.NodeUp(now, node); !up {
 			s.faultDrop(node, fi)
+			if s.mon != nil {
+				s.mon.LinkDrop(s.arriveDir(node, via), now, netmon.DropFault)
+				if pkt.trace != 0 {
+					s.monSpan(&pkt, node, via, now, now, netmon.SpanDropFault)
+				}
+			}
 			return
 		}
 	}
 	s.nodeEvents[node]++
 	if node == pkt.Dst {
+		if s.mon != nil && pkt.trace != 0 {
+			s.monSpan(&pkt, node, -1, now, now, netmon.SpanDeliver)
+		}
 		s.deliver(node, pkt)
 		return
 	}
@@ -431,6 +503,12 @@ func (s *Sim) arrive(now des.Time, node model.NodeID, via model.LinkID, pkt Pack
 		if s.tel != nil {
 			s.tel.Drops.Inc()
 		}
+		if s.mon != nil {
+			s.mon.LinkDrop(s.arriveDir(node, via), now, netmon.DropTTL)
+			if pkt.trace != 0 {
+				s.monSpan(&pkt, node, via, now, now, netmon.SpanDropTTL)
+			}
+		}
 		return // TTL exhausted (forwarding loop protection)
 	}
 	lid := s.nextLink(now, node, pkt.Dst)
@@ -438,6 +516,12 @@ func (s *Sim) arrive(now des.Time, node model.NodeID, via model.LinkID, pkt Pack
 		s.dropped[s.EngineOf(node)]++
 		if s.tel != nil {
 			s.tel.Drops.Inc()
+		}
+		if s.mon != nil {
+			s.mon.LinkDrop(s.arriveDir(node, via), now, netmon.DropNoRoute)
+			if pkt.trace != 0 {
+				s.monSpan(&pkt, node, via, now, now, netmon.SpanDropNoRoute)
+			}
 		}
 		return // no route
 	}
@@ -450,12 +534,21 @@ func (s *Sim) inject(now des.Time, pkt Packet) {
 	if s.faults != nil {
 		if up, fi := s.faults.NodeUp(now, pkt.Src); !up {
 			s.faultDrop(pkt.Src, fi)
+			if s.mon != nil {
+				s.mon.LinkDrop(-1, now, netmon.DropFault)
+			}
 			return
 		}
 	}
 	pkt.ttl = DefaultTTL
+	if s.mon != nil {
+		pkt.trace = s.mon.SampleTrace(pkt.Src, pkt.Dst, pkt.Seq, pkt.Ack, pkt.Bits, now)
+	}
 	s.nodeEvents[pkt.Src]++
 	if pkt.Src == pkt.Dst {
+		if s.mon != nil && pkt.trace != 0 {
+			s.monSpan(&pkt, pkt.Dst, -1, now, now, netmon.SpanDeliver)
+		}
 		s.deliver(pkt.Dst, pkt)
 		return
 	}
@@ -464,6 +557,12 @@ func (s *Sim) inject(now des.Time, pkt Packet) {
 		s.dropped[s.EngineOf(pkt.Src)]++
 		if s.tel != nil {
 			s.tel.Drops.Inc()
+		}
+		if s.mon != nil {
+			s.mon.LinkDrop(-1, now, netmon.DropNoRoute)
+			if pkt.trace != 0 {
+				s.monSpan(&pkt, pkt.Src, -1, now, now, netmon.SpanDropNoRoute)
+			}
 		}
 		return
 	}
@@ -526,6 +625,9 @@ func (s *Sim) Run() Result {
 	s.running = true
 	s.udpSetup = len(s.udpCbs)
 	stats := s.ps.Run()
+	if s.mon != nil {
+		s.mon.Close() // end live flow-completion streams
+	}
 	res := Result{
 		Stats:      stats,
 		NodeEvents: s.nodeEvents,

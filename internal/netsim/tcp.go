@@ -11,6 +11,7 @@ package netsim
 import (
 	"massf/internal/des"
 	"massf/internal/model"
+	"massf/internal/netmon"
 )
 
 // Transport constants.
@@ -64,6 +65,11 @@ type flow struct {
 	ooo       map[int32]bool
 	recvDone  bool
 	onDeliver func(at des.Time)
+
+	// rec is the flow's netmon record (nil when observability is off or
+	// the record table overflowed). It carries its own lock, so sender and
+	// receiver engines write their halves without racing.
+	rec *netmon.FlowRec
 }
 
 // rtoHandler fires a flow's retransmission timeout through the
@@ -116,6 +122,9 @@ func (s *Sim) startFlow(at des.Time, src, dst model.NodeID, bytes int64, onCompl
 		ooo:        map[int32]bool{},
 	}
 	f.rtoh = rtoHandler{s: s, f: f}
+	if s.mon != nil {
+		f.rec = s.mon.FlowStarted(at, src, dst, bytes)
+	}
 	s.registerFlow(f)
 	eng := s.EngineOf(src)
 	s.flowsByEngine[eng] = append(s.flowsByEngine[eng], f)
@@ -167,12 +176,24 @@ func (s *Sim) sendSeg(f *flow, seq int32, fresh bool) {
 		if s.tel != nil {
 			s.tel.Retransmits.Inc()
 		}
+		if f.rec != nil {
+			f.rec.Retransmit()
+		}
 	}
 	s.nodeEvents[f.src]++
 	pkt := Packet{Src: f.src, Dst: f.dst, Bits: f.segBits(seq), Seq: seq, flow: f, ttl: DefaultTTL}
+	if s.mon != nil {
+		pkt.trace = s.mon.SampleTrace(pkt.Src, pkt.Dst, pkt.Seq, false, pkt.Bits, now)
+	}
 	lid := s.nextLink(now, f.src, f.dst)
 	if lid < 0 {
 		s.dropped[eng.ID()]++
+		if s.mon != nil {
+			s.mon.LinkDrop(-1, now, netmon.DropNoRoute)
+			if pkt.trace != 0 {
+				s.monSpan(&pkt, f.src, -1, now, now, netmon.SpanDropNoRoute)
+			}
+		}
 		return
 	}
 	s.transmit(f.src, lid, pkt)
@@ -216,6 +237,10 @@ func (s *Sim) onRTO(f *flow) {
 // tracking with out-of-order buffering, one ACK per segment. Runs on the
 // destination engine.
 func (s *Sim) onData(f *flow, pkt Packet) {
+	now := s.ps.Engine(s.EngineOf(f.dst)).Now()
+	if f.rec != nil {
+		f.rec.FirstByteAt(now)
+	}
 	switch {
 	case pkt.Seq == f.recvNext:
 		f.recvNext++
@@ -229,14 +254,23 @@ func (s *Sim) onData(f *flow, pkt Packet) {
 	if !f.recvDone && f.recvNext >= f.totalPkts {
 		f.recvDone = true
 		if f.onDeliver != nil {
-			f.onDeliver(s.ps.Engine(s.EngineOf(f.dst)).Now())
+			f.onDeliver(now)
 		}
 	}
 	// ACK travels back through the network like any packet.
 	ack := Packet{Src: f.dst, Dst: f.src, Bits: AckBytes * 8, Ack: true, AckNum: f.recvNext, flow: f, ttl: DefaultTTL}
-	lid := s.nextLink(s.ps.Engine(s.EngineOf(f.dst)).Now(), f.dst, f.src)
+	if s.mon != nil {
+		ack.trace = s.mon.SampleTrace(ack.Src, ack.Dst, ack.AckNum, true, ack.Bits, now)
+	}
+	lid := s.nextLink(now, f.dst, f.src)
 	if lid < 0 {
 		s.dropped[s.EngineOf(f.dst)]++
+		if s.mon != nil {
+			s.mon.LinkDrop(-1, now, netmon.DropNoRoute)
+			if ack.trace != 0 {
+				s.monSpan(&ack, f.dst, -1, now, now, netmon.SpanDropNoRoute)
+			}
+		}
 		return
 	}
 	s.transmit(f.dst, lid, ack)
@@ -276,11 +310,17 @@ func (s *Sim) onAck(f *flow, pkt Packet) {
 				f.cwnd += 1 / f.cwnd // congestion avoidance
 			}
 		}
+		if f.rec != nil {
+			f.rec.Sample(now, f.srtt, f.cwnd)
+		}
 		if f.ackedTo >= f.totalPkts {
 			f.done = true
 			f.completedAt = now
 			if s.tel != nil {
 				s.tel.FlowsDone.Inc()
+			}
+			if f.rec != nil {
+				s.mon.FlowCompleted(f.rec, now)
 			}
 			eng.Cancel(f.rtoEvent)
 			f.rtoArmed = false

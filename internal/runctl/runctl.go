@@ -20,6 +20,7 @@ import (
 	"massf/internal/mabrite"
 	"massf/internal/metrics"
 	"massf/internal/model"
+	"massf/internal/netmon"
 	"massf/internal/profile"
 	"massf/internal/runspec"
 	"massf/internal/telemetry"
@@ -183,6 +184,10 @@ type NetSummary struct {
 	// FaultDrops is the subset of Dropped attributed to scripted faults
 	// (0 for fault-free runs).
 	FaultDrops uint64 `json:"fault_drops,omitempty"`
+	// NetMon condenses the network observability plane's output when the
+	// run enabled it (spec netmon / net_sample); the full reports are at
+	// GET /runs/{id}/net/{links,flows,paths}.
+	NetMon *netmon.Summary `json:"netmon,omitempty"`
 }
 
 // FaultRecord is one fault event's full outcome: the plane's reconvergence
@@ -216,6 +221,22 @@ type Run struct {
 	part      []int32
 	captured  *profile.Profile
 	faultRecs []FaultRecord
+	mon       *netmon.Mon
+}
+
+// NetMon returns the run's network observability plane, installed before
+// the simulation starts so live endpoints can stream from it; nil when the
+// spec did not enable it (or the run has not reached execution yet).
+func (r *Run) NetMon() *netmon.Mon {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.mon
+}
+
+func (r *Run) setNetMon(m *netmon.Mon) {
+	r.mu.Lock()
+	r.mon = m
+	r.mu.Unlock()
 }
 
 // Faults returns the per-fault reconvergence/loss report of a finished
@@ -504,6 +525,17 @@ func (m *Manager) Gather() []telemetry.Point {
 			Value:  float64(counts[st]),
 		})
 	}
+	pts = append(pts,
+		telemetry.Point{
+			Name: "massfd_pool_slots", Kind: "gauge",
+			Help:  "Size of the simulation worker pool.",
+			Value: float64(cap(m.sem)),
+		},
+		telemetry.Point{
+			Name: "massfd_pool_busy", Kind: "gauge",
+			Help:  "Worker-pool slots currently executing a simulation.",
+			Value: float64(len(m.sem)),
+		})
 	for _, r := range runs {
 		pts = append(pts, r.Tel.Reg.Gather(telemetry.Label{Key: "run", Value: r.ID})...)
 	}
@@ -643,10 +675,14 @@ func (m *Manager) execute(r *Run) (*metrics.Report, *NetSummary, error) {
 		RealTimeFactor: spec.RealTimeFactor,
 		SeriesBuckets:  256,
 		Faults:         spec.Faults,
+		NetMon:         spec.NetMon,
+		NetSample:      spec.NetSample,
 	})
 	if err != nil {
 		return nil, nil, err
 	}
+	// Publish the plane before Run so /net/stream can follow live.
+	r.setNetMon(sim.Config().NetMon)
 	release := watchCancel(r.ctx, sim.Stop)
 	res := sim.Run()
 	release()
@@ -670,6 +706,9 @@ func (m *Manager) execute(r *Run) (*metrics.Report, *NetSummary, error) {
 			}
 		}
 		r.setFaults(recs)
+	}
+	if mon := sim.Config().NetMon; mon != nil {
+		sum.NetMon = mon.Summary()
 	}
 	return &rep, sum, nil
 }

@@ -29,6 +29,18 @@
 //	                              when new routes took effect, attributed
 //	                              packet loss (JSON; 404 while in flight
 //	                              or for fault-free runs)
+//	GET    /runs/{id}/net/links   per-link utilization/queue/drop report
+//	                              from the netmon plane (?top=N busiest
+//	                              directions, default 32; ?series=1 adds
+//	                              the windowed series; 404 when the spec
+//	                              did not enable netmon)
+//	GET    /runs/{id}/net/flows   per-flow TCP records + flow-completion-
+//	                              time histogram (?samples=1 adds the
+//	                              SRTT/cwnd trajectories)
+//	GET    /runs/{id}/net/paths   sampled packet paths stitched from hop
+//	                              spans (requires net_sample > 0)
+//	GET    /runs/{id}/net/stream  live NDJSON stream of flow completions
+//	                              (replay + follow, like /metrics)
 //	GET    /metrics               aggregate Prometheus exposition across
 //	                              all runs (run="<id>" labels)
 package runctl
@@ -40,6 +52,7 @@ import (
 	"strconv"
 
 	"massf/internal/flight"
+	"massf/internal/netmon"
 	"massf/internal/telemetry"
 )
 
@@ -68,6 +81,10 @@ func NewServer(m *Manager) *Server {
 	s.mux.HandleFunc("GET /runs/{id}/straggler", s.runStraggler)
 	s.mux.HandleFunc("GET /runs/{id}/profile", s.runProfile)
 	s.mux.HandleFunc("GET /runs/{id}/faults", s.runFaults)
+	s.mux.HandleFunc("GET /runs/{id}/net/links", s.runNetLinks)
+	s.mux.HandleFunc("GET /runs/{id}/net/flows", s.runNetFlows)
+	s.mux.HandleFunc("GET /runs/{id}/net/paths", s.runNetPaths)
+	s.mux.HandleFunc("GET /runs/{id}/net/stream", s.runNetStream)
 	s.mux.HandleFunc("GET /metrics", s.aggregateMetrics)
 	return s
 }
@@ -278,6 +295,129 @@ func (s *Server) runFaults(w http.ResponseWriter, r *http.Request) {
 		"count":  len(recs),
 		"faults": recs,
 	})
+}
+
+// netMon resolves a run and its observability plane, writing the 404 when
+// either is missing. The plane exists from the moment execution starts, so
+// the link/flow endpoints work on live runs too (atomic snapshots).
+func (s *Server) netMon(w http.ResponseWriter, r *http.Request) (*Run, *netmon.Mon, bool) {
+	run, ok := s.m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("runctl: no run %q", r.PathValue("id")))
+		return nil, nil, false
+	}
+	mon := run.NetMon()
+	if mon == nil {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("runctl: run %q has no network observability plane (submit with \"netmon\": true or \"net_sample\" > 0; state %s)",
+				run.ID, run.State()))
+		return nil, nil, false
+	}
+	return run, mon, true
+}
+
+// runNetLinks serves the per-link report: busiest directions first, drops
+// split by cause, utilization when bandwidths are known.
+func (s *Server) runNetLinks(w http.ResponseWriter, r *http.Request) {
+	run, mon, ok := s.netMon(w, r)
+	if !ok {
+		return
+	}
+	top := 32
+	if v := r.URL.Query().Get("top"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			top = n
+		}
+	}
+	rep := mon.LinkReport(top, r.URL.Query().Get("series") == "1")
+	writeJSON(w, http.StatusOK, map[string]any{
+		"run": run.ID, "summary": mon.Summary(), "links": rep,
+	})
+}
+
+// runNetFlows serves the per-flow TCP records and the FCT histogram.
+func (s *Server) runNetFlows(w http.ResponseWriter, r *http.Request) {
+	run, mon, ok := s.netMon(w, r)
+	if !ok {
+		return
+	}
+	rep := mon.FlowReport(r.URL.Query().Get("samples") == "1")
+	writeJSON(w, http.StatusOK, map[string]any{"run": run.ID, "flows": rep})
+}
+
+// runNetPaths serves the sampled packet paths stitched from hop spans.
+func (s *Server) runNetPaths(w http.ResponseWriter, r *http.Request) {
+	run, mon, ok := s.netMon(w, r)
+	if !ok {
+		return
+	}
+	if !mon.Sampling() {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("runctl: run %q records no packet paths (submit with \"net_sample\" > 0)", run.ID))
+		return
+	}
+	paths := mon.Paths()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"run": run.ID, "sample_every": mon.SampleEvery(),
+		"count": len(paths), "paths": paths,
+	})
+}
+
+// runNetStream streams flow completions as NDJSON: buffered history first,
+// then live snapshots as flows finish, ending when the run closes the
+// plane or the client disconnects. ?follow=0 dumps and returns.
+func (s *Server) runNetStream(w http.ResponseWriter, r *http.Request) {
+	_, mon, ok := s.netMon(w, r)
+	if !ok {
+		return
+	}
+	follow := r.URL.Query().Get("follow") != "0"
+	past, ch, cancel := mon.SubscribeCompletions(1024)
+	defer cancel()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	for _, snap := range past {
+		if enc.Encode(snap) != nil {
+			return
+		}
+	}
+	flush(w)
+	if !follow {
+		return
+	}
+	ctx := r.Context()
+	for {
+		select {
+		case snap, open := <-ch:
+			if !open {
+				return
+			}
+			if enc.Encode(snap) != nil {
+				return
+			}
+			// Drain the buffer before flushing, as /metrics does.
+			for {
+				select {
+				case snap, open := <-ch:
+					if !open {
+						flush(w)
+						return
+					}
+					if enc.Encode(snap) != nil {
+						return
+					}
+					continue
+				default:
+				}
+				break
+			}
+			flush(w)
+		case <-ctx.Done():
+			return
+		}
+	}
 }
 
 // aggregateMetrics serves the merged Prometheus exposition: daemon

@@ -45,6 +45,13 @@ type RunSpec struct {
 	// Telemetry receives live observability data (nil disables it). Use
 	// one SimTelemetry per run. Never serialized.
 	Telemetry *telemetry.SimTelemetry `json:"-"`
+	// NetMon attaches the network observability plane: per-link windowed
+	// utilization/queue/drop series and per-flow TCP records. Off by
+	// default — the disabled plane costs one nil check per record point.
+	NetMon bool `json:"netmon,omitempty"`
+	// NetSample > 0 additionally samples every NetSample-th injected
+	// packet for cross-engine path tracing (implies NetMon).
+	NetSample int `json:"net_sample,omitempty"`
 }
 
 // Normalize applies defaults in place.
@@ -79,6 +86,9 @@ func (s *RunSpec) Validate() error {
 	}
 	if s.SeriesBuckets < 0 {
 		return fmt.Errorf("runspec: series buckets must be ≥ 0")
+	}
+	if s.NetSample < 0 {
+		return fmt.Errorf("runspec: net sample stride must be ≥ 0")
 	}
 	if err := s.Faults.Validate(); err != nil {
 		return err

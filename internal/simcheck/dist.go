@@ -15,6 +15,7 @@ import (
 	"massf/internal/core"
 	"massf/internal/des"
 	"massf/internal/dist"
+	"massf/internal/netmon"
 	"massf/internal/pdes"
 	"massf/internal/profile"
 )
@@ -139,7 +140,12 @@ func MergeObservations(parts []*Observation) (*Observation, error) {
 		if err := mergeTimes(m.UDPRecv, p.UDPRecv, "UDPRecv", wi); err != nil {
 			return nil, err
 		}
+		// Each hop span is recorded on the worker hosting the executing
+		// engine, so worker partials are disjoint: concatenate, then
+		// restore the canonical order.
+		m.PathSpans = append(m.PathSpans, p.PathSpans...)
 	}
+	netmon.SortSpans(m.PathSpans)
 	return m, nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"massf/internal/des"
 	"massf/internal/faults"
 	"massf/internal/model"
+	"massf/internal/netmon"
 	"massf/internal/netsim"
 	"massf/internal/pdes"
 	"massf/internal/profile"
@@ -41,6 +42,13 @@ type Observation struct {
 
 	HTTPRequests  uint64
 	HTTPResponses uint64
+
+	// PathSpans are the netmon-sampled packet-path spans of an
+	// instrumented run (Scenario.NetSample > 0). They are OUTPUT of the
+	// observability plane, not a model observable, so Diff ignores them;
+	// MergeObservations concatenates worker partials so a distributed
+	// run's cross-worker paths can be stitched and audited.
+	PathSpans []netmon.HopSpan `json:",omitempty"`
 }
 
 // distRun configures runOnce as ONE WORKER of a distributed run: the Sim
@@ -70,6 +78,13 @@ func runOnce(net *netsimNet, sc Scenario, k int, part []int32, window des.Time, 
 		cfg.Transport = dr.transport
 		cfg.FirstEngine = dr.first
 		cfg.HostedEngines = dr.hosted
+	}
+	var mon *netmon.Mon
+	if sc.NetSample > 0 {
+		mon = netmon.New(netmon.Options{
+			Links: len(net.net.Links), Horizon: sc.Horizon, SampleEvery: sc.NetSample,
+		})
+		cfg.NetMon = mon
 	}
 	s, err := netsim.New(cfg)
 	if err != nil {
@@ -117,6 +132,9 @@ func runOnce(net *netsimNet, sc Scenario, k int, part []int32, window des.Time, 
 	if httpStats != nil {
 		obs.HTTPRequests = httpStats.TotalRequests()
 		obs.HTTPResponses = httpStats.TotalResponses()
+	}
+	if mon != nil {
+		obs.PathSpans = mon.Spans()
 	}
 	return obs, &res, nil
 }

@@ -55,6 +55,12 @@ type Scenario struct {
 	ChurnEvents int            `json:",omitempty"`
 	ChurnSeed   int64          `json:",omitempty"`
 	Faults      *faults.Script `json:",omitempty"`
+	// NetSample > 0 attaches the netmon observability plane to every run
+	// of the scenario, path-sampling every NetSample-th packet. Used by
+	// the observer-neutrality dimension: instrumented runs must produce
+	// byte-identical Observations (netmon output itself is excluded from
+	// the diff — it is observation, not model state).
+	NetSample int `json:",omitempty"`
 }
 
 // NewScenario derives a scenario from a seed. The distribution covers both

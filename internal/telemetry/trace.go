@@ -147,8 +147,16 @@ func appendSlice(events *[]TraceEvent, name string, e int, startNS, durNS int64,
 // WriteChromeTrace renders recs as a Chrome trace-event JSON object —
 // loadable in Perfetto — with run-level metadata attached.
 func WriteChromeTrace(w io.Writer, recs []WindowRecord, meta map[string]string) error {
+	return WriteChromeTraceEvents(w, BuildTraceEvents(recs), meta)
+}
+
+// WriteChromeTraceEvents renders pre-built trace events as the same JSON
+// object WriteChromeTrace emits. Use it to combine the engine tracks from
+// BuildTraceEvents with extra lanes built elsewhere (e.g. netmon's sampled
+// packet paths) in one loadable file.
+func WriteChromeTraceEvents(w io.Writer, events []TraceEvent, meta map[string]string) error {
 	trace := chromeTrace{
-		TraceEvents:     BuildTraceEvents(recs),
+		TraceEvents:     events,
 		DisplayTimeUnit: "ms",
 		OtherData:       meta,
 	}

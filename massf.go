@@ -50,6 +50,7 @@ import (
 	"massf/internal/mabrite"
 	"massf/internal/metrics"
 	"massf/internal/model"
+	"massf/internal/netmon"
 	"massf/internal/netsim"
 	"massf/internal/profile"
 	"massf/internal/routing/bgp"
@@ -408,6 +409,53 @@ func WriteChromeTrace(w io.Writer, recs []TelemetryWindow, meta map[string]strin
 // name the simulated routers dominating each straggler.
 func AnalyzeFlight(recs []TelemetryWindow, topK int) *FlightReport {
 	return flight.Analyze(recs, topK)
+}
+
+// Network observability (the netmon plane): per-link windowed telemetry,
+// per-flow TCP records and sampled packet-path traces. Attach a plane via
+// SimConfig.NetMon before NewSimulation; nil costs one check per record
+// point. The same reports back massfd's GET /runs/{id}/net/* endpoints
+// and massf -netstats / -pathtrace.
+type (
+	// NetMon is a run's network observability plane.
+	NetMon = netmon.Mon
+	// NetMonOptions sizes a plane: link count, horizon, sampling stride,
+	// optional per-link bandwidths for utilization.
+	NetMonOptions = netmon.Options
+	// NetMonSummary condenses a plane's output (drop split, flow counts,
+	// FCT percentiles).
+	NetMonSummary = netmon.Summary
+	// LinkReport ranks link directions by carried bits with windowed
+	// utilization/queue/drop series.
+	LinkReport = netmon.LinkReport
+	// LinkDirStats is one link direction's telemetry.
+	LinkDirStats = netmon.LinkDirStats
+	// FlowReport lists per-flow TCP records plus the flow-completion-time
+	// histogram.
+	FlowReport = netmon.FlowReport
+	// FlowSnapshot is one completed (or in-flight) flow's record.
+	FlowSnapshot = netmon.FlowSnapshot
+	// HopSpan is one sampled packet's stay at one hop.
+	HopSpan = netmon.HopSpan
+	// PacketPath is a sampled packet's hop spans stitched into a path.
+	PacketPath = netmon.Path
+)
+
+// NewNetMon creates a network observability plane. Use one per run.
+func NewNetMon(o NetMonOptions) *NetMon { return netmon.New(o) }
+
+// PathTraceEvents renders sampled packet paths as extra Chrome-trace
+// lanes (one per trace) aligned to the engine tracks of the same
+// recording; pass nil recs to plot in raw simulated time. Combine with
+// BuildTraceEvents and write via WriteChromeTraceEvents.
+func PathTraceEvents(spans []HopSpan, recs []TelemetryWindow) []TraceEvent {
+	return netmon.PathTraceEvents(spans, recs)
+}
+
+// WriteChromeTraceEvents writes pre-built trace events (engine tracks,
+// path lanes, or both concatenated) as one Chrome trace-event document.
+func WriteChromeTraceEvents(w io.Writer, events []TraceEvent, meta map[string]string) error {
+	return telemetry.WriteChromeTraceEvents(w, events, meta)
 }
 
 // Metrics (Section 4.1 of the paper).
