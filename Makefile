@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-all bench-gate smoke churn clean
+.PHONY: check vet build test race bench bench-all bench-gate bench-shard smoke churn bigtopo clean
 
 check: vet build race smoke churn
 
@@ -28,9 +28,16 @@ smoke:
 
 # Conformance under scripted link/router churn: 25 seeded scenarios, each
 # given a derived fault script and checked sequential vs k∈{2,4,8}, plus a
-# distributed k=4 leg over two in-process workers.
+# distributed k=4 leg over two in-process workers — replicated AND sliced
+# (-shard: slice-local build, scoped lazy routing, scenario artifact cache).
 churn:
-	$(GO) run ./cmd/simcheck -scenarios 25 -churn -dist 2 -dist-k 4
+	$(GO) run ./cmd/simcheck -scenarios 25 -churn -dist 2 -dist-k 4 -shard
+
+# Big-topology memory smoke: a 2-AS large-fanout network distributed at
+# k=4, asserting a sliced worker retains well under the replicated
+# baseline's routing bytes and per-worker heap. Nightly, not per-PR.
+bigtopo:
+	MASSF_BIGTOPO=1 $(GO) test -count=1 -run TestBigTopoSliceMemory -v -timeout 20m ./internal/simcheck/
 
 # Perf trajectory: run the event-pipeline benchmarks (kernel, barrier
 # window, Fig6 end-to-end, telemetry publish) with allocation counting and
@@ -46,6 +53,14 @@ bench:
 
 bench-all:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Scenario-shard capture: per-worker setup cost before (replicated eager
+# build) and after (cached topology + slice-local lazy build), recorded
+# under the `scenario-shard` label.
+bench-shard:
+	$(GO) test -run='^$$' -bench='BenchmarkShardSetup' -benchmem -benchtime=2x \
+		./internal/simcheck/ \
+		| $(GO) run ./cmd/benchjson -label scenario-shard -out BENCH_pipeline.json
 
 # Perf regression gate (CI): rerun the pipeline benches and fail if the
 # netmon-DISABLED hot path regressed against the committed capture — the

@@ -119,6 +119,7 @@ func run(args []string, out io.Writer, nowNano func() int64) error {
 		return fmt.Errorf("unknown approach %q", *name)
 	}
 
+	setupStart := time.Now()
 	f, err := os.Open(*netPath)
 	if err != nil {
 		return err
@@ -253,7 +254,9 @@ func run(args []string, out io.Writer, nowNano func() int64) error {
 		appFlows = append(appFlows, ws)
 	}
 
+	setupSec := time.Since(setupStart).Seconds()
 	res := sim.Run()
+	mem := massf.ReadMemStats()
 	rep := massf.ReportFor(a.String(), &res, cost)
 	if *jsonOut {
 		doc := map[string]any{
@@ -262,6 +265,8 @@ func run(args []string, out io.Writer, nowNano func() int64) error {
 			"seed":       *seed,
 			"mll_ns":     int64(mapping.MLL),
 			"horizon_ns": int64(end),
+			"setup_sec":  setupSec,
+			"mem":        mem,
 			"report":     rep,
 			"http": map[string]uint64{
 				"requests": httpStats.TotalRequests(), "responses": httpStats.TotalResponses(),
@@ -298,7 +303,7 @@ func run(args []string, out io.Writer, nowNano func() int64) error {
 		}
 	}
 	if !*jsonOut {
-		printTextReport(out, a, *engines, *seed, mapping.MLL, end, &res, rep, httpStats, appFlows, plane, mon)
+		printTextReport(out, a, *engines, *seed, mapping.MLL, end, setupSec, mem, &res, rep, httpStats, appFlows, plane, mon)
 	}
 
 	if *profOut != "" {
@@ -321,11 +326,20 @@ func run(args []string, out io.Writer, nowNano func() int64) error {
 		if err != nil {
 			return err
 		}
-		err = massf.WriteChromeTrace(tf, tel.Windows.Snapshot(), map[string]string{
-			"approach": a.String(),
-			"engines":  fmt.Sprint(*engines),
-			"net":      *netPath,
-		})
+		// One shared build serves every engine in-process: broadcast the
+		// setup span to all tracks so the trace shows what a distributed
+		// worker's rebuild would cost.
+		setupSpans := make([]int64, *engines)
+		for i := range setupSpans {
+			setupSpans[i] = int64(setupSec * 1e9)
+		}
+		err = massf.WriteChromeTraceEvents(tf,
+			massf.BuildTraceEventsWithSetup(tel.Windows.Snapshot(), setupSpans),
+			map[string]string{
+				"approach": a.String(),
+				"engines":  fmt.Sprint(*engines),
+				"net":      *netPath,
+			})
 		if cerr := tf.Close(); err == nil {
 			err = cerr
 		}
@@ -374,7 +388,8 @@ func run(args []string, out io.Writer, nowNano func() int64) error {
 // script ran, and the network observability digest when the plane was
 // attached.
 func printTextReport(out io.Writer, a massf.Approach, engines int, seed int64,
-	mll, end massf.Time, res *massf.Result, rep massf.Report,
+	mll, end massf.Time, setupSec float64, mem massf.MemSample,
+	res *massf.Result, rep massf.Report,
 	httpStats *massf.HTTPStats, appFlows []*massf.WorkflowStats,
 	plane *massf.FaultPlane, mon *massf.NetMon) {
 	fmt.Fprintf(out, "approach             %v\n", a)
@@ -382,6 +397,9 @@ func printTextReport(out io.Writer, a massf.Approach, engines int, seed int64,
 	fmt.Fprintf(out, "seed                 %d\n", seed)
 	fmt.Fprintf(out, "achieved MLL         %v\n", mll)
 	fmt.Fprintf(out, "simulated horizon    %v\n", end)
+	fmt.Fprintf(out, "setup time           %.3f s\n", setupSec)
+	fmt.Fprintf(out, "memory               %.1f MiB heap in use, %.1f MiB peak RSS\n",
+		float64(mem.HeapInuse)/(1<<20), float64(mem.PeakRSS)/(1<<20))
 	fmt.Fprintf(out, "events               %d (%d remote)\n", res.TotalEvents, res.RemoteEvents)
 	fmt.Fprintf(out, "barrier windows      %d\n", res.Windows)
 	fmt.Fprintf(out, "modeled sim time     %.3f s\n", rep.SimTimeSec)

@@ -37,11 +37,13 @@ func writeTestNet(t *testing.T) string {
 }
 
 // stripWallTime removes the only line of the report that legitimately
-// differs between identical runs (host wall-clock time).
+// differs between identical runs (host wall-clock time, process memory).
 func stripWallTime(s string) string {
 	var keep []string
 	for _, line := range strings.Split(s, "\n") {
-		if strings.HasPrefix(line, "wall time") {
+		if strings.HasPrefix(line, "wall time") ||
+			strings.HasPrefix(line, "setup time") ||
+			strings.HasPrefix(line, "memory") {
 			continue
 		}
 		keep = append(keep, line)

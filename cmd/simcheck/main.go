@@ -12,6 +12,7 @@
 //	simcheck -repro 42 -trace div.json      # dump the failing run's trace
 //	simcheck -scenario-json '{"Seed":42,...}'  # re-check a shrunk reproducer
 //	simcheck -scenarios 25 -churn -dist 2 -dist-k 4  # churn sweep + distributed leg
+//	simcheck -scenarios 25 -dist 2 -dist-k 4 -shard  # + sharded-vs-replicated dimension
 //	simcheck -scenarios 25 -netmon 4        # + observer-neutrality dimension (stride 4)
 package main
 
@@ -56,6 +57,8 @@ func run(args []string, out io.Writer) (bool, error) {
 	distWorkers := fs.Int("dist", 0, "also run each scenario across this many loopback TCP workers (largest k in -ks) and diff the merged observables")
 	distK := fs.Int("dist-k", 0, "with -dist: pin the distributed engine count (default: largest k in -ks)")
 	distListen := fs.String("dist-listen", "", "with -dist: listen on this address and wait for external workers (massfd -worker -join <addr>) instead of spawning in-process worker loops")
+	shard := fs.Bool("shard", false, "with -dist: add the sharded-vs-replicated dimension — rerun each scenario with slice-materializing workers (slice-local build, scoped lazy routing, scenario artifact cache) and diff against both the replicated fleet and the sequential reference")
+	scacheDir := fs.String("scache", "", "with -shard: scenario artifact cache directory (default: a fresh temp dir per process)")
 	verbose := fs.Bool("v", false, "print every scenario, not just failures")
 	if err := fs.Parse(args); err != nil {
 		return false, err
@@ -64,6 +67,23 @@ func run(args []string, out io.Writer) (bool, error) {
 	kList, err := parseKs(*ks)
 	if err != nil {
 		return false, err
+	}
+	cacheDir := *scacheDir
+	if *shard {
+		if *distWorkers <= 0 {
+			return false, fmt.Errorf("-shard requires -dist (sliced workers are a distributed dimension)")
+		}
+		if *distListen != "" {
+			return false, fmt.Errorf("-shard cannot join external workers (-dist-listen): the sharded check runs two fleets back to back")
+		}
+		if cacheDir == "" {
+			dir, err := os.MkdirTemp("", "massf-scache-*")
+			if err != nil {
+				return false, err
+			}
+			defer os.RemoveAll(dir)
+			cacheDir = dir
+		}
 	}
 
 	var list []simcheck.Scenario
@@ -107,6 +127,16 @@ func run(args []string, out io.Writer) (bool, error) {
 				if !ok {
 					fmt.Fprintf(out, "%d/%d scenarios passed before first failure\n", pass, len(list))
 					return false, nil
+				}
+				if *shard {
+					ok, err := checkSharded(out, sc, *distWorkers, *distK, cacheDir, *verbose)
+					if err != nil {
+						return false, fmt.Errorf("seed %d sharded: %w", sc.Seed, err)
+					}
+					if !ok {
+						fmt.Fprintf(out, "%d/%d scenarios passed before first failure\n", pass, len(list))
+						return false, nil
+					}
 				}
 			}
 			if *netmonSample > 0 {
@@ -212,6 +242,49 @@ func checkDistributed(out io.Writer, sc simcheck.Scenario, workers, pinnedK int,
 	}
 	for _, d := range rep.DivsDist {
 		fmt.Fprintf(out, "  distributed divergence: %v\n", d)
+	}
+	return false, nil
+}
+
+// checkSharded reruns a passing scenario twice across `workers` loopback
+// workers — once replicated (every worker builds the full scenario), once
+// sliced (every worker materializes only its engine range, with scoped lazy
+// routing, through the scenario artifact cache) — and diffs both merged
+// observable sets against the sequential reference.
+func checkSharded(out io.Writer, sc simcheck.Scenario, workers, pinnedK int, cacheDir string, verbose bool) (bool, error) {
+	k := pinnedK
+	if k == 0 {
+		for _, c := range sc.Ks {
+			if c >= workers && c > k {
+				k = c
+			}
+		}
+	}
+	if k == 0 || k < workers {
+		return true, nil
+	}
+	rep, err := simcheck.CheckSharded(sc, k, workers, dist.Options{}, cacheDir)
+	if err != nil {
+		return false, err
+	}
+	if !rep.Failed() {
+		if verbose {
+			fmt.Fprintf(out, "ok   %s sharded k=%d workers=%d (%d windows)\n",
+				sc, k, workers, rep.Windows)
+			for _, wm := range rep.SlicedMem {
+				fmt.Fprintf(out, "       %s: %d owned nodes, build %.1fms, route tables %dB\n",
+					wm.Name, wm.SliceNodes, float64(wm.BuildNS)/1e6, wm.RouteBytes)
+			}
+		}
+		return true, nil
+	}
+	fmt.Fprintf(out, "FAIL %s sharded k=%d workers=%d window=%v (%d windows)\n",
+		sc, k, workers, rep.Window, rep.Windows)
+	for _, d := range rep.DivsDist {
+		fmt.Fprintf(out, "  replicated divergence: %v\n", d)
+	}
+	for _, d := range rep.DivsSliced {
+		fmt.Fprintf(out, "  sliced divergence: %v\n", d)
 	}
 	return false, nil
 }

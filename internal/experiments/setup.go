@@ -144,7 +144,7 @@ func BuildSingleAS(sc Scale) (*Setup, error) {
 	if err != nil {
 		return nil, err
 	}
-	return finishSetup(sc, net, false)
+	return finishSetup(sc, net, false, nil)
 }
 
 // BuildMultiAS constructs the Section 5 testbed: an Internet-like multi-AS
@@ -157,7 +157,7 @@ func BuildMultiAS(sc Scale) (*Setup, error) {
 	if err != nil {
 		return nil, err
 	}
-	return finishSetup(sc, net, true)
+	return finishSetup(sc, net, true, nil)
 }
 
 // NewSetup builds a Setup from an already-constructed network — the
@@ -166,12 +166,27 @@ func BuildMultiAS(sc Scale) (*Setup, error) {
 // host roles, engine count, horizon and seed; the topology fields of Scale
 // are ignored.
 func NewSetup(net *model.Network, sc Scale, multi bool) (*Setup, error) {
-	return finishSetup(sc, net, multi)
+	return finishSetup(sc, net, multi, nil)
 }
 
-func finishSetup(sc Scale, net *model.Network, multi bool) (*Setup, error) {
+// NewSetupScoped is NewSetup for one distributed worker's slice: routing
+// state is scoped to the nodes marked in scope (next-hop trees retain only
+// owned entries, computed lazily on first lookup) and no eager route
+// warm-up runs. Host-role selection still spans the full network so every
+// worker derives identical clients/servers/app hosts; only the retained
+// state is slice-local.
+func NewSetupScoped(net *model.Network, sc Scale, multi bool, scope []bool) (*Setup, error) {
+	return finishSetup(sc, net, multi, scope)
+}
+
+func finishSetup(sc Scale, net *model.Network, multi bool, scope []bool) (*Setup, error) {
 	st := &Setup{Scale: sc, MultiAS: multi, Net: net, Sync: cluster.DefaultTeraGrid()}
-	router := interdomain.New(net)
+	var router *interdomain.Router
+	if scope != nil {
+		router = interdomain.NewScoped(net, scope)
+	} else {
+		router = interdomain.New(net)
+	}
 	st.Routes = router
 	st.Router = router
 	for i := range net.Nodes {
@@ -208,8 +223,12 @@ func finishSetup(sc Scale, net *model.Network, multi bool) (*Setup, error) {
 	}
 	st.Clients = free[:nc]
 	st.Servers = free[nc : nc+ns]
-	// Warm routing caches for every traffic destination.
-	router.Prepare(st.Hosts)
+	// Warm routing caches for every traffic destination — replicated
+	// builds only. A scoped router computes its slice-local trees lazily
+	// on first lookup; eager warming would defeat the memory savings.
+	if scope == nil {
+		router.Prepare(st.Hosts)
+	}
 	return st, nil
 }
 
@@ -287,9 +306,11 @@ type RunOutcome struct {
 // Deprecated: SimOptions is a thin alias of the unified run configuration
 // runspec.RunSpec (massf.RunSpec), kept so existing callers compile.
 // BuildSim reads only the run-surface knobs — Telemetry, RealTimeFactor,
-// SeriesBuckets, Faults, NetMon and NetSample; the scale-level fields
-// (Engines, Seconds, Seed, EventCostUS) are taken from Setup.Scale, which
-// was sized before mapping.
+// SeriesBuckets, Faults, NetMon, NetSample and the distributed-worker
+// fields (Transport, FirstEngine, HostedEngines, Slice); the scale-level
+// fields (Engines, Seconds, Seed, EventCostUS) are taken from Setup.Scale,
+// which was sized before mapping. A Slice build pairs with a Setup from
+// NewSetupScoped so routing state is slice-local too.
 type SimOptions = runspec.RunSpec
 
 // BuildSim constructs (but does not run) the full simulation for mapping m
@@ -308,7 +329,11 @@ func (st *Setup) BuildSim(m *core.Mapping, w Workload, opt SimOptions) (*netsim.
 		if err != nil {
 			return nil, nil, err
 		}
-		plane.Prepare(st.Hosts)
+		// Slice mode keeps every routing epoch lazy too: the scoped
+		// clones compute their trees on first lookup.
+		if !opt.Slice {
+			plane.Prepare(st.Hosts)
+		}
 	}
 	cfg := netsim.Config{
 		Net: st.Net, Routes: st.Routes, Part: m.Part, Engines: st.Scale.Engines,
@@ -316,6 +341,8 @@ func (st *Setup) BuildSim(m *core.Mapping, w Workload, opt SimOptions) (*netsim.
 		Sync: st.Sync, EventCost: st.Scale.EventCost, Seed: st.Scale.Seed,
 		SeriesBuckets: opt.SeriesBuckets, RealTimeFactor: opt.RealTimeFactor,
 		Telemetry: opt.Telemetry,
+		Transport: opt.Transport, FirstEngine: opt.FirstEngine,
+		HostedEngines: opt.HostedEngines, SliceBuild: opt.Slice,
 	}
 	if plane != nil {
 		cfg.Faults = plane

@@ -1,0 +1,71 @@
+// Package memstat samples process memory for the per-worker memory
+// accounting of distributed runs: Go heap occupancy from runtime.MemStats
+// plus the OS-reported peak resident set (VmHWM on Linux), so a worker's
+// Result frame can prove — or disprove — that a slice build actually
+// shrank its footprint.
+package memstat
+
+import (
+	"bufio"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Sample is one memory reading.
+type Sample struct {
+	// HeapInuse is runtime.MemStats.HeapInuse: bytes in in-use spans —
+	// live scenario state plus allocator overhead, the number the slice
+	// build targets.
+	HeapInuse uint64 `json:"heap_inuse"`
+	// HeapAlloc is bytes of live allocated heap objects.
+	HeapAlloc uint64 `json:"heap_alloc"`
+	// PeakRSS is the process's high-water resident set in bytes (VmHWM),
+	// 0 where /proc is unavailable.
+	PeakRSS uint64 `json:"peak_rss"`
+}
+
+// Read samples the current process. It does not force a GC; callers that
+// want live-set precision (e.g. a post-build measurement) should call
+// ReadStable instead.
+func Read() Sample {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return Sample{HeapInuse: ms.HeapInuse, HeapAlloc: ms.HeapAlloc, PeakRSS: peakRSS()}
+}
+
+// ReadStable runs a GC first so HeapInuse reflects live state rather than
+// garbage awaiting collection — the comparable number for before/after
+// build measurements.
+func ReadStable() Sample {
+	runtime.GC()
+	return Read()
+}
+
+// peakRSS parses VmHWM from /proc/self/status (kB). Returns 0 on any
+// failure — non-Linux platforms simply lack the field.
+func peakRSS() uint64 {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb * 1024
+	}
+	return 0
+}

@@ -1,0 +1,157 @@
+// Binary encoding of a Network through the internal/wire layer — the
+// scenario artifact format. A generated topology is expensive to build
+// (preferential attachment plus connectivity validation at 100k routers)
+// but cheap to serialize; workers cache the encoded form content-addressed
+// on disk (internal/scache) and coordinators may ship it over the wire, so
+// repeated runs on the same scenario skip generation entirely.
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"massf/internal/wire"
+)
+
+// codecVersion guards the artifact layout; bump on any format change so a
+// stale cache entry decodes to a clean error instead of garbage.
+const codecVersion = 1
+
+// Encode serializes n. The output is deterministic: identical networks
+// produce identical bytes, which is what makes content-addressing sound.
+func Encode(n *Network) []byte {
+	var b wire.Buffer
+	b.U8(codecVersion)
+	b.U32(uint32(len(n.Nodes)))
+	for i := range n.Nodes {
+		nd := &n.Nodes[i]
+		b.U8(byte(nd.Kind))
+		b.I32(nd.AS)
+		b.U64(math.Float64bits(nd.X))
+		b.U64(math.Float64bits(nd.Y))
+	}
+	b.U32(uint32(len(n.Links)))
+	for i := range n.Links {
+		l := &n.Links[i]
+		b.I32(int32(l.A))
+		b.I32(int32(l.B))
+		b.I64(l.Latency)
+		b.I64(l.Bandwidth)
+	}
+	b.U32(uint32(len(n.ASes)))
+	for i := range n.ASes {
+		as := &n.ASes[i]
+		b.U8(byte(as.Class))
+		b.I32(int32(as.DefaultBorder))
+		b.U32(uint32(len(as.Routers)))
+		for _, r := range as.Routers {
+			b.I32(int32(r))
+		}
+		b.U32(uint32(len(as.Hosts)))
+		for _, h := range as.Hosts {
+			b.I32(int32(h))
+		}
+		b.U32(uint32(len(as.Neighbors)))
+		for _, nb := range as.Neighbors {
+			b.I32(nb.AS)
+			b.U8(byte(nb.Rel))
+			b.I32(int32(nb.LocalBorder))
+			b.I32(int32(nb.RemoteBorder))
+			b.I32(int32(nb.Link))
+		}
+	}
+	return b.B
+}
+
+// Decode reconstructs a Network encoded by Encode.
+func Decode(data []byte) (*Network, error) {
+	r := wire.NewReader(data)
+	if v := r.U8(); v != codecVersion {
+		return nil, fmt.Errorf("model: artifact version %d, want %d", v, codecVersion)
+	}
+	n := &Network{}
+	nodes := int(r.U32())
+	if err := checkCount(r, nodes, 21); err != nil {
+		return nil, err
+	}
+	n.Nodes = make([]Node, nodes)
+	for i := range n.Nodes {
+		nd := &n.Nodes[i]
+		nd.ID = NodeID(i)
+		nd.Kind = NodeKind(r.U8())
+		nd.AS = r.I32()
+		nd.X = math.Float64frombits(r.U64())
+		nd.Y = math.Float64frombits(r.U64())
+	}
+	links := int(r.U32())
+	if err := checkCount(r, links, 24); err != nil {
+		return nil, err
+	}
+	n.Links = make([]Link, links)
+	for i := range n.Links {
+		l := &n.Links[i]
+		l.ID = LinkID(i)
+		l.A = NodeID(r.I32())
+		l.B = NodeID(r.I32())
+		l.Latency = r.I64()
+		l.Bandwidth = r.I64()
+	}
+	ases := int(r.U32())
+	if err := checkCount(r, ases, 17); err != nil {
+		return nil, err
+	}
+	n.ASes = make([]AS, ases)
+	for i := range n.ASes {
+		as := &n.ASes[i]
+		as.ID = int32(i)
+		as.Class = ASClass(r.U8())
+		as.DefaultBorder = NodeID(r.I32())
+		as.Routers = readNodeIDs(r)
+		as.Hosts = readNodeIDs(r)
+		nbs := int(r.U32())
+		if err := checkCount(r, nbs, 17); err != nil {
+			return nil, err
+		}
+		if nbs == 0 {
+			continue // keep nil, matching a generator's untouched field
+		}
+		as.Neighbors = make([]ASNeighbor, nbs)
+		for j := range as.Neighbors {
+			nb := &as.Neighbors[j]
+			nb.AS = r.I32()
+			nb.Rel = Relationship(r.U8())
+			nb.LocalBorder = NodeID(r.I32())
+			nb.RemoteBorder = NodeID(r.I32())
+			nb.Link = LinkID(r.I32())
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("model: truncated artifact: %w", err)
+	}
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("model: decoded artifact invalid: %w", err)
+	}
+	return n, nil
+}
+
+// checkCount rejects a length field larger than the remaining payload could
+// possibly hold (minBytes per element), so corrupt counts fail fast instead
+// of attempting a huge allocation.
+func checkCount(r *wire.Reader, count, minBytes int) error {
+	if count < 0 || count*minBytes > r.Len() {
+		return fmt.Errorf("model: artifact count %d exceeds payload", count)
+	}
+	return nil
+}
+
+func readNodeIDs(r *wire.Reader) []NodeID {
+	cnt := int(r.U32())
+	if cnt == 0 || cnt*4 > r.Len() {
+		return nil // zero stays nil; truncation surfaces via r.Err()
+	}
+	out := make([]NodeID, cnt)
+	for i := range out {
+		out[i] = NodeID(r.I32())
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+package model_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"massf/internal/mabrite"
+	"massf/internal/model"
+	"massf/internal/topology"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	nets := map[string]*model.Network{}
+	flat, err := topology.GenerateFlat(topology.FlatOptions{Routers: 80, Hosts: 30, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets["flat"] = flat
+	multi, err := mabrite.Generate(mabrite.Options{ASes: 8, RoutersPerAS: 12, Hosts: 24, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets["multi-as"] = multi
+	for name, net := range nets {
+		data := model.Encode(net)
+		got, err := model.Decode(data)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(got.Nodes, net.Nodes) {
+			t.Fatalf("%s: nodes differ after round trip", name)
+		}
+		if !reflect.DeepEqual(got.Links, net.Links) {
+			t.Fatalf("%s: links differ after round trip", name)
+		}
+		if !reflect.DeepEqual(got.ASes, net.ASes) {
+			t.Fatalf("%s: ASes differ after round trip", name)
+		}
+		// Determinism: encoding the decoded network reproduces the bytes.
+		if !bytes.Equal(model.Encode(got), data) {
+			t.Fatalf("%s: re-encoding not byte-identical", name)
+		}
+	}
+}
+
+func TestDecodeRejectsCorruptCounts(t *testing.T) {
+	net, err := topology.GenerateFlat(topology.FlatOptions{Routers: 10, Hosts: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := model.Encode(net)
+	// Blow up the node count field (bytes 1..4 after the version byte).
+	corrupt := append([]byte(nil), data...)
+	corrupt[1], corrupt[2], corrupt[3], corrupt[4] = 0xff, 0xff, 0xff, 0x7f
+	if _, err := model.Decode(corrupt); err == nil {
+		t.Fatal("decode accepted a corrupt count")
+	}
+	if _, err := model.Decode(data[:len(data)/2]); err == nil {
+		t.Fatal("decode accepted a truncated artifact")
+	}
+	if _, err := model.Decode([]byte{99}); err == nil {
+		t.Fatal("decode accepted a bad version")
+	}
+}

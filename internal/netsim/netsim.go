@@ -119,6 +119,16 @@ type Config struct {
 	// FirstEngine and HostedEngines delimit the hosted engine range (only
 	// meaningful with Transport). HostedEngines 0 means Engines-FirstEngine.
 	FirstEngine, HostedEngines int
+	// SliceBuild, when set (requires Transport), makes this worker
+	// materialize only its engine slice instead of the full replicated
+	// scenario: setup events, TCP flow objects, and fault markers are
+	// instantiated only when they touch a hosted engine. Identity counters
+	// still advance globally, so flow and UDP-callback wire ids stay
+	// byte-identical to a replicated build; packets for unmaterialized
+	// flows transit via wire references exactly like runtime flows from
+	// other workers. Routes should then be a scoped router
+	// (interdomain.NewScoped) so OSPF state also stays slice-local.
+	SliceBuild bool
 }
 
 // linkDir is the mutable state of one link direction, owned by the engine
@@ -215,6 +225,7 @@ type Sim struct {
 	// All of it is dead weight on the in-process path: dist is false,
 	// nothing below is ever touched, and the hot path stays lock-free.
 	dist           bool
+	slice          bool // slice-local build: skip non-hosted materialization
 	hostLo, hostHi int  // hosted engine range [lo, hi)
 	running        bool // set once at Run; setup-vs-runtime flow identity
 	setupFlows     uint64
@@ -282,6 +293,7 @@ func New(cfg Config) (*Sim, error) {
 			hosted = cfg.Engines - cfg.FirstEngine
 		}
 		s.dist = true
+		s.slice = cfg.SliceBuild
 		s.hostLo, s.hostHi = cfg.FirstEngine, cfg.FirstEngine+hosted
 		s.runFlowCtr = make([]uint64, cfg.Engines)
 		s.flows = make(map[uint64]*flow)
@@ -289,6 +301,8 @@ func New(cfg Config) (*Sim, error) {
 		pcfg.FirstEngine = cfg.FirstEngine
 		pcfg.HostedEngines = hosted
 		pcfg.Codec = netCodec{s: s}
+	} else if cfg.SliceBuild {
+		return nil, fmt.Errorf("netsim: SliceBuild requires Transport (a slice is one distributed worker's share)")
 	}
 	ps, err := pdes.New(pcfg)
 	if err != nil {
@@ -308,8 +322,13 @@ func New(cfg Config) (*Sim, error) {
 		// Marker events make faults visible in the kernel event stream and
 		// telemetry. All on engine 0, so the event count stays independent
 		// of the partition — and in distributed mode only engine 0's host
-		// executes them, so each marker fires exactly once globally.
+		// executes them, so each marker fires exactly once globally. A
+		// sliced worker not hosting engine 0 skips them outright: they
+		// would sit dead in a never-run kernel.
 		for i := 0; i < nf; i++ {
+			if s.slice && !s.hostedEngine(0) {
+				break
+			}
 			i := i
 			at := s.faults.FaultAt(i)
 			if at >= cfg.End {
@@ -353,6 +372,18 @@ func (s *Sim) faultDrop(node model.NodeID, fi int) {
 // EngineOf returns the engine that owns node n.
 func (s *Sim) EngineOf(n model.NodeID) int { return int(s.part[n]) }
 
+// hostedEngine reports whether engine e executes on this worker.
+func (s *Sim) hostedEngine(e int) bool { return e >= s.hostLo && e < s.hostHi }
+
+// Owned reports whether node n's engine executes on this worker (always
+// true in-process). Slice-mode scenario builders use it to materialize
+// per-host state — virtual CPUs, application endpoints — only for owned
+// nodes.
+func (s *Sim) Owned(n model.NodeID) bool { return s.hostedEngine(s.EngineOf(n)) }
+
+// SliceBuilt reports whether this Sim was built in slice mode.
+func (s *Sim) SliceBuilt() bool { return s.slice }
+
 // arriveDir is the netmon direction index of the link direction a packet
 // ARRIVED over at node: the transmitting end was the far endpoint, so the
 // index is 2*via (+1 when the sender was the link's B end). -1 when the
@@ -381,9 +412,15 @@ func (s *Sim) monSpan(pkt *Packet, node model.NodeID, link model.LinkID, start, 
 
 // ScheduleAt schedules fn to run at simulated time at in the context of
 // node n's engine. Use during setup (before Run) or from a handler already
-// running on that engine.
+// running on that engine. On a slice-built worker, events for nodes owned
+// by non-hosted engines are dropped — those kernels never execute here, so
+// scheduling into them would only grow arenas another worker duplicates.
 func (s *Sim) ScheduleAt(n model.NodeID, at des.Time, fn des.Handler) {
-	s.ps.Engine(s.EngineOf(n)).Schedule(at, fn)
+	e := s.EngineOf(n)
+	if s.slice && !s.hostedEngine(e) {
+		return
+	}
+	s.ps.Engine(e).Schedule(at, fn)
 }
 
 // serialization returns the transmission delay of bits on a link.

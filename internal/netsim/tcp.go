@@ -106,6 +106,16 @@ func (s *Sim) startFlow(at des.Time, src, dst model.NodeID, bytes int64, onCompl
 	if bytes <= 0 {
 		bytes = 1
 	}
+	if s.slice && !s.running &&
+		!s.hostedEngine(s.EngineOf(src)) && !s.hostedEngine(s.EngineOf(dst)) {
+		// Slice build: neither endpoint lives here, so the flow object
+		// (sender timestamps, receiver buffers) is another worker's state.
+		// Only the global identity counter advances, keeping wire flow ids
+		// byte-identical to a replicated build; transit packets of this
+		// flow ride wire references like any foreign flow.
+		s.setupFlows++
+		return
+	}
 	pkts := (bytes + MSSBytes - 1) / MSSBytes
 	lastPayload := bytes - (pkts-1)*MSSBytes
 	f := &flow{

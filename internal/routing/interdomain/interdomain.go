@@ -49,14 +49,27 @@ type Router struct {
 }
 
 // New converges BGP over net's AS graph and builds one OSPF domain per AS.
-func New(net *model.Network) *Router {
+func New(net *model.Network) *Router { return build(net, nil) }
+
+// NewScoped converges BGP like New but builds scoped OSPF domains that
+// retain next-hop state only for the nodes marked in scope (a distributed
+// worker's slice — full-length over net.Nodes). Forwarding decisions are
+// byte-identical to New's: trees are still computed over the full member
+// set, only the retained state shrinks to O(scope) per destination. The
+// BGP RIB stays global — it is O(AS²), not the memory whale the per-node
+// OSPF trees are. A scoped router must not be Prepared for the full
+// destination set; tables fill lazily for the destinations slice traffic
+// actually reaches.
+func NewScoped(net *model.Network, scope []bool) *Router { return build(net, scope) }
+
+func build(net *model.Network, scope []bool) *Router {
 	r := &Router{net: net, domains: make([]*ospf.Domain, len(net.ASes))}
 	for i := range net.ASes {
 		as := &net.ASes[i]
 		members := make([]model.NodeID, 0, len(as.Routers)+len(as.Hosts))
 		members = append(members, as.Routers...)
 		members = append(members, as.Hosts...)
-		r.domains[i] = ospf.NewDomain(net, members)
+		r.domains[i] = ospf.NewDomainScoped(net, members, scope)
 	}
 	if len(net.ASes) > 1 {
 		r.sim = bgp.NewSimulator(net)
@@ -67,6 +80,21 @@ func New(net *model.Network) *Router {
 		r.rib = r.sim.RIB()
 	}
 	return r
+}
+
+// Scoped reports whether this router holds only slice-local OSPF state.
+func (r *Router) Scoped() bool {
+	return len(r.domains) > 0 && r.domains[0].Scoped()
+}
+
+// TableBytes sums the approximate heap bytes of cached OSPF trees across
+// all domains.
+func (r *Router) TableBytes() int64 {
+	var total int64
+	for _, d := range r.domains {
+		total += d.TableBytes()
+	}
+	return total
 }
 
 // RIB exposes the converged BGP state (nil for single-AS networks).

@@ -7,10 +7,17 @@
 // toward it. Trees are computed lazily and cached (a 20,000-router network
 // never needs all 400M pairs, only the destinations traffic actually
 // targets), using link latency as the OSPF cost metric.
+//
+// A domain may additionally be scoped to a node subset (a distributed
+// worker's slice): lookups still run the full-network Dijkstra, so routes
+// and tie-breaking are byte-identical to an unscoped domain, but the cached
+// tree keeps entries only for in-scope nodes — O(scope) per destination
+// instead of O(network), which is what makes 100k-router slices fit.
 package ospf
 
 import (
 	"container/heap"
+	"fmt"
 	"sync"
 
 	"massf/internal/model"
@@ -23,14 +30,28 @@ type Domain struct {
 	net     *model.Network
 	members []bool // nil ⇒ every node is a member
 
+	// scope, when non-nil, restricts which nodes' next-hop entries are
+	// retained. Shortest-path trees are still computed over the full
+	// member set (identical costs and tie-breaking), then compacted to
+	// the scoped nodes. A slice-local worker only ever forwards from
+	// nodes it owns, so an out-of-scope lookup is a partitioning bug and
+	// panics rather than silently misrouting.
+	scope    []bool
+	scopeIdx []int32 // node id → compact index; -1 out of scope
+	scopeLen int
+
 	// linkDown/nodeDown mark failed elements SPF must route around
 	// (nil ⇒ none). Mutated only via SetLinkDown/SetNodeDown, which also
 	// invalidate any cached trees the change could stale.
 	linkDown []bool
 	nodeDown []bool
 
-	mu     sync.RWMutex
-	tables map[model.NodeID][]int32 // dst → per-node next-hop link id (-1 unknown)
+	mu sync.RWMutex
+	// tables caches one next-hop tree per destination. Unscoped: indexed by
+	// node id, full length. Scoped: indexed by scopeIdx, scopeLen long —
+	// exactly 4 bytes per owned node per destination, the whole point of
+	// the slice build.
+	tables map[model.NodeID][]int32
 }
 
 // NewDomain creates a domain over the given member nodes. A nil or empty
@@ -46,9 +67,48 @@ func NewDomain(net *model.Network, members []model.NodeID) *Domain {
 	return d
 }
 
+// NewDomainScoped creates a domain like NewDomain but retaining next-hop
+// state only for nodes marked in scope (full-length over net.Nodes). A nil
+// scope is equivalent to NewDomain.
+func NewDomainScoped(net *model.Network, members []model.NodeID, scope []bool) *Domain {
+	d := NewDomain(net, members)
+	d.setScope(scope)
+	return d
+}
+
+func (d *Domain) setScope(scope []bool) {
+	if scope == nil {
+		return
+	}
+	d.scope = scope
+	d.scopeIdx = make([]int32, len(d.net.Nodes))
+	for i := range d.scopeIdx {
+		d.scopeIdx[i] = -1
+	}
+	for i, in := range scope {
+		if in {
+			d.scopeIdx[i] = int32(d.scopeLen)
+			d.scopeLen++
+		}
+	}
+}
+
+// Scoped reports whether the domain retains only slice-local state.
+func (d *Domain) Scoped() bool { return d.scope != nil }
+
 // contains reports whether node n belongs to the domain.
 func (d *Domain) contains(n model.NodeID) bool {
 	return d.members == nil || d.members[n]
+}
+
+// scopeIndex maps cur to its compact table index, panicking on nodes
+// outside the slice scope: only owned nodes forward on a sliced worker.
+func (d *Domain) scopeIndex(cur model.NodeID) int32 {
+	idx := d.scopeIdx[cur]
+	if idx < 0 {
+		panic(fmt.Sprintf("ospf: lookup from node %d outside the domain's slice scope", cur))
+	}
+	return idx
 }
 
 // NextLink returns the link on which cur forwards a packet destined to dst,
@@ -58,17 +118,22 @@ func (d *Domain) NextLink(cur, dst model.NodeID) model.LinkID {
 		return -1
 	}
 	d.mu.RLock()
-	table, ok := d.tables[dst]
+	t, ok := d.tables[dst]
 	d.mu.RUnlock()
 	if !ok {
-		table = d.computeAndStore(dst)
+		t = d.computeAndStore(dst)
 	}
-	return model.LinkID(table[cur])
+	if d.scope != nil {
+		return model.LinkID(t[d.scopeIndex(cur)])
+	}
+	return model.LinkID(t[cur])
 }
 
 // Distance returns the shortest-path latency (ns) from cur to dst within
-// the domain, or -1 if unreachable. Used for egress selection (hot-potato
-// style MED) and by tests.
+// the domain, or -1 if unreachable. A diagnostic/test query, not a hot
+// path: on a scoped domain the compacted tree cannot be walked past the
+// scope edge, so a fresh full-length tree is computed and discarded rather
+// than retained.
 func (d *Domain) Distance(cur, dst model.NodeID) int64 {
 	if !d.contains(cur) || !d.contains(dst) {
 		return -1
@@ -76,16 +141,22 @@ func (d *Domain) Distance(cur, dst model.NodeID) int64 {
 	if cur == dst {
 		return 0
 	}
-	d.mu.RLock()
-	table, ok := d.tables[dst]
-	d.mu.RUnlock()
-	if !ok {
-		table = d.computeAndStore(dst)
+	var t []int32
+	if d.scope != nil {
+		t, _ = d.spt(dst)
+	} else {
+		d.mu.RLock()
+		var ok bool
+		t, ok = d.tables[dst]
+		d.mu.RUnlock()
+		if !ok {
+			t = d.computeAndStore(dst)
+		}
 	}
 	// Walk the tree summing latencies.
 	var total int64
 	for cur != dst {
-		lid := table[cur]
+		lid := t[cur]
 		if lid < 0 {
 			return -1
 		}
@@ -119,18 +190,34 @@ func (d *Domain) CachedTables() int {
 	return len(d.tables)
 }
 
+// TableBytes reports the approximate heap bytes held by cached trees — the
+// quantity the slice refactor shrinks from O(network) to O(scope) per
+// destination.
+func (d *Domain) TableBytes() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var total int64
+	for _, t := range d.tables {
+		total += int64(len(t)) * 4
+	}
+	return total
+}
+
 // Clone returns an independent copy of the domain sharing the immutable
-// network and member set but owning its cached tables and failure masks,
-// so SetLinkDown/SetNodeDown on the clone never disturb the original. The
-// cached table slices themselves are shared — they are never mutated after
-// computation, only replaced.
+// network, member set, and scope but owning its cached tables and failure
+// masks, so SetLinkDown/SetNodeDown on the clone never disturb the
+// original. The cached table slices themselves are shared — they are never
+// mutated after computation, only replaced.
 func (d *Domain) Clone() *Domain {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	c := &Domain{
-		net:     d.net,
-		members: d.members,
-		tables:  make(map[model.NodeID][]int32, len(d.tables)),
+		net:      d.net,
+		members:  d.members,
+		scope:    d.scope,
+		scopeIdx: d.scopeIdx,
+		scopeLen: d.scopeLen,
+		tables:   make(map[model.NodeID][]int32, len(d.tables)),
 	}
 	for dst, t := range d.tables {
 		c.tables[dst] = t
@@ -149,6 +236,10 @@ func (d *Domain) Clone() *Domain {
 // actually route over lid; a restoration invalidates all trees, since any
 // of them might now have a shorter path through the revived link. Later
 // NextLink calls recompute lazily.
+//
+// A scoped domain invalidates conservatively — all trees on any change —
+// because a compacted tree cannot prove the failed element is absent from
+// the out-of-scope part of the path.
 func (d *Domain) SetLinkDown(lid model.LinkID, down bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -162,12 +253,12 @@ func (d *Domain) SetLinkDown(lid model.LinkID, down bool) {
 		return
 	}
 	d.linkDown[lid] = down
-	if !down {
+	if !down || d.scope != nil {
 		clear(d.tables)
 		return
 	}
-	for dst, table := range d.tables {
-		for _, next := range table {
+	for dst, t := range d.tables {
+		for _, next := range t {
 			if next == int32(lid) {
 				delete(d.tables, dst)
 				break
@@ -179,7 +270,8 @@ func (d *Domain) SetLinkDown(lid model.LinkID, down bool) {
 // SetNodeDown marks node n failed (or restores it). A failed node neither
 // forwards nor receives: trees rooted at it and trees routing through any
 // of its links are invalidated on failure; restoration invalidates all
-// trees.
+// trees. Scoped domains invalidate all trees on any change (see
+// SetLinkDown).
 func (d *Domain) SetNodeDown(n model.NodeID, down bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -193,7 +285,7 @@ func (d *Domain) SetNodeDown(n model.NodeID, down bool) {
 		return
 	}
 	d.nodeDown[n] = down
-	if !down {
+	if !down || d.scope != nil {
 		clear(d.tables)
 		return
 	}
@@ -201,12 +293,12 @@ func (d *Domain) SetNodeDown(n model.NodeID, down bool) {
 	for _, lid := range d.net.Incident(n) {
 		incident[int32(lid)] = true
 	}
-	for dst, table := range d.tables {
+	for dst, t := range d.tables {
 		if dst == n {
 			delete(d.tables, dst)
 			continue
 		}
-		for _, next := range table {
+		for _, next := range t {
 			if next >= 0 && incident[next] {
 				delete(d.tables, dst)
 				break
@@ -216,15 +308,25 @@ func (d *Domain) SetNodeDown(n model.NodeID, down bool) {
 }
 
 func (d *Domain) computeAndStore(dst model.NodeID) []int32 {
-	table := d.spt(dst)
+	t, _ := d.spt(dst)
+	if d.scope != nil {
+		// Compact to the scoped nodes; the full-length tree is discarded.
+		cn := make([]int32, d.scopeLen)
+		for id, idx := range d.scopeIdx {
+			if idx >= 0 {
+				cn[idx] = t[id]
+			}
+		}
+		t = cn
+	}
 	d.mu.Lock()
 	if existing, ok := d.tables[dst]; ok {
 		d.mu.Unlock()
 		return existing
 	}
-	d.tables[dst] = table
+	d.tables[dst] = t
 	d.mu.Unlock()
-	return table
+	return t
 }
 
 // pqItem is a priority-queue entry for Dijkstra.
@@ -242,9 +344,10 @@ func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
 func (q *pq) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
 
 // spt runs Dijkstra rooted at dst and records, for every reachable member
-// node, the first link on its shortest path toward dst. Failed links and
-// nodes are excluded; a tree rooted at a failed destination is all -1.
-func (d *Domain) spt(dst model.NodeID) []int32 {
+// node, the first link on its shortest path toward dst along with the path
+// latency. Failed links and nodes are excluded; a tree rooted at a failed
+// destination is all -1.
+func (d *Domain) spt(dst model.NodeID) ([]int32, []int64) {
 	n := len(d.net.Nodes)
 	dist := make([]int64, n)
 	next := make([]int32, n)
@@ -254,7 +357,7 @@ func (d *Domain) spt(dst model.NodeID) []int32 {
 		next[i] = -1
 	}
 	if d.nodeDown != nil && d.nodeDown[dst] {
-		return next
+		return next, dist
 	}
 	dist[dst] = 0
 	q := pq{{dst, 0}}
@@ -285,5 +388,5 @@ func (d *Domain) spt(dst model.NodeID) []int32 {
 			}
 		}
 	}
-	return next
+	return next, dist
 }

@@ -295,6 +295,87 @@ func TestDownLinkNeverOnPath(t *testing.T) {
 	}
 }
 
+// Scoped domains must make byte-identical forwarding decisions for in-scope
+// nodes while retaining only O(scope) state per destination, and must
+// refuse (panic) lookups from nodes outside the scope.
+func TestScopedDomainMatchesUnscoped(t *testing.T) {
+	net, err := topology.GenerateFlat(topology.FlatOptions{Routers: 60, Hosts: 10, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scope := make([]bool, len(net.Nodes))
+	inScope := 0
+	for i := range scope {
+		if i%3 != 0 {
+			scope[i] = true
+			inScope++
+		}
+	}
+	full := NewDomain(net, nil)
+	scoped := NewDomainScoped(net, nil, scope)
+	if !scoped.Scoped() || full.Scoped() {
+		t.Fatal("Scoped() misreports")
+	}
+	for dst := 0; dst < len(net.Nodes); dst += 5 {
+		for cur := 0; cur < len(net.Nodes); cur++ {
+			if cur == dst || !scope[cur] {
+				continue
+			}
+			w, s := full.NextLink(model.NodeID(cur), model.NodeID(dst)), scoped.NextLink(model.NodeID(cur), model.NodeID(dst))
+			if w != s {
+				t.Fatalf("NextLink(%d,%d): scoped %d ≠ unscoped %d", cur, dst, s, w)
+			}
+		}
+		if fd, sd := full.Distance(1, model.NodeID(dst)), scoped.Distance(1, model.NodeID(dst)); fd != sd {
+			t.Fatalf("Distance(1,%d): scoped %d ≠ unscoped %d", dst, sd, fd)
+		}
+	}
+	// Retention: same destinations cached, but compact tables.
+	wantRatio := float64(inScope) / float64(len(net.Nodes))
+	if fb, sb := full.TableBytes(), scoped.TableBytes(); float64(sb) > float64(fb)*wantRatio+0.5 {
+		t.Fatalf("scoped tables hold %d bytes, full %d — not compacted to scope ratio %.2f", sb, fb, wantRatio)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("lookup from an out-of-scope node did not panic")
+		}
+	}()
+	scoped.NextLink(0, 7) // node 0 is out of scope
+}
+
+// Scoped fault handling: conservative invalidation still converges to the
+// same routes as an unscoped domain after link flips.
+func TestScopedDomainFaults(t *testing.T) {
+	net, err := topology.GenerateFlat(topology.FlatOptions{Routers: 40, Hosts: 6, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scope := make([]bool, len(net.Nodes))
+	for i := range scope {
+		scope[i] = i%2 == 0
+	}
+	full := NewDomain(net, nil)
+	scoped := NewDomainScoped(net, nil, scope)
+	for _, flip := range []struct {
+		lid  model.LinkID
+		down bool
+	}{{3, true}, {9, true}, {3, false}} {
+		full.SetLinkDown(flip.lid, flip.down)
+		scoped.SetLinkDown(flip.lid, flip.down)
+		for dst := 1; dst < len(net.Nodes); dst += 7 {
+			for cur := 0; cur < len(net.Nodes); cur += 2 {
+				if cur == dst || !scope[cur] {
+					continue
+				}
+				w, s := full.NextLink(model.NodeID(cur), model.NodeID(dst)), scoped.NextLink(model.NodeID(cur), model.NodeID(dst))
+				if w != s {
+					t.Fatalf("after flip %+v: NextLink(%d,%d) scoped %d ≠ unscoped %d", flip, cur, dst, s, w)
+				}
+			}
+		}
+	}
+}
+
 func BenchmarkSPT2000Routers(b *testing.B) {
 	net, err := topology.GenerateFlat(topology.FlatOptions{Routers: 2000, Hosts: 0, Seed: 1})
 	if err != nil {

@@ -18,6 +18,7 @@ import (
 	"massf/internal/experiments"
 	"massf/internal/faults"
 	"massf/internal/mabrite"
+	"massf/internal/memstat"
 	"massf/internal/metrics"
 	"massf/internal/model"
 	"massf/internal/netmon"
@@ -216,6 +217,9 @@ type Run struct {
 	started   time.Time
 	finished  time.Time
 	mllMS     float64
+	setupMS   float64
+	heapInuse uint64
+	peakRSS   uint64
 	report    *metrics.Report
 	net       *NetSummary
 	part      []int32
@@ -308,6 +312,19 @@ func (r *Run) setMLL(ms float64) {
 	r.mu.Unlock()
 }
 
+func (r *Run) setSetupMS(ms float64) {
+	r.mu.Lock()
+	r.setupMS = ms
+	r.mu.Unlock()
+}
+
+func (r *Run) setMem(s memstat.Sample) {
+	r.mu.Lock()
+	r.heapInuse = s.HeapInuse
+	r.peakRSS = s.PeakRSS
+	r.mu.Unlock()
+}
+
 // finish records a terminal state exactly once (later calls are ignored,
 // so the panic-recovery path cannot overwrite a real outcome).
 func (r *Run) finish(st State, err error, rep *metrics.Report, sum *NetSummary) {
@@ -352,6 +369,16 @@ type Info struct {
 	// the per-fault report is at GET /runs/{id}/faults.
 	FaultEvents int `json:"fault_events,omitempty"`
 
+	// SetupMS is the scenario build wall time — topology, routing, and
+	// simulation construction, before the first event executes.
+	SetupMS float64 `json:"setup_ms,omitempty"`
+	// HeapInuse and PeakRSS are this worker process's live heap after the
+	// run and its lifetime peak resident set, sampled when the simulation
+	// returns. On a daemon executing runs concurrently they are
+	// process-wide, not per-run.
+	HeapInuse uint64 `json:"heap_inuse,omitempty"`
+	PeakRSS   uint64 `json:"peak_rss,omitempty"`
+
 	Report *metrics.Report `json:"report,omitempty"`
 	Net    *NetSummary     `json:"net,omitempty"`
 }
@@ -364,6 +391,7 @@ func (r *Run) Info() Info {
 		Approach: strings.ToUpper(r.Spec.Approach), Engines: r.Spec.Engines,
 		Seconds: r.Spec.Seconds, App: r.Spec.App, Seed: r.Spec.Seed,
 		Submitted: r.submitted, MLLms: r.mllMS,
+		SetupMS: r.setupMS, HeapInuse: r.heapInuse, PeakRSS: r.peakRSS,
 		Report: r.report, Net: r.net,
 		ProfileCaptured: r.captured != nil,
 		FaultEvents:     len(r.faultRecs),
@@ -612,6 +640,7 @@ func (m *Manager) execute(r *Run) (*metrics.Report, *NetSummary, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	setupStart := time.Now()
 	net, multi, err := buildNetwork(spec)
 	if err != nil {
 		return nil, nil, err
@@ -643,6 +672,9 @@ func (m *Manager) execute(r *Run) (*metrics.Report, *NetSummary, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	// Setup time excludes the optional profiling pass (a full simulation
+	// run, not construction); the mapping + BuildSim segment is added below.
+	setupNS := time.Since(setupStart)
 	if a.ProfileBased() {
 		if spec.Profile != "" {
 			// Submit-time profile reference: map from measured rates the
@@ -664,6 +696,7 @@ func (m *Manager) execute(r *Run) (*metrics.Report, *NetSummary, error) {
 			return nil, nil, r.ctx.Err()
 		}
 	}
+	mapStart := time.Now()
 	mp, err := st.MapApproach(a)
 	if err != nil {
 		return nil, nil, err
@@ -681,11 +714,18 @@ func (m *Manager) execute(r *Run) (*metrics.Report, *NetSummary, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	setupNS += time.Since(mapStart)
+	r.setSetupMS(float64(setupNS) / 1e6)
+	r.Tel.SetupNS.Set(int64(setupNS))
 	// Publish the plane before Run so /net/stream can follow live.
 	r.setNetMon(sim.Config().NetMon)
 	release := watchCancel(r.ctx, sim.Stop)
 	res := sim.Run()
 	release()
+	// GC-free sample: a forced GC here would sit between the netmon
+	// stream closing and the run turning terminal, stalling clients that
+	// expect the two to coincide.
+	r.setMem(memstat.Read())
 	// Every run doubles as a profiling run: capture the measured traffic
 	// so GET /runs/{id}/profile can feed it back into a later HPROF
 	// submission (Section 3.3's monitoring loop, closed over HTTP).

@@ -15,6 +15,7 @@ import (
 	"massf/internal/des"
 	"massf/internal/faults"
 	"massf/internal/netsim"
+	"massf/internal/pdes"
 	"massf/internal/telemetry"
 )
 
@@ -52,6 +53,21 @@ type RunSpec struct {
 	// NetSample > 0 additionally samples every NetSample-th injected
 	// packet for cross-engine path tracing (implies NetMon).
 	NetSample int `json:"net_sample,omitempty"`
+
+	// Transport, when non-nil, runs the simulation as one worker of a
+	// distributed run (see netsim.Config.Transport). Never serialized —
+	// a live connection cannot travel in a job spec; distributed
+	// coordinators set it after decoding.
+	Transport pdes.Transport `json:"-"`
+	// FirstEngine and HostedEngines delimit the engine range this worker
+	// hosts (meaningful only with Transport). HostedEngines 0 means
+	// Engines-FirstEngine.
+	FirstEngine   int `json:"first_engine,omitempty"`
+	HostedEngines int `json:"hosted_engines,omitempty"`
+	// Slice makes the worker materialize only its engine range's share of
+	// the scenario: slice-local host/flow state and scoped lazy routing
+	// instead of a replicated global build. Requires Transport.
+	Slice bool `json:"slice,omitempty"`
 }
 
 // Normalize applies defaults in place.
@@ -90,6 +106,15 @@ func (s *RunSpec) Validate() error {
 	if s.NetSample < 0 {
 		return fmt.Errorf("runspec: net sample stride must be ≥ 0")
 	}
+	if s.FirstEngine < 0 || s.HostedEngines < 0 {
+		return fmt.Errorf("runspec: engine range must be ≥ 0")
+	}
+	if s.Engines > 0 && s.FirstEngine >= s.Engines {
+		return fmt.Errorf("runspec: first engine %d outside [0, %d)", s.FirstEngine, s.Engines)
+	}
+	if s.Slice && s.Transport == nil {
+		return fmt.Errorf("runspec: slice build requires a distributed transport")
+	}
 	if err := s.Faults.Validate(); err != nil {
 		return err
 	}
@@ -118,5 +143,9 @@ func (s *RunSpec) SimConfig() netsim.Config {
 		RealTimeFactor: s.RealTimeFactor,
 		SeriesBuckets:  s.SeriesBuckets,
 		Telemetry:      s.Telemetry,
+		Transport:      s.Transport,
+		FirstEngine:    s.FirstEngine,
+		HostedEngines:  s.HostedEngines,
+		SliceBuild:     s.Slice,
 	}
 }

@@ -1,0 +1,106 @@
+// Package scache is the content-addressed on-disk scenario cache: built
+// scenario artifacts (wire-encoded networks, internal/model.Encode) stored
+// under the SHA-256 of the inputs that define them — topology/DML spec,
+// seed, and partition. Entries are immutable once written, so a hit is
+// always safe to use and concurrent runs on DIFFERENT scenarios can share
+// one directory without collision: distinct content hashes to distinct
+// paths by construction (this replaces cmd/simcheck's shared temp dir,
+// where a second scenario reused — and could trample — the first one's
+// files).
+//
+// Writes are atomic: data lands in a unique temp file in the cache
+// directory and is renamed into place, so a reader never observes a torn
+// entry and two writers racing on the SAME key both leave the identical
+// full artifact.
+package scache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Key derives the content address of an artifact from the parts that
+// define it. Each part is length-prefixed before hashing so boundary
+// ambiguity ("ab","c" vs "a","bc") cannot alias keys.
+func Key(parts ...[]byte) string {
+	h := sha256.New()
+	var lenBuf [8]byte
+	for _, p := range parts {
+		n := len(p)
+		for i := 0; i < 8; i++ {
+			lenBuf[i] = byte(n >> (8 * i))
+		}
+		h.Write(lenBuf[:])
+		h.Write(p)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Cache is one cache directory.
+type Cache struct {
+	dir string
+}
+
+// Open creates (if needed) and returns the cache at dir. An empty dir
+// selects a per-user default under os.UserCacheDir.
+func Open(dir string) (*Cache, error) {
+	if dir == "" {
+		base, err := os.UserCacheDir()
+		if err != nil {
+			base = os.TempDir()
+		}
+		dir = filepath.Join(base, "massf", "scenarios")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("scache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// Path returns where the entry for key lives (whether or not it exists).
+func (c *Cache) Path(key string) string {
+	return filepath.Join(c.dir, key+".scn")
+}
+
+// Get returns the artifact stored under key, or ok=false on a miss.
+func (c *Cache) Get(key string) (data []byte, ok bool, err error) {
+	data, err = os.ReadFile(c.Path(key))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("scache: %w", err)
+	}
+	return data, true, nil
+}
+
+// Put stores data under key atomically. An existing entry is left in place
+// — entries are content-addressed, so it is identical by definition.
+func (c *Cache) Put(key string, data []byte) error {
+	path := c.Path(key)
+	if _, err := os.Stat(path); err == nil {
+		return nil
+	}
+	tmp, err := os.CreateTemp(c.dir, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("scache: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("scache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("scache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("scache: %w", err)
+	}
+	return nil
+}

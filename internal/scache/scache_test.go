@@ -1,0 +1,105 @@
+package scache
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"massf/internal/model"
+	"massf/internal/topology"
+)
+
+func TestKeyBoundaries(t *testing.T) {
+	if Key([]byte("ab"), []byte("c")) == Key([]byte("a"), []byte("bc")) {
+		t.Fatal("part boundaries do not contribute to the key")
+	}
+	if Key([]byte("x")) != Key([]byte("x")) {
+		t.Fatal("key not deterministic")
+	}
+}
+
+func TestGetPutRoundTrip(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key([]byte("spec"), []byte("seed"))
+	if _, ok, err := c.Get(key); err != nil || ok {
+		t.Fatalf("expected clean miss, got ok=%v err=%v", ok, err)
+	}
+	want := []byte("artifact-bytes")
+	if err := c.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := c.Get(key)
+	if err != nil || !ok || !bytes.Equal(got, want) {
+		t.Fatalf("round trip: ok=%v err=%v got=%q", ok, err, got)
+	}
+}
+
+// TestConcurrentDistinctScenariosNeverCollide is the regression test for
+// the shared-temp-dir bug: two runs on different topologies sharing one
+// cache directory must never read each other's artifacts, even fully
+// concurrently. Content addressing makes the paths distinct; atomic
+// renames make each entry appear whole or not at all.
+func TestConcurrentDistinctScenariosNeverCollide(t *testing.T) {
+	dir := t.TempDir()
+	nets := make([]*model.Network, 2)
+	keys := make([]string, 2)
+	encoded := make([][]byte, 2)
+	for i, seed := range []int64{11, 22} {
+		net, err := topology.GenerateFlat(topology.FlatOptions{Routers: 60, Hosts: 20, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nets[i] = net
+		encoded[i] = model.Encode(net)
+		keys[i] = Key([]byte(fmt.Sprintf("flat/routers=60/seed=%d", seed)))
+	}
+	if keys[0] == keys[1] {
+		t.Fatal("different scenarios produced the same cache key")
+	}
+	const writers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*writers)
+	for w := 0; w < writers; w++ {
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				c, err := Open(dir) // each "run" opens the shared dir itself
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := c.Put(keys[i], encoded[i]); err != nil {
+					errs <- err
+					return
+				}
+				data, ok, err := c.Get(keys[i])
+				if err != nil || !ok {
+					errs <- fmt.Errorf("get after put: ok=%v err=%v", ok, err)
+					return
+				}
+				if !bytes.Equal(data, encoded[i]) {
+					errs <- fmt.Errorf("scenario %d read back a different artifact", i)
+					return
+				}
+				net, err := model.Decode(data)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(net.Nodes) != len(nets[i].Nodes) || len(net.Links) != len(nets[i].Links) {
+					errs <- fmt.Errorf("scenario %d decoded to a different network", i)
+				}
+			}(i)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

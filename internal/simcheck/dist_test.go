@@ -141,3 +141,104 @@ func TestChurnDistributed(t *testing.T) {
 		t.Errorf("distributed: %v", d)
 	}
 }
+
+// TestCheckShardedMatchesReference is the sharded-vs-replicated dimension:
+// slice-materializing workers — each building only its engine range's share
+// of the scenario, with scoped lazy routing — must be byte-identical to the
+// full-rebuild workers they replace AND to the sequential reference, on the
+// same partition, through the scenario artifact cache.
+func TestCheckShardedMatchesReference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded oracle run skipped in -short")
+	}
+	cacheDir := t.TempDir()
+	for _, workers := range []int{2, 4} {
+		rep, err := CheckSharded(distScenario(), 4, workers, dist.Options{}, cacheDir)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for _, d := range rep.DivsInProc {
+			t.Errorf("workers=%d in-process k=4: %v", workers, d)
+		}
+		for _, d := range rep.DivsDist {
+			t.Errorf("workers=%d replicated: %v", workers, d)
+		}
+		for _, d := range rep.DivsSliced {
+			t.Errorf("workers=%d sliced: %v", workers, d)
+		}
+		if rep.Sliced == nil || rep.Sliced.TotalEvents == 0 {
+			t.Fatalf("workers=%d: sliced leg did not run", workers)
+		}
+		if len(rep.SlicedMem) != workers || len(rep.WorkerMem) != workers {
+			t.Fatalf("workers=%d: mem accounting missing: %d sliced, %d replicated",
+				workers, len(rep.SlicedMem), len(rep.WorkerMem))
+		}
+		owned := 0
+		for _, wm := range rep.SlicedMem {
+			if wm.BuildNS <= 0 {
+				t.Errorf("workers=%d: worker %q reported no build time", workers, wm.Name)
+			}
+			if wm.SliceNodes <= 0 {
+				t.Errorf("workers=%d: worker %q owns no nodes", workers, wm.Name)
+			}
+			owned += wm.SliceNodes
+			// A sliced worker's retained routing state must be strictly
+			// smaller than a replicated worker's (which holds every tree).
+			for _, full := range rep.WorkerMem {
+				if full.RouteBytes > 0 && wm.RouteBytes >= full.RouteBytes {
+					t.Errorf("workers=%d: sliced worker %q holds %d route bytes, replicated %q holds %d",
+						workers, wm.Name, wm.RouteBytes, full.Name, full.RouteBytes)
+				}
+			}
+		}
+		if want := 40 + 30; owned != want {
+			t.Errorf("workers=%d: slices own %d nodes, network has %d", workers, owned, want)
+		}
+	}
+}
+
+// TestCheckShardedChurn: fault epochs replayed against slice-scoped routing
+// clones converge to the same packet-level behavior as the replicated and
+// sequential runs.
+func TestCheckShardedChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded churn run skipped in -short")
+	}
+	sc := Churn(distScenario())
+	rep, err := CheckSharded(sc, 4, 2, dist.Options{}, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Ref.FaultDrops) == 0 {
+		t.Fatal("churn scenario compiled no fault plane")
+	}
+	for _, d := range rep.DivsDist {
+		t.Errorf("replicated: %v", d)
+	}
+	for _, d := range rep.DivsSliced {
+		t.Errorf("sliced: %v", d)
+	}
+}
+
+// TestCheckShardedMultiAS: scoped routing under BGP + stub default routing
+// (the interdomain paths) is also partition-invariant.
+func TestCheckShardedMultiAS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded multi-AS run skipped in -short")
+	}
+	sc := Scenario{
+		Seed: 9, MultiAS: true, ASes: 5, RoutersPerAS: 9, Hosts: 28,
+		TCPFlows: 10, UDPSends: 10,
+		Horizon: 250 * des.Millisecond, Approach: core.TOP2, Ks: []int{4},
+	}
+	rep, err := CheckSharded(sc, 4, 2, dist.Options{}, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range rep.DivsDist {
+		t.Errorf("replicated: %v", d)
+	}
+	for _, d := range rep.DivsSliced {
+		t.Errorf("sliced: %v", d)
+	}
+}

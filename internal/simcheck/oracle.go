@@ -49,15 +49,33 @@ type Observation struct {
 	// MergeObservations concatenates worker partials so a distributed
 	// run's cross-worker paths can be stitched and audited.
 	PathSpans []netmon.HopSpan `json:",omitempty"`
+
+	// Worker build accounting, set only on distributed worker partials:
+	// how long this worker spent materializing the scenario, its post-run
+	// live heap and process peak RSS, and the bytes of OSPF tables it holds.
+	// These describe the EXECUTION, not the model, so Diff excludes them
+	// and MergeObservations leaves them per-partial (DistReport collects
+	// them as WorkerMem). Note the in-process loopback workers of
+	// CheckDistributed share one heap, so HeapInuse/PeakRSS are only
+	// per-worker-meaningful for real worker processes (massfd -worker);
+	// BuildNS and RouteBytes are always per-worker.
+	BuildNS    int64  `json:",omitempty"`
+	HeapInuse  uint64 `json:",omitempty"`
+	PeakRSS    uint64 `json:",omitempty"`
+	RouteBytes int64  `json:",omitempty"`
+	SliceNodes int    `json:",omitempty"` // owned nodes of a sliced build
 }
 
-// distRun configures runOnce as ONE WORKER of a distributed run: the Sim
-// still builds the full replicated scenario, but only engines
-// [first, first+hosted) execute, synchronized through the transport. The
-// captured Observation is then a worker partial (see MergeObservations).
+// distRun configures runOnce as ONE WORKER of a distributed run: only
+// engines [first, first+hosted) execute, synchronized through the
+// transport. With slice false the Sim builds the full replicated scenario;
+// with slice true it materializes only the hosted engines' share
+// (netsim.Config.SliceBuild). The captured Observation is then a worker
+// partial (see MergeObservations).
 type distRun struct {
 	transport     pdes.Transport
 	first, hosted int
+	slice         bool
 }
 
 // runOnce executes the scenario once on k engines under the given partition
@@ -78,6 +96,7 @@ func runOnce(net *netsimNet, sc Scenario, k int, part []int32, window des.Time, 
 		cfg.Transport = dr.transport
 		cfg.FirstEngine = dr.first
 		cfg.HostedEngines = dr.hosted
+		cfg.SliceBuild = dr.slice
 	}
 	var mon *netmon.Mon
 	if sc.NetSample > 0 {
@@ -156,22 +175,43 @@ type netsimNet struct {
 // value is what makes their setup replicas identical — including the fault
 // plane, whose routing epochs each worker precomputes identically.
 func buildBundle(sc Scenario) (*netsimNet, error) {
-	mnet, routes, hosts, err := sc.Build()
+	mnet, err := sc.buildNet()
 	if err != nil {
 		return nil, err
 	}
+	return finishBundle(sc, mnet, nil)
+}
+
+// finishBundle completes a bundle on an already-generated (possibly
+// artifact-decoded) network. A non-nil scope builds the slice-local
+// variant a sliced distributed worker runs: routing state is scoped to the
+// worker's owned nodes and nothing is eagerly warmed — OSPF trees fill
+// lazily on the first (cur, dst) lookup slice traffic actually performs.
+// Scoped or not, forwarding decisions are byte-identical (trees are always
+// computed over the full member set; only retained state shrinks), and the
+// fault plane's epoch chain advances through the same scoped clones.
+func finishBundle(sc Scenario, mnet *model.Network, scope []bool) (*netsimNet, error) {
+	hosts := hostsOf(mnet)
+	if len(hosts) < 4 {
+		return nil, fmt.Errorf("simcheck: scenario generated only %d hosts", len(hosts))
+	}
+	var router *interdomain.Router
+	if scope != nil {
+		router = interdomain.NewScoped(mnet, scope)
+	} else {
+		router = interdomain.New(mnet)
+		router.Prepare(hosts)
+	}
 	tcp, udp := sc.script(hosts)
-	b := &netsimNet{net: mnet, routes: routes, hosts: hosts, tcp: tcp, udp: udp}
+	b := &netsimNet{net: mnet, routes: router, hosts: hosts, tcp: tcp, udp: udp}
 	if script := sc.effectiveFaults(mnet); script != nil && len(script.Events) > 0 {
-		router, ok := routes.(*interdomain.Router)
-		if !ok {
-			return nil, fmt.Errorf("simcheck: fault scenarios need interdomain routing, got %T", routes)
-		}
 		plane, err := faults.NewPlane(mnet, router, script)
 		if err != nil {
 			return nil, fmt.Errorf("simcheck: compiling fault plane: %w", err)
 		}
-		plane.Prepare(hosts)
+		if scope == nil {
+			plane.Prepare(hosts)
+		}
 		b.plane = plane
 	}
 	return b, nil

@@ -22,6 +22,7 @@ import (
 	"massf/internal/model"
 	"massf/internal/netsim"
 	"massf/internal/routing/interdomain"
+	"massf/internal/scache"
 	"massf/internal/topology"
 )
 
@@ -156,31 +157,51 @@ func (sc Scenario) String() string {
 		sc.Seed, topo, sc.Approach, sc.TCPFlows, sc.UDPSends, sc.HTTPClients, sc.Horizon, churn, sc.Ks)
 }
 
-// Build constructs the scenario's network, routing (with caches pre-warmed
-// for every host, so the parallel run does not race lazy route
-// computation), and the host list traffic endpoints draw from.
-func (sc Scenario) Build() (*model.Network, netsim.Routes, []model.NodeID, error) {
-	var net *model.Network
-	var err error
+// buildNet generates just the scenario's topology — the part of Build a
+// cached scenario artifact replaces (internal/scache stores its encoded
+// form keyed by topoKey).
+func (sc Scenario) buildNet() (*model.Network, error) {
 	if sc.MultiAS {
-		net, err = mabrite.Generate(mabrite.Options{
+		return mabrite.Generate(mabrite.Options{
 			ASes: sc.ASes, RoutersPerAS: sc.RoutersPerAS, Hosts: sc.Hosts, Seed: sc.Seed,
 		})
-	} else {
-		net, err = topology.GenerateFlat(topology.FlatOptions{
-			Routers: sc.Routers, Hosts: sc.Hosts, Seed: sc.Seed,
-		})
 	}
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	router := interdomain.New(net)
+	return topology.GenerateFlat(topology.FlatOptions{
+		Routers: sc.Routers, Hosts: sc.Hosts, Seed: sc.Seed,
+	})
+}
+
+// topoKey is the content address of the scenario's generated topology: the
+// exact generator inputs, hashed. Scenarios differing only in traffic,
+// horizon, or engine counts share the artifact — they run on the same
+// network.
+func (sc Scenario) topoKey() string {
+	return scache.Key([]byte(fmt.Sprintf(
+		"simcheck/topo/v1 multias=%v routers=%d ases=%d r/as=%d hosts=%d seed=%d",
+		sc.MultiAS, sc.Routers, sc.ASes, sc.RoutersPerAS, sc.Hosts, sc.Seed)))
+}
+
+// hostsOf lists the traffic endpoints of a scenario network.
+func hostsOf(net *model.Network) []model.NodeID {
 	var hosts []model.NodeID
 	for i := range net.Nodes {
 		if net.Nodes[i].Kind == model.Host {
 			hosts = append(hosts, model.NodeID(i))
 		}
 	}
+	return hosts
+}
+
+// Build constructs the scenario's network, routing (with caches pre-warmed
+// for every host, so the parallel run does not race lazy route
+// computation), and the host list traffic endpoints draw from.
+func (sc Scenario) Build() (*model.Network, netsim.Routes, []model.NodeID, error) {
+	net, err := sc.buildNet()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	router := interdomain.New(net)
+	hosts := hostsOf(net)
 	if len(hosts) < 4 {
 		return nil, nil, nil, fmt.Errorf("simcheck: scenario generated only %d hosts", len(hosts))
 	}

@@ -25,6 +25,7 @@ type SimTelemetry struct {
 	RemoteEvents *Counter   // cross-partition events exchanged
 	WindowsDone  *Counter   // barrier windows executed
 	SimTimeNS    *Gauge     // simulated-time front, ns
+	SetupNS      *Gauge     // scenario build wall time of this worker, ns
 	QueueDepth   *Gauge     // total pending events after the latest window
 	PeakQueue    *Gauge     // high-water mark of any engine's event queue
 	BarrierWait  *Histogram // per-engine barrier wait, ns
@@ -63,6 +64,7 @@ func New(engines, ringCap int) *SimTelemetry {
 		RemoteEvents: reg.Counter("massf_sim_remote_events_total", "Events exchanged across partitions at barriers."),
 		WindowsDone:  reg.Counter("massf_sim_windows_total", "Barrier windows executed."),
 		SimTimeNS:    reg.Gauge("massf_sim_time_ns", "Simulated time front in nanoseconds."),
+		SetupNS:      reg.Gauge("massf_sim_setup_ns", "Scenario build wall time of this worker, ns."),
 		QueueDepth:   reg.Gauge("massf_sim_queue_depth", "Total pending events after the latest window."),
 		PeakQueue:    reg.Gauge("massf_sim_queue_depth_peak", "High-water mark of any single engine's event queue."),
 		BarrierWait:  reg.Histogram("massf_sim_barrier_wait_ns", "Per-engine wait at the window barrier, ns.", nil),

@@ -32,8 +32,10 @@ type chromeTrace struct {
 	OtherData       map[string]string `json:"otherData,omitempty"`
 }
 
-// tracePhases are the per-engine slice names emitted for every window.
+// tracePhases are the per-engine slice names emitted for every window,
+// plus the one-off setup span that precedes a track's first window.
 const (
+	phaseSetup    = "setup"
 	phaseCompute  = "compute"
 	phaseBarrier  = "barrier"
 	phaseExchange = "exchange"
@@ -56,6 +58,17 @@ const (
 // where a window's phases overrun its wall time), which is what trace
 // viewers require.
 func BuildTraceEvents(recs []WindowRecord) []TraceEvent {
+	return BuildTraceEventsWithSetup(recs, nil)
+}
+
+// BuildTraceEventsWithSetup is BuildTraceEvents with a leading "setup"
+// slice on each engine track: setupNS[e] is the wall time engine e's worker
+// spent materializing its scenario before the first event ran. Windows
+// start once the slowest setup finishes, so a straggling rebuild shows as
+// the long setup bar every other track waits on. A nil or all-zero setupNS
+// emits no setup slices; on a single-process run every engine shares one
+// build, so callers typically broadcast the same duration to all tracks.
+func BuildTraceEventsWithSetup(recs []WindowRecord, setupNS []int64) []TraceEvent {
 	engines := 0
 	for i := range recs {
 		if n := len(recs[i].Events); n > engines {
@@ -83,6 +96,16 @@ func BuildTraceEvents(recs []WindowRecord) []TraceEvent {
 	}
 	cursor := make([]int64, engines) // per-track monotonic frontier, ns
 	var base int64                   // window start on the synthetic timeline, ns
+	for e := 0; e < engines && e < len(setupNS); e++ {
+		if setupNS[e] <= 0 {
+			continue
+		}
+		cursor[e] = appendSlice(&events, phaseSetup, e, 0, setupNS[e],
+			map[string]any{"setup_ns": setupNS[e]})
+		if cursor[e] > base {
+			base = cursor[e] // first window starts after the slowest setup
+		}
+	}
 	for i := range recs {
 		rec := &recs[i]
 		// Barrier/exchange spans for this window live in the next record.

@@ -127,6 +127,51 @@ func TestChromeTraceStrictlyOrderedStarts(t *testing.T) {
 	}
 }
 
+func TestChromeTraceSetupSpans(t *testing.T) {
+	const engines = 3
+	recs := syntheticRecords(engines, 4)
+	// Worker 1 is the straggler: a 10× slower scenario rebuild.
+	setup := []int64{1_000_000, 10_000_000, 1_000_000}
+	events := BuildTraceEventsWithSetup(recs, setup)
+
+	setupEnd := map[int]float64{}
+	firstWindow := map[int]float64{}
+	for _, ev := range events {
+		if ev.Ph != "X" {
+			continue
+		}
+		if ev.Name == "setup" {
+			if ev.TS != 0 {
+				t.Errorf("tid %d: setup slice starts at %g, want 0", ev.TID, ev.TS)
+			}
+			setupEnd[ev.TID] = ev.TS + ev.Dur
+			continue
+		}
+		if _, ok := firstWindow[ev.TID]; !ok {
+			firstWindow[ev.TID] = ev.TS
+		}
+	}
+	if len(setupEnd) != engines {
+		t.Fatalf("got %d setup slices, want one per engine (%d)", len(setupEnd), engines)
+	}
+	if got, want := setupEnd[1], float64(setup[1])/1e3; got != want {
+		t.Errorf("straggler setup ends at %gµs, want %g", got, want)
+	}
+	// Every track's first window waits for the slowest setup.
+	for tid, ts := range firstWindow {
+		if ts < setupEnd[1] {
+			t.Errorf("tid %d: first window at %gµs, before the slowest setup ends (%gµs)",
+				tid, ts, setupEnd[1])
+		}
+	}
+	// Zero/nil setup emits no setup slices (the pre-refactor shape).
+	for _, ev := range BuildTraceEvents(recs) {
+		if ev.Name == "setup" {
+			t.Fatal("BuildTraceEvents emitted a setup slice without setup spans")
+		}
+	}
+}
+
 func TestChromeTraceEmpty(t *testing.T) {
 	var buf bytes.Buffer
 	if err := WriteChromeTrace(&buf, nil, nil); err != nil {

@@ -1,0 +1,133 @@
+package topology_test
+
+import (
+	"testing"
+
+	"massf/internal/core"
+	"massf/internal/model"
+	"massf/internal/topology"
+)
+
+// TestSliceBoundaryProperty is the partition-adjacent loading property: for
+// seeded topologies and k ∈ {2,4,8}, a slice plus its boundary descriptor
+// reconstructs exactly the links any owned node can reach in one hop.
+func TestSliceBoundaryProperty(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 1001} {
+		for _, k := range []int{2, 4, 8} {
+			net, err := topology.GenerateFlat(topology.FlatOptions{
+				Routers: 240, Hosts: 80, Seed: seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := core.Map(net, core.TOP, core.Config{Engines: k, Seed: seed}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Slice per engine, and per contiguous 2-engine worker range,
+			// mirroring how dist workers host engine spans.
+			spans := make([][2]int, 0, k+k/2)
+			for e := 0; e < k; e++ {
+				spans = append(spans, [2]int{e, 1})
+			}
+			for e := 0; e+2 <= k; e += 2 {
+				spans = append(spans, [2]int{e, 2})
+			}
+			for _, span := range spans {
+				sl, err := topology.BuildSlice(net, m.Part, span[0], span[1])
+				if err != nil {
+					t.Fatalf("seed %d k %d span %v: %v", seed, k, span, err)
+				}
+				if err := sl.Verify(net, m.Part); err != nil {
+					t.Fatalf("seed %d k %d span %v: %v", seed, k, span, err)
+				}
+				checkOneHop(t, net, sl)
+			}
+			checkCover(t, net, m.Part, k)
+		}
+	}
+}
+
+// checkOneHop independently reconstructs, per owned node, its one-hop link
+// set from Internal ∪ Boundary and compares against the network adjacency.
+func checkOneHop(t *testing.T, net *model.Network, sl *topology.Slice) {
+	t.Helper()
+	fromSlice := make(map[model.NodeID]map[model.LinkID]bool)
+	add := func(n model.NodeID, l model.LinkID) {
+		if !sl.Owned[n] {
+			return
+		}
+		if fromSlice[n] == nil {
+			fromSlice[n] = make(map[model.LinkID]bool)
+		}
+		fromSlice[n][l] = true
+	}
+	for _, lid := range sl.Internal {
+		l := &net.Links[lid]
+		add(l.A, lid)
+		add(l.B, lid)
+	}
+	for _, b := range sl.Boundary {
+		add(b.Inside, b.Link)
+	}
+	for i := range net.Nodes {
+		n := model.NodeID(i)
+		if !sl.Owned[n] {
+			if len(fromSlice[n]) != 0 {
+				t.Fatalf("non-owned node %d has slice links", n)
+			}
+			continue
+		}
+		want := net.Incident(n)
+		got := fromSlice[n]
+		if len(got) != len(want) {
+			t.Fatalf("node %d: slice reconstructs %d one-hop links, adjacency has %d", n, len(got), len(want))
+		}
+		for _, lid := range want {
+			if !got[lid] {
+				t.Fatalf("node %d: one-hop link %d missing from slice", n, lid)
+			}
+		}
+	}
+}
+
+// checkCover verifies per-engine slices tile the network: every node owned
+// by exactly one slice, every link internal to exactly one slice or on the
+// boundary of exactly two.
+func checkCover(t *testing.T, net *model.Network, part []int32, k int) {
+	t.Helper()
+	nodeOwners := make([]int, len(net.Nodes))
+	internal := make([]int, len(net.Links))
+	boundary := make([]int, len(net.Links))
+	for e := 0; e < k; e++ {
+		sl, err := topology.BuildSlice(net, part, e, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n, owned := range sl.Owned {
+			if owned {
+				nodeOwners[n]++
+			}
+		}
+		for _, lid := range sl.Internal {
+			internal[lid]++
+		}
+		for _, b := range sl.Boundary {
+			boundary[b.Link]++
+		}
+	}
+	for n, c := range nodeOwners {
+		if c != 1 {
+			t.Fatalf("node %d owned by %d slices", n, c)
+		}
+	}
+	for lid := range net.Links {
+		if internal[lid] == 1 && boundary[lid] == 0 {
+			continue
+		}
+		if internal[lid] == 0 && boundary[lid] == 2 {
+			continue
+		}
+		t.Fatalf("link %d: internal in %d slices, boundary in %d", lid, internal[lid], boundary[lid])
+	}
+}

@@ -21,10 +21,14 @@ type HostCPUs struct {
 
 // NewHostCPUs creates virtual CPUs for the given hosts on their owning
 // engines. speed maps a host to its relative CPU speed; nil means 1.0
-// everywhere.
+// everywhere. On a slice-built Sim, CPUs are materialized only for hosts
+// the worker owns — non-owned hosts execute on some other worker.
 func NewHostCPUs(s *netsim.Sim, hosts []model.NodeID, speed func(model.NodeID) float64) *HostCPUs {
 	h := &HostCPUs{cpus: make(map[model.NodeID]*vcpu.CPU, len(hosts))}
 	for _, host := range hosts {
+		if s.SliceBuilt() && !s.Owned(host) {
+			continue
+		}
 		sp := 1.0
 		if speed != nil {
 			sp = speed(host)
@@ -43,13 +47,18 @@ func (h *HostCPUs) Get(n model.NodeID) *vcpu.CPU {
 }
 
 // InstallWorkflowCPU is InstallWorkflow with task compute executed on the
-// hosts' virtual CPUs. Every task host must have a CPU in cpus.
+// hosts' virtual CPUs. Every task host must have a CPU in cpus — except on a
+// slice-built Sim, where only owned task hosts need one (the rest run on
+// other workers and their start events are dropped locally).
 func InstallWorkflowCPU(s *netsim.Sim, w Workflow, start des.Time, cpus *HostCPUs) (*WorkflowStats, error) {
 	if cpus == nil {
 		return InstallWorkflow(s, w, start)
 	}
 	for i, t := range w.Tasks {
 		if cpus.Get(t.Host) == nil {
+			if s.SliceBuilt() && !s.Owned(t.Host) {
+				continue
+			}
 			return nil, fmt.Errorf("traffic: task %d host %d has no virtual CPU", i, t.Host)
 		}
 	}

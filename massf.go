@@ -48,6 +48,7 @@ import (
 	"massf/internal/faults"
 	"massf/internal/flight"
 	"massf/internal/mabrite"
+	"massf/internal/memstat"
 	"massf/internal/metrics"
 	"massf/internal/model"
 	"massf/internal/netmon"
@@ -271,6 +272,15 @@ func NewHostCPUs(s *Simulation, hosts []NodeID, speed func(NodeID) float64) *Hos
 	return traffic.NewHostCPUs(s, hosts, speed)
 }
 
+// MemSample is one process-memory reading: Go heap occupancy plus the
+// OS-reported peak resident set.
+type MemSample = memstat.Sample
+
+// ReadMemStats samples this process's memory after a GC, so HeapInuse
+// reflects live scenario state — the per-worker number the run reports
+// surface.
+func ReadMemStats() MemSample { return memstat.ReadStable() }
+
 // InstallWorkflowCPU is InstallWorkflow with task compute running on the
 // hosts' shared virtual CPUs (co-located tasks contend).
 func InstallWorkflowCPU(s *Simulation, w Workflow, start Time, cpus *HostCPUs) (*WorkflowStats, error) {
@@ -393,6 +403,14 @@ type (
 // compute/barrier/exchange slices per barrier window.
 func BuildTraceEvents(recs []TelemetryWindow) []TraceEvent {
 	return telemetry.BuildTraceEvents(recs)
+}
+
+// BuildTraceEventsWithSetup is BuildTraceEvents with a leading "setup"
+// slice on each engine track — setupNS[e] is the scenario build wall time
+// of the worker hosting engine e, so slow rebuilds show as the bar every
+// other track waits on.
+func BuildTraceEventsWithSetup(recs []TelemetryWindow, setupNS []int64) []TraceEvent {
+	return telemetry.BuildTraceEventsWithSetup(recs, setupNS)
 }
 
 // WriteChromeTrace writes the recording as a Chrome trace-event JSON
