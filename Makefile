@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-all bench-gate bench-shard smoke churn bigtopo clean
+.PHONY: check vet build test race bench bench-all bench-gate bench-shard smoke churn fluid bigtopo clean
 
-check: vet build race smoke churn
+check: vet build race smoke churn fluid
 
 vet:
 	$(GO) vet ./...
@@ -33,6 +33,13 @@ smoke:
 churn:
 	$(GO) run ./cmd/simcheck -scenarios 25 -churn -dist 2 -dist-k 4 -shard
 
+# Hybrid flow/packet fidelity: every seeded scenario rerun with bulk
+# transfers on the analytic fluid plane, checked two ways — byte-identical
+# across k∈{2,4,8}, and (churn-free) within the per-metric error budget of
+# its pure-packet twin (goodput, FCT percentiles, link utilization).
+fluid:
+	$(GO) run ./cmd/simcheck -scenarios 25 -fluid
+
 # Big-topology memory smoke: a 2-AS large-fanout network distributed at
 # k=4, asserting a sliced worker retains well under the replicated
 # baseline's routing bytes and per-worker heap. Nightly, not per-PR.
@@ -44,7 +51,7 @@ bigtopo:
 # record them as a labeled entry in BENCH_pipeline.json. Override LABEL to
 # tag the capture, e.g. `make bench LABEL=after`.
 LABEL ?= dev
-PIPELINE_BENCHES = BenchmarkKernel|BenchmarkBarrierWindows|BenchmarkFig6SimTimeSingleAS|BenchmarkWindowPublish
+PIPELINE_BENCHES = BenchmarkKernel|BenchmarkBarrierWindows|BenchmarkFig6SimTimeSingleAS|BenchmarkWindowPublish|BenchmarkFluidHybridSimTime
 
 bench:
 	$(GO) test -run='^$$' -bench='$(PIPELINE_BENCHES)' -benchmem \

@@ -160,6 +160,35 @@ func BenchmarkFig6SimTimeSingleASNetMon(b *testing.B) {
 	}
 }
 
+// BenchmarkFluidHybridSimTime is the Fig6 run at hybrid flow/packet
+// fidelity: the background HTTP workload moves to the analytic fluid
+// plane (solved entirely at setup) while the ScaLapack foreground stays
+// packet-level. Recorded next to the pure-packet Fig6 bench so the
+// trajectory shows what the fidelity trade buys; the CI gate anchors on
+// the packet bench, which this variant must leave untouched.
+func BenchmarkFluidHybridSimTime(b *testing.B) {
+	s := getSuite(b, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := s.setup.MapApproach(core.HPROF)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim, _, err := s.setup.BuildSim(m, experiments.ScaLapack,
+			experiments.SimOptions{FlowFidelity: "hybrid"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := sim.Run()
+		if res.TotalEvents == 0 {
+			b.Fatal("empty run")
+		}
+		if res.FluidCompleted == 0 {
+			b.Fatal("hybrid run completed no fluid flows")
+		}
+	}
+}
+
 // BenchmarkFig10SimTimeMultiAS regenerates Figure 10.
 func BenchmarkFig10SimTimeMultiAS(b *testing.B) { simTimeBench(b, true, "fig10") }
 

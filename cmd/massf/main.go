@@ -69,6 +69,8 @@ func run(args []string, out io.Writer, nowNano func() int64) error {
 		netSample = fs.Int("netsample", 0, "sample every k-th injected packet for path tracing (0 = off; implies -netstats)")
 		pathTrace = fs.String("pathtrace", "", "write sampled packet paths as Chrome trace lanes next to the engine tracks (implies -netsample 16 if unset)")
 		jsonOut   = fs.Bool("json", false, "emit the full result as JSON instead of the text report")
+		fidelity  = fs.String("fidelity", "packet", "flow fidelity: packet (all traffic packet-level) or hybrid (background HTTP on the analytic fluid plane, foreground packet-level)")
+		fluidQtm  = fs.Float64("fluid-quantum-us", 0, "hybrid: batch fluid rate recomputation onto this grid in µs (0 = exact; the scale knob for very large client counts)")
 		seed      = fs.Int64("seed", 0, "simulation seed (0 = derive from the clock)")
 		realTime  = fs.Float64("realtime", 0, "real-time pacing factor (0 = as fast as possible, 8 = paper's slowdown)")
 		eventCost = fs.Float64("event-cost-us", 15, "modeled per-event cost in µs")
@@ -117,6 +119,14 @@ func run(args []string, out io.Writer, nowNano func() int64) error {
 	a, ok := approaches[strings.ToUpper(*name)]
 	if !ok {
 		return fmt.Errorf("unknown approach %q", *name)
+	}
+	hybrid := false
+	switch strings.ToLower(*fidelity) {
+	case "", "packet":
+	case "hybrid":
+		hybrid = true
+	default:
+		return fmt.Errorf("unknown -fidelity %q (want packet or hybrid)", *fidelity)
 	}
 
 	setupStart := time.Now()
@@ -203,12 +213,9 @@ func run(args []string, out io.Writer, nowNano func() int64) error {
 	if plane != nil {
 		cfg.Faults = plane
 	}
-	sim, err := massf.NewSimulation(cfg)
-	if err != nil {
-		return err
-	}
 
-	// Host roles.
+	// Host roles (needed before NewSimulation: a hybrid run's fluid plane
+	// is built from the client/server roles and attached at construction).
 	var hosts []massf.NodeID
 	for i := range net.Nodes {
 		if net.Nodes[i].Kind == massf.Host {
@@ -231,10 +238,35 @@ func run(args []string, out io.Writer, nowNano func() int64) error {
 	if ns <= 0 || nc+ns > len(free) {
 		ns = len(free) - nc
 	}
-	httpStats := massf.InstallHTTP(sim, massf.HTTPConfig{
+	httpCfg := massf.HTTPConfig{
 		Clients: free[:nc], Servers: free[nc : nc+ns],
 		MeanGap: 5 * massf.Second, MeanFileBytes: 50_000, Seed: *seed,
-	})
+	}
+	var httpStats *massf.HTTPStats
+	if hybrid {
+		bgFlows, next, stats := massf.FluidHTTPWorkload(httpCfg, end)
+		fcfg := massf.FluidConfig{
+			Net: net, Routes: routes, End: end,
+			Quantum: massf.Time(*fluidQtm * float64(massf.Microsecond)),
+			Next:    next,
+		}
+		if plane != nil {
+			fcfg.Faults = plane
+		}
+		fp, err := massf.BuildFluidPlane(fcfg, bgFlows)
+		if err != nil {
+			return err
+		}
+		cfg.Fluid = fp
+		httpStats = stats
+	}
+	sim, err := massf.NewSimulation(cfg)
+	if err != nil {
+		return err
+	}
+	if !hybrid {
+		httpStats = massf.InstallHTTP(sim, httpCfg)
+	}
 	var appFlows []*massf.WorkflowStats
 	var flows []massf.Workflow
 	switch strings.ToLower(*app) {
@@ -262,6 +294,7 @@ func run(args []string, out io.Writer, nowNano func() int64) error {
 		doc := map[string]any{
 			"approach":   a.String(),
 			"engines":    *engines,
+			"fidelity":   strings.ToLower(*fidelity),
 			"seed":       *seed,
 			"mll_ns":     int64(mapping.MLL),
 			"horizon_ns": int64(end),
@@ -408,6 +441,10 @@ func printTextReport(out io.Writer, a massf.Approach, engines int, seed int64,
 	fmt.Fprintf(out, "parallel efficiency  %.3f\n", rep.Efficiency)
 	fmt.Fprintf(out, "flows                %d started, %d completed, %d pkts dropped\n",
 		res.FlowsStarted, res.FlowsCompleted, res.Dropped)
+	if res.FluidDone != nil {
+		fmt.Fprintf(out, "fluid                %d flows started, %d completed, %.1f Mbit delivered\n",
+			res.FluidStarted, res.FluidCompleted, float64(res.FluidDeliveredBits)/1e6)
+	}
 	fmt.Fprintf(out, "http                 %d requests, %d responses\n",
 		httpStats.TotalRequests(), httpStats.TotalResponses())
 	for i, ws := range appFlows {

@@ -14,6 +14,8 @@
 //	simcheck -scenarios 25 -churn -dist 2 -dist-k 4  # churn sweep + distributed leg
 //	simcheck -scenarios 25 -dist 2 -dist-k 4 -shard  # + sharded-vs-replicated dimension
 //	simcheck -scenarios 25 -netmon 4        # + observer-neutrality dimension (stride 4)
+//	simcheck -scenarios 25 -fluid           # + hybrid flow/packet fidelity dimension
+//	simcheck -scenarios 25 -fluid -churn    # hybrid × faults determinism sweep
 package main
 
 import (
@@ -54,6 +56,9 @@ func run(args []string, out io.Writer) (bool, error) {
 	trace := fs.String("trace", "", "on failure, write a Chrome trace of the first failing run to this file")
 	churn := fs.Bool("churn", false, "inject seeded link/router fault churn into every swept scenario (the fault-plane conformance dimension)")
 	netmonSample := fs.Int("netmon", 0, "also run each passing scenario with the netmon observability plane attached at this sampling stride and prove observer neutrality (largest k in -ks)")
+	fluidDim := fs.Bool("fluid", false, "also run each passing scenario at hybrid flow/packet fidelity: scripted bulk TCP moves to the analytic fluid plane, the hybrid run must be byte-identical across every k in -ks and (churn-free scenarios) within the error budget of the pure-packet run")
+	fluidMin := fs.Int64("fluid-min-bytes", simcheck.DefaultFluidMinBytes, "with -fluid: fluidization threshold — scripted TCP transfers at least this large go fluid")
+	fluidQuantum := fs.Int64("fluid-quantum-ns", 0, "with -fluid: batch fluid rate recomputation onto this grid (0 = exact)")
 	distWorkers := fs.Int("dist", 0, "also run each scenario across this many loopback TCP workers (largest k in -ks) and diff the merged observables")
 	distK := fs.Int("dist-k", 0, "with -dist: pin the distributed engine count (default: largest k in -ks)")
 	distListen := fs.String("dist-listen", "", "with -dist: listen on this address and wait for external workers (massfd -worker -join <addr>) instead of spawning in-process worker loops")
@@ -143,6 +148,16 @@ func run(args []string, out io.Writer) (bool, error) {
 				ok, err := checkNeutrality(out, sc, kList, *netmonSample, *verbose)
 				if err != nil {
 					return false, fmt.Errorf("seed %d neutrality: %w", sc.Seed, err)
+				}
+				if !ok {
+					fmt.Fprintf(out, "%d/%d scenarios passed before first failure\n", pass, len(list))
+					return false, nil
+				}
+			}
+			if *fluidDim {
+				ok, err := checkFluid(out, sc, *fluidMin, *fluidQuantum, *verbose)
+				if err != nil {
+					return false, fmt.Errorf("seed %d fluid: %w", sc.Seed, err)
 				}
 				if !ok {
 					fmt.Fprintf(out, "%d/%d scenarios passed before first failure\n", pass, len(list))
@@ -285,6 +300,60 @@ func checkSharded(out io.Writer, sc simcheck.Scenario, workers, pinnedK int, cac
 	}
 	for _, d := range rep.DivsSliced {
 		fmt.Fprintf(out, "  sliced divergence: %v\n", d)
+	}
+	return false, nil
+}
+
+// checkFluid reruns a passing scenario at hybrid flow/packet fidelity:
+// scripted TCP transfers of at least minBytes move to the analytic fluid
+// plane, the hybrid run must stay byte-identical across every engine
+// count in Ks, and — on churn-free scenarios — per-flow goodput, FCT
+// percentiles, and per-link carried volume must stay within the error
+// budget of the pure-packet run of the same seed.
+func checkFluid(out io.Writer, sc simcheck.Scenario, minBytes, quantumNS int64, verbose bool) (bool, error) {
+	sc.FluidMinBytes = minBytes
+	sc.FluidQuantumNS = quantumNS
+	rep, err := simcheck.CheckFluid(sc, simcheck.DefaultFluidBudget())
+	if err != nil {
+		return false, err
+	}
+	if !rep.Failed() {
+		if verbose {
+			switch {
+			case rep.FluidFlows == 0:
+				fmt.Fprintf(out, "ok   %s fluid: no transfer over threshold\n", rep.Scenario)
+			case rep.Metrics == nil:
+				fmt.Fprintf(out, "ok   %s fluid flows=%d completed=%d (churn: determinism only)\n",
+					rep.Scenario, rep.FluidFlows, rep.HybridRef.FluidCompleted)
+			default:
+				fmt.Fprintf(out, "ok   %s fluid flows=%d completed=%d\n",
+					rep.Scenario, rep.FluidFlows, rep.HybridRef.FluidCompleted)
+				for _, m := range rep.Metrics {
+					fmt.Fprintf(out, "       %v\n", m)
+				}
+			}
+		}
+		return true, nil
+	}
+	fmt.Fprintf(out, "FAIL %s fluid flows=%d\n", rep.Scenario, rep.FluidFlows)
+	for i := range rep.Runs {
+		kr := &rep.Runs[i]
+		for _, v := range kr.Violations {
+			fmt.Fprintf(out, "  k=%d violation: %v\n", kr.K, v)
+		}
+		const maxShown = 8
+		for j, d := range kr.Divergences {
+			if j == maxShown {
+				fmt.Fprintf(out, "  k=%d ... and %d more divergences\n", kr.K, len(kr.Divergences)-maxShown)
+				break
+			}
+			fmt.Fprintf(out, "  k=%d hybrid divergence: %v\n", kr.K, d)
+		}
+	}
+	for _, m := range rep.Metrics {
+		if !m.OK {
+			fmt.Fprintf(out, "  over budget: %v\n", m)
+		}
 	}
 	return false, nil
 }

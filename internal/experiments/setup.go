@@ -13,6 +13,7 @@ import (
 	"massf/internal/core"
 	"massf/internal/des"
 	"massf/internal/faults"
+	"massf/internal/fluid"
 	"massf/internal/mabrite"
 	"massf/internal/model"
 	"massf/internal/netmon"
@@ -232,12 +233,24 @@ func finishSetup(sc Scale, net *model.Network, multi bool, scope []bool) (*Setup
 	return st, nil
 }
 
-// install wires background + foreground traffic into a simulation.
-func (st *Setup) install(s *netsim.Sim, w Workload) ([]*traffic.WorkflowStats, error) {
-	traffic.InstallHTTP(s, traffic.HTTPConfig{
+// httpConfig is the background web workload shared by the packet and
+// fluid fidelities: same clients, servers, seed and draw parameters, so a
+// hybrid run's fluid background is the analytic twin of the packet one.
+func (st *Setup) httpConfig() traffic.HTTPConfig {
+	return traffic.HTTPConfig{
 		Clients: st.Clients, Servers: st.Servers,
 		MeanGap: 5 * des.Second, MeanFileBytes: 50_000, Seed: st.Scale.Seed,
-	})
+	}
+}
+
+// install wires background + foreground traffic into a simulation. With
+// hybrid fidelity the background HTTP load lives on the fluid plane
+// (attached at netsim.New time), so only the foreground application is
+// installed packet-level.
+func (st *Setup) install(s *netsim.Sim, w Workload, hybrid bool) ([]*traffic.WorkflowStats, error) {
+	if !hybrid {
+		traffic.InstallHTTP(s, st.httpConfig())
+	}
 	var flows []traffic.Workflow
 	switch w {
 	case ScaLapack:
@@ -272,7 +285,7 @@ func (st *Setup) RunProfiling(w Workload) error {
 	if err != nil {
 		return err
 	}
-	if _, err := st.install(s, w); err != nil {
+	if _, err := st.install(s, w, false); err != nil {
 		return err
 	}
 	res := s.Run()
@@ -306,7 +319,8 @@ type RunOutcome struct {
 // Deprecated: SimOptions is a thin alias of the unified run configuration
 // runspec.RunSpec (massf.RunSpec), kept so existing callers compile.
 // BuildSim reads only the run-surface knobs — Telemetry, RealTimeFactor,
-// SeriesBuckets, Faults, NetMon, NetSample and the distributed-worker
+// SeriesBuckets, Faults, NetMon, NetSample, the hybrid-fidelity knobs
+// (FlowFidelity, FluidQuantumUS) and the distributed-worker
 // fields (Transport, FirstEngine, HostedEngines, Slice); the scale-level
 // fields (Engines, Seconds, Seed, EventCostUS) are taken from Setup.Scale,
 // which was sized before mapping. A Slice build pairs with a Setup from
@@ -347,6 +361,42 @@ func (st *Setup) BuildSim(m *core.Mapping, w Workload, opt SimOptions) (*netsim.
 	if plane != nil {
 		cfg.Faults = plane
 	}
+	if opt.Hybrid() {
+		// Hybrid fidelity: the background HTTP workload moves to the
+		// analytic fluid plane, precomputed here from exactly the inputs
+		// every worker shares (network, routes, horizon, seed) so a
+		// distributed run builds byte-identical planes everywhere. The
+		// solver walks whole paths, which a scoped router refuses, so a
+		// sliced worker builds a transient unscoped router just for this —
+		// setup cost, paid once, and the fat routing state is dropped when
+		// the build returns.
+		routes := fluid.Routes(st.Routes)
+		fplane := plane
+		if opt.Slice {
+			full := interdomain.New(st.Net)
+			routes = full
+			if opt.Faults != nil {
+				var ferr error
+				fplane, ferr = faults.NewPlane(st.Net, full, opt.Faults)
+				if ferr != nil {
+					return nil, nil, ferr
+				}
+			}
+		}
+		flows, next, _ := traffic.FluidHTTP(st.httpConfig(), st.Scale.Horizon)
+		fcfg := fluid.Config{
+			Net: st.Net, Routes: routes, End: st.Scale.Horizon,
+			Quantum: opt.FluidQuantum(), Next: next,
+		}
+		if fplane != nil {
+			fcfg.Faults = fplane
+		}
+		fp, err := fluid.Build(fcfg, flows)
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg.Fluid = fp
+	}
 	if opt.NetMon || opt.NetSample > 0 {
 		bw := make([]int64, len(st.Net.Links))
 		for i := range st.Net.Links {
@@ -361,7 +411,7 @@ func (st *Setup) BuildSim(m *core.Mapping, w Workload, opt SimOptions) (*netsim.
 	if err != nil {
 		return nil, nil, err
 	}
-	apps, err := st.install(s, w)
+	apps, err := st.install(s, w, opt.Hybrid())
 	if err != nil {
 		return nil, nil, err
 	}

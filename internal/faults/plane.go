@@ -238,6 +238,38 @@ func (p *Plane) NodeUp(now des.Time, n model.NodeID) (bool, int) {
 	return stateAt(ts, now)
 }
 
+// Boundaries returns every simulated time at which the plane's answers
+// can change — physical link/node transitions and routing-epoch starts —
+// sorted ascending without duplicates. Time-driven consumers (the fluid
+// plane's rate solver) recompute exactly at these points and nowhere
+// else; between two boundaries every Plane query is constant.
+func (p *Plane) Boundaries() []des.Time {
+	var out []des.Time
+	for _, ts := range p.linkT {
+		for _, tr := range ts {
+			out = append(out, tr.at)
+		}
+	}
+	for _, ts := range p.nodeT {
+		for _, tr := range ts {
+			out = append(out, tr.at)
+		}
+	}
+	for _, ep := range p.epochs {
+		if ep.start > 0 {
+			out = append(out, ep.start)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	dedup := out[:0]
+	for _, t := range out {
+		if len(dedup) == 0 || dedup[len(dedup)-1] != t {
+			dedup = append(dedup, t)
+		}
+	}
+	return dedup
+}
+
 // Prepare warms the OSPF caches of every routing epoch for the given
 // destinations, so the simulation hot path (mostly) only reads. Lazy
 // fills remain possible mid-run — they are deterministic, so concurrent

@@ -1,0 +1,83 @@
+package fluid
+
+import (
+	"math"
+	"testing"
+)
+
+// decodeFairShareCase turns fuzz bytes into a solver input: one byte for
+// the directed-link count, a capacity byte per link (0 = dead link), then
+// repeating (pathLen, weight, dirs...) demand records until the data runs
+// out.
+func decodeFairShareCase(data []byte) ([]float64, []Demand) {
+	if len(data) < 2 {
+		return nil, nil
+	}
+	nLinks := int(data[0])%12 + 1
+	data = data[1:]
+	caps := make([]float64, nLinks)
+	for i := 0; i < nLinks && len(data) > 0; i++ {
+		caps[i] = float64(data[0]) * 1e6 // 0 stays a dead link
+		data = data[1:]
+	}
+	var demands []Demand
+	for len(data) >= 2 && len(demands) < 64 {
+		plen := int(data[0])%6 + 1
+		weight := int(data[1])%4 + 1
+		data = data[2:]
+		if len(data) < plen {
+			break
+		}
+		path := make([]int32, plen)
+		for j := 0; j < plen; j++ {
+			path[j] = int32(data[j]) % int32(nLinks)
+		}
+		data = data[plen:]
+		demands = append(demands, Demand{Path: path, Weight: weight})
+	}
+	return caps, demands
+}
+
+// FuzzFairShare cross-checks the grouped water-filling solver against the
+// naive progressive-filling reference on arbitrary inputs, plus the
+// safety invariants (rates finite and non-negative, capacities never
+// exceeded) that must hold even where the two algorithms' float rounding
+// diverges.
+func FuzzFairShare(f *testing.F) {
+	f.Add([]byte{3, 100, 50, 200, 2, 1, 0, 1, 1, 2, 2})
+	f.Add([]byte{1, 255, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{5, 10, 0, 30, 40, 50, 3, 3, 1, 2, 3, 2, 1, 4, 4})
+	f.Add([]byte{2, 1, 1, 5, 3, 0, 1, 0, 1, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		caps, demands := decodeFairShareCase(data)
+		if len(demands) == 0 {
+			return
+		}
+		rates := FairShare(caps, demands, nil)
+		if len(rates) != len(demands) {
+			t.Fatalf("got %d rates for %d demands", len(rates), len(demands))
+		}
+		for di, r := range rates {
+			if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+				t.Fatalf("demand %d: rate %v", di, r)
+			}
+		}
+		for l, load := range linkLoads(caps, demands, rates) {
+			cap := 0.0
+			if int(l) < len(caps) && caps[l] > 0 {
+				cap = caps[l]
+			}
+			if load > cap*(1+1e-9)+1e-6 {
+				t.Fatalf("link %d: load %.6g exceeds capacity %.6g", l, load, cap)
+			}
+		}
+		want := naiveFairShare(caps, demands)
+		for di := range demands {
+			diff := math.Abs(rates[di] - want[di])
+			if diff > 1e-6*math.Max(1, math.Max(rates[di], want[di])) {
+				t.Fatalf("demand %d: grouped %.9g vs naive %.9g (input %v)",
+					di, rates[di], want[di], data)
+			}
+		}
+	})
+}

@@ -1,0 +1,179 @@
+package fluid
+
+import (
+	"math"
+	"sort"
+)
+
+// Demand is one max-min demand class: Weight flows with identical paths
+// (fluid flows between the same endpoints under the same routing epoch are
+// indistinguishable, so the solver prices them together). Path holds
+// directed-link indices in the netsim convention (2*link, +1 when the
+// transmitting end is the link's B endpoint); a repeated index consumes
+// capacity once per occurrence.
+type Demand struct {
+	Path   []int32
+	Weight int
+}
+
+// FairShare computes the max-min fair per-flow rate of every demand over
+// capacitated directed links: water-filling that repeatedly saturates the
+// tightest link and freezes the demands crossing it. caps maps directed
+// link index → capacity (bits/s, values ≤ 0 mean no capacity); demands
+// with an empty Path or non-positive Weight have no constraint and are
+// reported as rate 0 — the caller models them separately.
+//
+// The result is a pure function of the demand multiset, not its order:
+// each round snapshots link state, collects the freeze set against the
+// snapshot, and applies capacity subtraction in canonical (Path, Weight)
+// order, so even the floating-point rounding is permutation-invariant.
+// The permutation property test pins this.
+//
+// out, when non-nil and with capacity, is reused as the result slice.
+func FairShare(caps []float64, demands []Demand, out []float64) []float64 {
+	if cap(out) >= len(demands) {
+		out = out[:len(demands)]
+		for i := range out {
+			out[i] = 0
+		}
+	} else {
+		out = make([]float64, len(demands))
+	}
+
+	// Compact the touched links and build link→demand adjacency with
+	// per-link multiplicity, so each round costs O(active links) plus the
+	// demands it freezes.
+	linkIdx := make(map[int32]int)
+	var links []int32
+	for _, d := range demands {
+		for _, l := range d.Path {
+			if _, ok := linkIdx[l]; !ok {
+				linkIdx[l] = len(links)
+				links = append(links, l)
+			}
+		}
+	}
+	n := len(links)
+	room := make([]float64, n)   // capacity minus frozen load
+	weight := make([]float64, n) // Σ Weight·multiplicity of unfrozen demands
+	for li, l := range links {
+		if int(l) < len(caps) && caps[l] > 0 {
+			room[li] = caps[l]
+		}
+	}
+	type adj struct {
+		demand int32
+		mult   float64
+	}
+	buckets := make([][]adj, n)
+	scratch := make(map[int32]float64) // link → occurrences within one path
+	frozen := make([]bool, len(demands))
+	remaining := 0
+	// Accumulate link weights in canonical demand order: per-link float
+	// sums must not depend on the input permutation either.
+	order := make([]int32, 0, len(demands))
+	for di, d := range demands {
+		if len(d.Path) == 0 || d.Weight <= 0 {
+			frozen[di] = true
+			continue
+		}
+		order = append(order, int32(di))
+		remaining++
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return demandLess(&demands[order[i]], &demands[order[j]])
+	})
+	for _, di := range order {
+		d := &demands[di]
+		for _, l := range d.Path {
+			scratch[l]++
+		}
+		for l, m := range scratch {
+			li := linkIdx[l]
+			buckets[li] = append(buckets[li], adj{demand: di, mult: m})
+			weight[li] += float64(d.Weight) * m
+			delete(scratch, l)
+		}
+	}
+
+	var freeze []int32
+	for remaining > 0 {
+		// Tightest unfrozen link decides this round's water level.
+		r := math.Inf(1)
+		for li := 0; li < n; li++ {
+			if weight[li] <= 0 {
+				continue
+			}
+			if h := room[li] / weight[li]; h < r {
+				r = h
+			}
+		}
+		if math.IsInf(r, 1) {
+			break // defensive: unfrozen demand with no weighted link
+		}
+		if r < 0 {
+			r = 0
+		}
+		// Phase 1: collect this round's freeze set against the snapshot —
+		// no link state changes while scanning, so the set depends only on
+		// (room, weight, r), never on demand order.
+		freeze = freeze[:0]
+		for li := 0; li < n; li++ {
+			if weight[li] <= 0 || room[li]/weight[li] > r {
+				continue
+			}
+			for _, a := range buckets[li] {
+				if !frozen[a.demand] {
+					frozen[a.demand] = true
+					freeze = append(freeze, a.demand)
+				}
+			}
+		}
+		if len(freeze) == 0 {
+			break // defensive: float pathology must not loop forever
+		}
+		// Phase 2: apply in canonical (Path, Weight) order so the
+		// capacity-subtraction rounding is permutation-invariant. Demands
+		// with equal keys subtract identical amounts, so ties are benign.
+		sort.Slice(freeze, func(i, j int) bool {
+			return demandLess(&demands[freeze[i]], &demands[freeze[j]])
+		})
+		for _, di := range freeze {
+			out[di] = r
+			d := &demands[di]
+			take := float64(d.Weight) * r
+			for _, l := range d.Path {
+				scratch[l]++
+			}
+			for l, m := range scratch {
+				li := linkIdx[l]
+				room[li] -= take * m
+				if room[li] < 0 {
+					room[li] = 0
+				}
+				weight[li] -= float64(d.Weight) * m
+				if weight[li] < 1e-9 {
+					weight[li] = 0
+				}
+				delete(scratch, l)
+			}
+			remaining--
+		}
+	}
+	return out
+}
+
+// demandLess is the canonical demand order used to make float rounding
+// independent of input permutation: shorter paths first, then lexicographic
+// path content, then weight.
+func demandLess(a, b *Demand) bool {
+	if len(a.Path) != len(b.Path) {
+		return len(a.Path) < len(b.Path)
+	}
+	for i := range a.Path {
+		if a.Path[i] != b.Path[i] {
+			return a.Path[i] < b.Path[i]
+		}
+	}
+	return a.Weight < b.Weight
+}

@@ -1,0 +1,289 @@
+package fluid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// naiveFairShare is the reference implementation FuzzFairShare and the
+// property tests compare FairShare against: every demand expanded into
+// Weight individual unit flows, rates raised together by progressive
+// filling (add the largest uniform increment no link can refuse, freeze
+// the flows crossing the saturated links, repeat). Deliberately a
+// different algorithm shape than the grouped water-filling in solver.go.
+func naiveFairShare(caps []float64, demands []Demand) []float64 {
+	type unit struct {
+		demand int
+		path   []int32
+	}
+	var units []unit
+	for di, d := range demands {
+		if len(d.Path) == 0 || d.Weight <= 0 {
+			continue
+		}
+		for w := 0; w < d.Weight; w++ {
+			units = append(units, unit{demand: di, path: d.Path})
+		}
+	}
+	room := make(map[int32]float64)
+	count := make(map[int32]float64)
+	for _, u := range units {
+		for _, l := range u.path {
+			if _, ok := room[l]; !ok {
+				if int(l) < len(caps) && caps[l] > 0 {
+					room[l] = caps[l]
+				} else {
+					room[l] = 0
+				}
+			}
+			count[l]++
+		}
+	}
+	rate := make([]float64, len(units))
+	frozen := make([]bool, len(units))
+	remaining := len(units)
+	for remaining > 0 {
+		inc := math.Inf(1)
+		for l, c := range count {
+			if c <= 0 {
+				continue
+			}
+			if h := room[l] / c; h < inc {
+				inc = h
+			}
+		}
+		if math.IsInf(inc, 1) {
+			break
+		}
+		if inc < 0 {
+			inc = 0
+		}
+		for ui := range units {
+			if frozen[ui] {
+				continue
+			}
+			rate[ui] += inc
+			for _, l := range units[ui].path {
+				room[l] -= inc
+			}
+		}
+		for ui, u := range units {
+			if frozen[ui] {
+				continue
+			}
+			for _, l := range u.path {
+				if room[l] <= 1e-6*caps0(caps, l) {
+					frozen[ui] = true
+					break
+				}
+			}
+			if frozen[ui] {
+				for _, l := range u.path {
+					count[l]--
+				}
+				remaining--
+			}
+		}
+	}
+	out := make([]float64, len(demands))
+	for ui, u := range units {
+		out[u.demand] = rate[ui] // all units of a demand share one rate
+	}
+	return out
+}
+
+func caps0(caps []float64, l int32) float64 {
+	if int(l) < len(caps) && caps[l] > 0 {
+		return caps[l]
+	}
+	return 1
+}
+
+// randomCase builds a seeded random solver input: nLinks directed links
+// with capacities spanning three orders of magnitude (some dead), and
+// demands with random multi-hop paths (repeats allowed) and weights.
+func randomCase(rng *rand.Rand, nLinks, nDemands int) ([]float64, []Demand) {
+	caps := make([]float64, nLinks)
+	for i := range caps {
+		if rng.Intn(10) == 0 {
+			caps[i] = 0 // dead link: demands crossing it must get rate 0
+		} else {
+			caps[i] = math.Trunc((1 + rng.Float64()*999) * 1e6)
+		}
+	}
+	demands := make([]Demand, nDemands)
+	for i := range demands {
+		plen := 1 + rng.Intn(5)
+		path := make([]int32, plen)
+		for j := range path {
+			path[j] = int32(rng.Intn(nLinks))
+		}
+		demands[i] = Demand{Path: path, Weight: 1 + rng.Intn(4)}
+	}
+	return caps, demands
+}
+
+// linkLoads sums rate·weight·multiplicity per directed link.
+func linkLoads(caps []float64, demands []Demand, rates []float64) map[int32]float64 {
+	load := make(map[int32]float64)
+	for di, d := range demands {
+		for _, l := range d.Path {
+			load[l] += rates[di] * float64(d.Weight)
+		}
+	}
+	return load
+}
+
+func TestFairShareRatesNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for it := 0; it < 200; it++ {
+		caps, demands := randomCase(rng, 1+rng.Intn(12), 1+rng.Intn(40))
+		rates := FairShare(caps, demands, nil)
+		for di, r := range rates {
+			if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+				t.Fatalf("iter %d demand %d: rate %v", it, di, r)
+			}
+		}
+	}
+}
+
+func TestFairShareRespectsCapacities(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	for it := 0; it < 200; it++ {
+		caps, demands := randomCase(rng, 1+rng.Intn(12), 1+rng.Intn(40))
+		rates := FairShare(caps, demands, nil)
+		for l, load := range linkLoads(caps, demands, rates) {
+			cap := 0.0
+			if int(l) < len(caps) && caps[l] > 0 {
+				cap = caps[l]
+			}
+			if load > cap*(1+1e-9)+1e-6 {
+				t.Fatalf("iter %d link %d: load %.6g exceeds capacity %.6g", it, l, load, cap)
+			}
+		}
+	}
+}
+
+// TestFairShareMaxMinInvariant pins the defining max-min property: every
+// demand with a positive-capacity path has a bottleneck — a saturated
+// link on its path where no crossing demand gets a higher rate — so no
+// flow could be raised without lowering a slower-or-equal one.
+func TestFairShareMaxMinInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	for it := 0; it < 200; it++ {
+		caps, demands := randomCase(rng, 1+rng.Intn(10), 1+rng.Intn(30))
+		rates := FairShare(caps, demands, nil)
+		load := linkLoads(caps, demands, rates)
+		for di, d := range demands {
+			dead := false
+			for _, l := range d.Path {
+				if int(l) >= len(caps) || caps[l] <= 0 {
+					dead = true
+					break
+				}
+			}
+			if dead {
+				if rates[di] != 0 {
+					t.Fatalf("iter %d demand %d: rate %v over a dead link", it, di, rates[di])
+				}
+				continue
+			}
+			found := false
+			for _, l := range d.Path {
+				if load[l] < caps[l]*(1-1e-9)-1e-6 {
+					continue // not saturated
+				}
+				bottleneck := true
+				for dj, o := range demands {
+					if rates[dj] <= rates[di]*(1+1e-9)+1e-9 {
+						continue
+					}
+					for _, ol := range o.Path {
+						if ol == l {
+							bottleneck = false
+							break
+						}
+					}
+					if !bottleneck {
+						break
+					}
+				}
+				if bottleneck {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("iter %d demand %d (rate %.6g): no bottleneck link — not max-min",
+					it, di, rates[di])
+			}
+		}
+	}
+}
+
+// TestFairSharePermutationInvariant pins bitwise determinism under input
+// permutation — the property the hybrid mode's cross-worker byte-identity
+// rests on. Not within-epsilon: exact float bits.
+func TestFairSharePermutationInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	for it := 0; it < 100; it++ {
+		caps, demands := randomCase(rng, 1+rng.Intn(10), 2+rng.Intn(30))
+		base := FairShare(caps, demands, nil)
+		for p := 0; p < 5; p++ {
+			perm := rng.Perm(len(demands))
+			shuffled := make([]Demand, len(demands))
+			for i, j := range perm {
+				shuffled[j] = demands[i]
+			}
+			got := FairShare(caps, shuffled, nil)
+			for i, j := range perm {
+				if math.Float64bits(got[j]) != math.Float64bits(base[i]) {
+					t.Fatalf("iter %d perm %d demand %d: %x != %x (%.17g vs %.17g)",
+						it, p, i, math.Float64bits(got[j]), math.Float64bits(base[i]),
+						got[j], base[i])
+				}
+			}
+		}
+	}
+}
+
+func TestFairShareMatchesNaiveReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(505))
+	for it := 0; it < 100; it++ {
+		caps, demands := randomCase(rng, 1+rng.Intn(8), 1+rng.Intn(20))
+		got := FairShare(caps, demands, nil)
+		want := naiveFairShare(caps, demands)
+		for di := range demands {
+			diff := math.Abs(got[di] - want[di])
+			if diff > 1e-6*math.Max(1, math.Max(got[di], want[di])) {
+				t.Fatalf("iter %d demand %d: grouped %.9g vs naive %.9g", it, di, got[di], want[di])
+			}
+		}
+	}
+}
+
+func TestFairShareEdgeCases(t *testing.T) {
+	if out := FairShare(nil, nil, nil); len(out) != 0 {
+		t.Fatalf("empty input: %v", out)
+	}
+	// Demands with no path or weight are rate 0.
+	out := FairShare([]float64{1e9}, []Demand{{}, {Path: []int32{0}, Weight: 0}}, nil)
+	if out[0] != 0 || out[1] != 0 {
+		t.Fatalf("degenerate demands got rates %v", out)
+	}
+	// A self-looping path consumes the link twice.
+	out = FairShare([]float64{1e9}, []Demand{{Path: []int32{0, 0}, Weight: 1}}, nil)
+	if out[0] != 5e8 {
+		t.Fatalf("doubled link crossing: rate %v, want 5e8", out[0])
+	}
+	// Reuses the out slice when it has capacity.
+	buf := make([]float64, 0, 8)
+	out = FairShare([]float64{1e9}, []Demand{{Path: []int32{0}, Weight: 2}}, buf)
+	if &out[0] != &buf[:1][0] {
+		t.Fatal("out slice with capacity was not reused")
+	}
+	if out[0] != 5e8 {
+		t.Fatalf("two flows on 1G: per-flow %v, want 5e8", out[0])
+	}
+}

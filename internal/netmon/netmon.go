@@ -121,6 +121,13 @@ type Mon struct {
 
 	fct fctHist
 
+	// Fluid-plane views, folded in post-run by netsim from the precomputed
+	// rate timelines (EnsureFluid/AddFluidBits/FluidFCT). Written
+	// single-threaded after the engines stop, so no atomics; nil fluidBits
+	// means the run had no fluid plane.
+	fluidBits []uint64 // dir*buckets + bucket, wire bits
+	fluidFct  fctHist
+
 	spanMu       sync.Mutex
 	spans        []HopSpan
 	spanOverflow uint64
@@ -211,6 +218,45 @@ func (m *Mon) LinkDrop(dir int, at des.Time, cause DropCause) {
 	}
 	atomic.AddUint64(&m.drops[cause][dir*m.buckets+m.bucketOf(at)], 1)
 }
+
+// EnsureFluid allocates the fluid per-link series. netsim calls it once
+// before folding a hybrid run's fluid plane; runs without one never pay
+// for the arrays.
+func (m *Mon) EnsureFluid() {
+	if m.fluidBits == nil {
+		m.fluidBits = make([]uint64, 2*m.links*m.buckets)
+	}
+}
+
+// AddFluidBits folds fluid-plane load — rate wire bits/s on link
+// direction dir over [from, to) — into the bucketed series, splitting
+// across bucket edges pro rata. Post-run only (single goroutine, after
+// EnsureFluid).
+func (m *Mon) AddFluidBits(dir int, from, to des.Time, rate float64) {
+	if m.fluidBits == nil || rate <= 0 || to <= from {
+		return
+	}
+	if to > m.horizon {
+		to = m.horizon
+	}
+	base := dir * m.buckets
+	for b := m.bucketOf(from); b <= m.bucketOf(to-1); b++ {
+		lo, hi := from, to
+		if bs := des.Time(int64(b) * m.bucketNS); bs > lo {
+			lo = bs
+		}
+		if be := des.Time(int64(b+1) * m.bucketNS); be < hi {
+			hi = be
+		}
+		if hi > lo {
+			m.fluidBits[base+b] += uint64(rate * float64(hi-lo) / float64(des.Second))
+		}
+	}
+}
+
+// FluidFCT records one completed fluid flow's completion time into the
+// fluid FCT histogram (post-run fold, like AddFluidBits).
+func (m *Mon) FluidFCT(fctNS int64) { m.fluidFct.observe(fctNS) }
 
 // SampleTrace decides whether a packet is path-traced and returns its
 // trace id (0 = not sampled). The decision hashes the packet's intrinsic

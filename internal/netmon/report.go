@@ -23,6 +23,12 @@ type Summary struct {
 	FCTP50NS       int64  `json:"fct_p50_ns,omitempty"`
 	FCTP90NS       int64  `json:"fct_p90_ns,omitempty"`
 	FCTP99NS       int64  `json:"fct_p99_ns,omitempty"`
+	// Fluid* mirror the flow counters for the flow-level (fluid) half of
+	// a hybrid run; absent on pure-packet runs.
+	FluidFlowsCompleted uint64 `json:"fluid_flows_completed,omitempty"`
+	FluidFCTP50NS       int64  `json:"fluid_fct_p50_ns,omitempty"`
+	FluidFCTP90NS       int64  `json:"fluid_fct_p90_ns,omitempty"`
+	FluidFCTP99NS       int64  `json:"fluid_fct_p99_ns,omitempty"`
 }
 
 // Summary snapshots the run-level aggregates. Safe while the run is live.
@@ -36,20 +42,25 @@ func (m *Mon) Summary() *Summary {
 	spanOverflow := m.spanOverflow
 	m.spanMu.Unlock()
 	fct := m.fct.report()
+	ffct := m.fluidFct.report()
 	return &Summary{
-		SampleEvery:    int(m.sample),
-		FlowsRecorded:  flows,
-		FlowsCompleted: fct.Count,
-		FlowOverflow:   overflow,
-		Spans:          spans,
-		SpanOverflow:   spanOverflow,
-		DropsTail:      atomic.LoadUint64(&m.total[DropTail]),
-		DropsNoRoute:   atomic.LoadUint64(&m.total[DropNoRoute]),
-		DropsTTL:       atomic.LoadUint64(&m.total[DropTTL]),
-		DropsFault:     atomic.LoadUint64(&m.total[DropFault]),
-		FCTP50NS:       fct.P50NS,
-		FCTP90NS:       fct.P90NS,
-		FCTP99NS:       fct.P99NS,
+		FluidFlowsCompleted: ffct.Count,
+		FluidFCTP50NS:       ffct.P50NS,
+		FluidFCTP90NS:       ffct.P90NS,
+		FluidFCTP99NS:       ffct.P99NS,
+		SampleEvery:         int(m.sample),
+		FlowsRecorded:       flows,
+		FlowsCompleted:      fct.Count,
+		FlowOverflow:        overflow,
+		Spans:               spans,
+		SpanOverflow:        spanOverflow,
+		DropsTail:           atomic.LoadUint64(&m.total[DropTail]),
+		DropsNoRoute:        atomic.LoadUint64(&m.total[DropNoRoute]),
+		DropsTTL:            atomic.LoadUint64(&m.total[DropTTL]),
+		DropsFault:          atomic.LoadUint64(&m.total[DropFault]),
+		FCTP50NS:            fct.P50NS,
+		FCTP90NS:            fct.P90NS,
+		FCTP99NS:            fct.P99NS,
 	}
 }
 
@@ -59,6 +70,9 @@ type LinkDirStats struct {
 	Link int    `json:"link"`
 	Dir  int    `json:"dir"`
 	Bits uint64 `json:"bits"`
+	// FluidBits is the wire volume the fluid plane carried on this
+	// direction (hybrid runs only).
+	FluidBits uint64 `json:"fluid_bits,omitempty"`
 	// MeanUtil and PeakUtil are the direction's utilization over the
 	// whole horizon and over its busiest bucket (only when the Mon was
 	// given link bandwidths).
@@ -108,8 +122,11 @@ func (m *Mon) LinkReport(top int, series bool) *LinkReport {
 			st.DropsNoRoute += atomic.LoadUint64(&m.drops[DropNoRoute][base+b])
 			st.DropsTTL += atomic.LoadUint64(&m.drops[DropTTL][base+b])
 			st.DropsFault += atomic.LoadUint64(&m.drops[DropFault][base+b])
+			if m.fluidBits != nil {
+				st.FluidBits += m.fluidBits[base+b]
+			}
 		}
-		if st.Bits == 0 && st.DropsTail+st.DropsNoRoute+st.DropsTTL+st.DropsFault == 0 {
+		if st.Bits == 0 && st.FluidBits == 0 && st.DropsTail+st.DropsNoRoute+st.DropsTTL+st.DropsFault == 0 {
 			continue
 		}
 		if m.bandwidths != nil && m.bandwidths[st.Link] > 0 {

@@ -14,10 +14,13 @@ package netsim
 
 import (
 	"fmt"
+	"math"
+	"sort"
 	"sync"
 
 	"massf/internal/cluster"
 	"massf/internal/des"
+	"massf/internal/fluid"
 	"massf/internal/model"
 	"massf/internal/netmon"
 	"massf/internal/pdes"
@@ -101,6 +104,16 @@ type Config struct {
 	// neutrality dimension enforces it) and nil costs one check per record
 	// point.
 	NetMon *netmon.Mon
+	// Fluid, when non-nil, attaches a precomputed flow-level traffic plane
+	// (hybrid fidelity): fluid load reduces the effective bandwidth and
+	// queue headroom foreground packets see on each link direction, every
+	// fluid completion fires one kernel event on the flow source's engine
+	// (so fluid traffic shows in event counts and load profiles), and
+	// fluid counters land in Result. The plane is immutable and its
+	// queries are pure functions of simulated time, so replicated workers
+	// holding identically-built planes stay byte-identical — build it with
+	// fluid.Build from the same inputs everywhere.
+	Fluid *fluid.Plane
 	// Faults, when non-nil, enables the scripted fault plane: forwarding
 	// becomes time-aware (NextLink consults the routing epoch in force),
 	// packets touching failed links or nodes drop with per-fault
@@ -137,6 +150,11 @@ type linkDir struct {
 	busyUntil des.Time
 	bits      uint64 // transmitted bits (profiling)
 	drops     uint64
+	// fluidSeg caches the fluid rate-timeline segment index for this
+	// direction. Owned by the transmitting engine and queried with
+	// non-decreasing times, so lookups amortize to O(1); purely an
+	// accelerator — the rate is a function of (dir, now) alone.
+	fluidSeg int32
 }
 
 // Packet is one simulated packet, passed by value through hop events. TCP
@@ -213,6 +231,9 @@ type Sim struct {
 
 	faults     FaultPlane // nil ⇒ static routing, zero fault overhead
 	faultDrops [][]uint64 // [engine][fault]: losses attributed to each fault
+
+	fluid         *fluid.Plane // nil ⇒ pure packet mode, zero overhead
+	fluidByEngine [][]fluidEnt // per-engine completion schedule (sorted)
 
 	flowsByEngine [][]*flow // flows started, accumulated per owning engine
 	delivered     []uint64  // per-engine bits delivered to hosts
@@ -343,7 +364,65 @@ func New(cfg Config) (*Sim, error) {
 			})
 		}
 	}
+	if cfg.Fluid != nil {
+		s.fluid = cfg.Fluid
+		s.scheduleFluidCursors()
+	}
 	return s, nil
+}
+
+// fluidEnt is one fluid-flow completion in an engine's schedule.
+type fluidEnt struct {
+	at  des.Time
+	src model.NodeID
+}
+
+// fluidCursor walks one engine's fluid completion schedule as a chain of
+// self-rescheduling kernel events: each completion is exactly one
+// executed event on the flow source's engine, so fluid traffic is
+// visible in TotalEvents and per-node load profiles, the totals are
+// identical for every engine count, and the whole chain costs one live
+// event per engine at any moment.
+type fluidCursor struct {
+	s   *Sim
+	eng int
+	idx int
+}
+
+func (c *fluidCursor) OnEvent(now des.Time) {
+	ents := c.s.fluidByEngine[c.eng]
+	c.s.nodeEvents[ents[c.idx].src]++
+	c.idx++
+	if c.idx < len(ents) {
+		c.s.ps.Engine(c.eng).ScheduleEvent(ents[c.idx].at, c)
+	}
+}
+
+// scheduleFluidCursors builds each engine's time-sorted fluid completion
+// schedule and seeds one cursor chain per hosted engine.
+func (s *Sim) scheduleFluidCursors() {
+	s.fluidByEngine = make([][]fluidEnt, s.cfg.Engines)
+	p := s.fluid
+	for i, n := 0, p.NumFlows(); i < n; i++ {
+		done := p.Completion(i)
+		if done == 0 || done >= s.cfg.End {
+			continue
+		}
+		src := p.Flow(i).Src
+		e := s.EngineOf(src)
+		s.fluidByEngine[e] = append(s.fluidByEngine[e], fluidEnt{at: done, src: src})
+	}
+	for e := range s.fluidByEngine {
+		ents := s.fluidByEngine[e]
+		if len(ents) == 0 || (s.slice && !s.hostedEngine(e)) {
+			continue
+		}
+		// Plane flow order is deterministic, so a stable sort by time gives
+		// every worker the identical schedule.
+		sort.SliceStable(ents, func(i, j int) bool { return ents[i].at < ents[j].at })
+		c := &fluidCursor{s: s, eng: e}
+		s.ps.Engine(e).ScheduleEvent(ents[0].at, c)
+	}
 }
 
 // nextLink resolves forwarding at simulated time now: time-aware through
@@ -428,6 +507,12 @@ func serialization(bits, bandwidth int64) des.Time {
 	return des.Time(bits * int64(des.Second) / bandwidth)
 }
 
+// fluidMinShare is the minimum fraction of a link's bandwidth foreground
+// packets keep when fluid load saturates it: the fluid solver fills links
+// to capacity, and a zero effective bandwidth would wedge the packet
+// model rather than model extreme (but finite) contention.
+const fluidMinShare = 0.02
+
 // transmit sends pkt from node over link lid. Must run on node's engine.
 func (s *Sim) transmit(node model.NodeID, lid model.LinkID, pkt Packet) {
 	l := &s.cfg.Net.Links[lid]
@@ -450,11 +535,29 @@ func (s *Sim) transmit(node model.NodeID, lid model.LinkID, pkt Packet) {
 			return
 		}
 	}
+	// Hybrid fidelity: fluid-plane load on this direction shrinks the
+	// bandwidth and queue headroom this packet sees. The rate is a pure
+	// function of (dir, now) — the cursor only accelerates the segment
+	// lookup — so foreground packets experience identical contention on
+	// every partition and worker count.
+	ser := serialization(pkt.Bits, l.Bandwidth)
+	queueNS := s.queueNS[lid]
+	if s.fluid != nil {
+		if rate := s.fluid.RateAt(dirIdx, now, &dir.fluidSeg); rate > 0 {
+			bw := float64(l.Bandwidth)
+			eff := bw - rate
+			if floor := bw * fluidMinShare; eff < floor {
+				eff = floor // foreground keeps a minimum share of the link
+			}
+			ser = des.Time(math.Ceil(float64(pkt.Bits) * float64(des.Second) / eff))
+			queueNS = int64(math.Ceil(float64(s.cfg.QueueBytes*8) * float64(des.Second) / eff))
+		}
+	}
 	start := now
 	if dir.busyUntil > start {
 		start = dir.busyUntil
 	}
-	if int64(start-now) > s.queueNS[lid] {
+	if int64(start-now) > queueNS {
 		dir.drops++
 		s.dropped[eng.ID()]++
 		if s.tel != nil {
@@ -468,7 +571,6 @@ func (s *Sim) transmit(node model.NodeID, lid model.LinkID, pkt Packet) {
 		}
 		return // tail drop
 	}
-	ser := serialization(pkt.Bits, l.Bandwidth)
 	dir.busyUntil = start + ser
 	dir.bits += uint64(pkt.Bits)
 	if s.tel != nil {
@@ -651,6 +753,23 @@ type Result struct {
 	// FaultDrops[i] is the number of packets lost to fault event i (nil
 	// when the run had no fault plane). Included in Dropped.
 	FaultDrops []uint64
+	// Fluid* summarize the flow-level half of a hybrid run (zero/nil
+	// without a fluid plane). Like the packet counters, a distributed
+	// worker reports only flows whose source engine it hosts (and link
+	// volume only for hosted transmitters), so per-worker partials merge
+	// by sum — except FluidDone (merge take-nonzero per index) and
+	// FluidLastCompletion (merge max).
+	FluidStarted, FluidCompleted int
+	// FluidDeliveredBits is payload delivered by fluid flows, including
+	// the pro-rated partials of flows still active at the horizon.
+	FluidDeliveredBits  uint64
+	FluidLastCompletion des.Time
+	// FluidDone[i] is fluid flow i's completion time (0 = not completed
+	// or not hosted here).
+	FluidDone []des.Time
+	// FluidLinkBits[l] is the wire volume the fluid plane carried on link
+	// l, both directions.
+	FluidLinkBits []uint64
 }
 
 // Run executes the simulation and gathers results. In distributed mode the
@@ -688,6 +807,9 @@ func (s *Sim) Run() Result {
 			}
 		}
 	}
+	if s.fluid != nil {
+		s.fluidResult(&res)
+	}
 	// Replicated setup starts every flow on every worker; only the engine
 	// owning a flow's source runs its sender, so a distributed worker
 	// counts the hosted ranges and the merge sums to the global totals.
@@ -706,6 +828,63 @@ func (s *Sim) Run() Result {
 		}
 	}
 	return res
+}
+
+// fluidResult fills Result's fluid counters from the plane, applying the
+// hosted-engine filter so distributed partials merge like the packet
+// counters do. Float→integer conversions happen at fixed per-flow and
+// per-direction granularity BEFORE any summing, so every worker derives
+// bit-identical integers from its (identical) plane.
+func (s *Sim) fluidResult(res *Result) {
+	p := s.fluid
+	n := p.NumFlows()
+	res.FluidDone = make([]des.Time, n)
+	for i := 0; i < n; i++ {
+		f := p.Flow(i)
+		if !s.hostedEngine(s.EngineOf(f.Src)) {
+			continue
+		}
+		if p.Started(i) {
+			res.FluidStarted++
+		}
+		res.FluidDeliveredBits += uint64(p.PayloadBits(i))
+		done := p.Completion(i)
+		res.FluidDone[i] = done
+		if done != 0 {
+			res.FluidCompleted++
+			if done > res.FluidLastCompletion {
+				res.FluidLastCompletion = done
+			}
+			if s.mon != nil {
+				s.mon.FluidFCT(int64(done - f.Start))
+			}
+		}
+	}
+	res.FluidLinkBits = make([]uint64, len(s.cfg.Net.Links))
+	if s.mon != nil {
+		s.mon.EnsureFluid()
+	}
+	for d := 0; d < 2*len(s.cfg.Net.Links); d++ {
+		l := &s.cfg.Net.Links[d/2]
+		tx := l.A
+		if d&1 == 1 {
+			tx = l.B
+		}
+		if !s.hostedEngine(s.EngineOf(tx)) {
+			continue
+		}
+		res.FluidLinkBits[d/2] += uint64(p.DirBits(d))
+		if s.mon != nil {
+			segs := p.DirSegments(d)
+			for i, seg := range segs {
+				to := s.cfg.End
+				if i+1 < len(segs) {
+					to = segs[i+1].At
+				}
+				s.mon.AddFluidBits(d, seg.At, to, seg.Rate)
+			}
+		}
+	}
 }
 
 // Engine exposes engine i (for tests and the online agent).

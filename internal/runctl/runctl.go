@@ -185,6 +185,11 @@ type NetSummary struct {
 	// FaultDrops is the subset of Dropped attributed to scripted faults
 	// (0 for fault-free runs).
 	FaultDrops uint64 `json:"fault_drops,omitempty"`
+	// Fluid* summarize the flow-level half of a hybrid-fidelity run
+	// (absent for pure-packet runs).
+	FluidStarted       int    `json:"fluid_started,omitempty"`
+	FluidCompleted     int    `json:"fluid_completed,omitempty"`
+	FluidDeliveredBits uint64 `json:"fluid_delivered_bits,omitempty"`
 	// NetMon condenses the network observability plane's output when the
 	// run enabled it (spec netmon / net_sample); the full reports are at
 	// GET /runs/{id}/net/{links,flows,paths}.
@@ -349,6 +354,7 @@ type Info struct {
 	Engines   int        `json:"engines"`
 	Seconds   float64    `json:"seconds"`
 	App       string     `json:"app"`
+	Fidelity  string     `json:"fidelity,omitempty"`
 	Seed      int64      `json:"seed"`
 	Submitted time.Time  `json:"submitted"`
 	Started   *time.Time `json:"started,omitempty"`
@@ -390,6 +396,7 @@ func (r *Run) Info() Info {
 		ID: r.ID, Name: r.Spec.Name, State: r.state,
 		Approach: strings.ToUpper(r.Spec.Approach), Engines: r.Spec.Engines,
 		Seconds: r.Spec.Seconds, App: r.Spec.App, Seed: r.Spec.Seed,
+		Fidelity:  r.Spec.FlowFidelity,
 		Submitted: r.submitted, MLLms: r.mllMS,
 		SetupMS: r.setupMS, HeapInuse: r.heapInuse, PeakRSS: r.peakRSS,
 		Report: r.report, Net: r.net,
@@ -710,6 +717,8 @@ func (m *Manager) execute(r *Run) (*metrics.Report, *NetSummary, error) {
 		Faults:         spec.Faults,
 		NetMon:         spec.NetMon,
 		NetSample:      spec.NetSample,
+		FlowFidelity:   spec.FlowFidelity,
+		FluidQuantumUS: spec.FluidQuantumUS,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -735,6 +744,8 @@ func (m *Manager) execute(r *Run) (*metrics.Report, *NetSummary, error) {
 		FlowsStarted: res.FlowsStarted, FlowsCompleted: res.FlowsCompleted,
 		Dropped: res.Dropped, Retransmissions: res.Retransmissions,
 		DeliveredBits: res.DeliveredBits,
+		FluidStarted:  res.FluidStarted, FluidCompleted: res.FluidCompleted,
+		FluidDeliveredBits: res.FluidDeliveredBits,
 	}
 	if plane, ok := sim.Config().Faults.(*faults.Plane); ok && plane != nil {
 		recs := make([]FaultRecord, len(plane.Events()))

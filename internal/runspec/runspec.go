@@ -66,8 +66,40 @@ type RunSpec struct {
 	HostedEngines int `json:"hosted_engines,omitempty"`
 	// Slice makes the worker materialize only its engine range's share of
 	// the scenario: slice-local host/flow state and scoped lazy routing
-	// instead of a replicated global build. Requires Transport.
+	// instead of a replicated global build. Distributed runs (Transport
+	// set) slice by DEFAULT — this flag is now only meaningful for
+	// documentation and older specs; see NoSlice for the opt-out.
 	Slice bool `json:"slice,omitempty"`
+	// NoSlice opts a distributed run out of the sliced-setup default and
+	// forces the replicated global build on every worker. Mutually
+	// exclusive with Slice.
+	NoSlice bool `json:"no_slice,omitempty"`
+
+	// FlowFidelity selects the traffic fidelity: "packet" (or empty) runs
+	// everything packet-level; "hybrid" models bulk transfers analytically
+	// on the fluid plane (max-min fair-share rates per link-share epoch)
+	// while designated foreground traffic stays packet-level. Surfaces
+	// that build workloads decide the foreground/background split; see
+	// experiments.BuildSim and simcheck's FluidMinBytes.
+	FlowFidelity string `json:"flow_fidelity,omitempty"`
+	// FluidQuantumUS > 0 batches fluid rate recomputation onto a grid of
+	// this many microseconds (the scale knob for million-flow hybrid
+	// runs); 0 recomputes exactly at every flow start/finish.
+	FluidQuantumUS float64 `json:"fluid_quantum_us,omitempty"`
+}
+
+// Fidelity values for FlowFidelity.
+const (
+	FidelityPacket = "packet"
+	FidelityHybrid = "hybrid"
+)
+
+// Hybrid reports whether the spec requests hybrid flow/packet fidelity.
+func (s *RunSpec) Hybrid() bool { return s.FlowFidelity == FidelityHybrid }
+
+// FluidQuantum returns the fluid rate-epoch quantum as engine time.
+func (s *RunSpec) FluidQuantum() des.Time {
+	return des.Time(s.FluidQuantumUS * float64(des.Microsecond))
 }
 
 // Normalize applies defaults in place.
@@ -115,6 +147,18 @@ func (s *RunSpec) Validate() error {
 	if s.Slice && s.Transport == nil {
 		return fmt.Errorf("runspec: slice build requires a distributed transport")
 	}
+	if s.Slice && s.NoSlice {
+		return fmt.Errorf("runspec: slice and no_slice are mutually exclusive")
+	}
+	switch s.FlowFidelity {
+	case "", FidelityPacket, FidelityHybrid:
+	default:
+		return fmt.Errorf("runspec: flow fidelity %q (want %q or %q)",
+			s.FlowFidelity, FidelityPacket, FidelityHybrid)
+	}
+	if s.FluidQuantumUS < 0 {
+		return fmt.Errorf("runspec: fluid quantum must be ≥ 0")
+	}
 	if err := s.Faults.Validate(); err != nil {
 		return err
 	}
@@ -129,6 +173,13 @@ func (s *RunSpec) Horizon() des.Time {
 // EventCost returns the modeled per-event cost as engine time.
 func (s *RunSpec) EventCost() des.Time {
 	return des.Time(s.EventCostUS * float64(des.Microsecond))
+}
+
+// SliceBuild resolves the sliced-setup decision: distributed runs slice
+// by default (each worker materializes only its engine range) unless
+// NoSlice opts out; in-process runs never slice.
+func (s *RunSpec) SliceBuild() bool {
+	return s.Transport != nil && !s.NoSlice
 }
 
 // SimConfig seeds a packet-simulation config with the spec's knobs. The
@@ -146,6 +197,6 @@ func (s *RunSpec) SimConfig() netsim.Config {
 		Transport:      s.Transport,
 		FirstEngine:    s.FirstEngine,
 		HostedEngines:  s.HostedEngines,
-		SliceBuild:     s.Slice,
+		SliceBuild:     s.SliceBuild(),
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"massf/internal/des"
+	"massf/internal/pdes"
 )
 
 func TestNormalizeDefaults(t *testing.T) {
@@ -34,11 +35,78 @@ func TestValidateRanges(t *testing.T) {
 		{Engines: 4, Seconds: 2, RealTimeFactor: -0.5},
 		{Engines: 4, Seconds: 2, EventCostUS: -1},
 		{Engines: 4, Seconds: 2, SeriesBuckets: -1},
+		{Engines: 4, Seconds: 2, FlowFidelity: "fluid"},
+		{Engines: 4, Seconds: 2, FluidQuantumUS: -10},
 	}
 	for i, s := range bad {
 		if err := s.Validate(); err == nil {
 			t.Errorf("bad spec %d accepted: %+v", i, s)
 		}
+	}
+	for _, fid := range []string{"", FidelityPacket, FidelityHybrid} {
+		s := RunSpec{Engines: 4, Seconds: 2, FlowFidelity: fid}
+		if err := s.Validate(); err != nil {
+			t.Errorf("fidelity %q rejected: %v", fid, err)
+		}
+	}
+}
+
+// stubTransport satisfies pdes.Transport for specs that claim to be one
+// worker of a distributed run; Validate/SliceBuild never call it.
+type stubTransport struct{}
+
+func (stubTransport) Exchange(pdes.WindowDone) (pdes.WindowGo, error) {
+	return pdes.WindowGo{}, nil
+}
+
+// Sliced setup is the default for distributed runs (Transport set) with
+// NoSlice as the opt-out; in-process runs never slice. This is the
+// regression test for the massfd default — SimConfig must follow suit.
+func TestSliceBuildDefault(t *testing.T) {
+	cases := []struct {
+		name string
+		spec RunSpec
+		want bool
+	}{
+		{"in-process", RunSpec{Engines: 4, Seconds: 2}, false},
+		{"distributed default", RunSpec{Engines: 4, Seconds: 2, Transport: stubTransport{}}, true},
+		{"distributed opt-out", RunSpec{Engines: 4, Seconds: 2, Transport: stubTransport{}, NoSlice: true}, false},
+		{"explicit slice", RunSpec{Engines: 4, Seconds: 2, Transport: stubTransport{}, Slice: true}, true},
+	}
+	for _, c := range cases {
+		if got := c.spec.SliceBuild(); got != c.want {
+			t.Errorf("%s: SliceBuild() = %v, want %v", c.name, got, c.want)
+		}
+		if got := c.spec.SimConfig().SliceBuild; got != c.want {
+			t.Errorf("%s: SimConfig().SliceBuild = %v, want %v", c.name, got, c.want)
+		}
+	}
+	conflict := RunSpec{Engines: 4, Seconds: 2, Transport: stubTransport{}, Slice: true, NoSlice: true}
+	if err := conflict.Validate(); err == nil {
+		t.Error("Slice+NoSlice accepted")
+	}
+	orphan := RunSpec{Engines: 4, Seconds: 2, Slice: true}
+	if err := orphan.Validate(); err == nil {
+		t.Error("Slice without Transport accepted")
+	}
+}
+
+func TestHybridFidelityKnobs(t *testing.T) {
+	s := RunSpec{Engines: 4, Seconds: 2}
+	if s.Hybrid() {
+		t.Error("zero spec claims hybrid")
+	}
+	s.FlowFidelity = FidelityPacket
+	if s.Hybrid() {
+		t.Error("packet fidelity claims hybrid")
+	}
+	s.FlowFidelity = FidelityHybrid
+	if !s.Hybrid() {
+		t.Error("hybrid fidelity not reported")
+	}
+	s.FluidQuantumUS = 500
+	if got := s.FluidQuantum(); got != 500*des.Microsecond {
+		t.Errorf("FluidQuantum = %v, want 500µs", got)
 	}
 }
 

@@ -190,6 +190,9 @@ func MergeObservations(parts []*Observation) (*Observation, error) {
 	if parts[0].FaultDrops != nil {
 		m.FaultDrops = make([]uint64, len(parts[0].FaultDrops))
 	}
+	if parts[0].FluidLinkBits != nil {
+		m.FluidLinkBits = make([]uint64, len(parts[0].FluidLinkBits))
+	}
 	sumSlice := func(dst, src []uint64, field string, wi int) error {
 		if len(src) != len(dst) {
 			return fmt.Errorf("simcheck: worker %d reports %d %s entries, worker 0 reports %d",
@@ -228,6 +231,15 @@ func MergeObservations(parts []*Observation) (*Observation, error) {
 		m.HTTPResponses += p.HTTPResponses
 		if p.LastCompletion > m.LastCompletion {
 			m.LastCompletion = p.LastCompletion
+		}
+		m.FluidStarted += p.FluidStarted
+		m.FluidCompleted += p.FluidCompleted
+		m.FluidDeliveredBits += p.FluidDeliveredBits
+		if p.FluidLastCompletion > m.FluidLastCompletion {
+			m.FluidLastCompletion = p.FluidLastCompletion
+		}
+		if err := sumSlice(m.FluidLinkBits, p.FluidLinkBits, "FluidLinkBits", wi); err != nil {
+			return nil, err
 		}
 		if err := sumSlice(m.NodeEvents, p.NodeEvents, "NodeEvents", wi); err != nil {
 			return nil, err

@@ -7,6 +7,7 @@ import (
 	"massf/internal/core"
 	"massf/internal/des"
 	"massf/internal/faults"
+	"massf/internal/fluid"
 	"massf/internal/model"
 	"massf/internal/netmon"
 	"massf/internal/netsim"
@@ -42,6 +43,16 @@ type Observation struct {
 
 	HTTPRequests  uint64
 	HTTPResponses uint64
+
+	// Fluid* mirror the hybrid run's flow-level counters (zero on pure
+	// packet runs). Fluidized scripted-TCP completions land in TCPDone /
+	// TCPRecv like their packet counterparts, so the per-flow merge and
+	// diff machinery covers both fidelities with one code path.
+	FluidStarted        int      `json:",omitempty"`
+	FluidCompleted      int      `json:",omitempty"`
+	FluidDeliveredBits  uint64   `json:",omitempty"`
+	FluidLastCompletion des.Time `json:",omitempty"`
+	FluidLinkBits       []uint64 `json:",omitempty"` // per link: fluid wire bits
 
 	// PathSpans are the netmon-sampled packet-path spans of an
 	// instrumented run (Scenario.NetSample > 0). They are OUTPUT of the
@@ -92,6 +103,9 @@ func runOnce(net *netsimNet, sc Scenario, k int, part []int32, window des.Time, 
 	if net.plane != nil {
 		cfg.Faults = net.plane
 	}
+	if net.fluid != nil {
+		cfg.Fluid = net.fluid
+	}
 	if dr != nil {
 		cfg.Transport = dr.transport
 		cfg.FirstEngine = dr.first
@@ -115,6 +129,9 @@ func runOnce(net *netsimNet, sc Scenario, k int, part []int32, window des.Time, 
 		UDPRecv: make([]des.Time, len(net.udp)),
 	}
 	for i := range net.tcp {
+		if net.isFluid != nil && net.isFluid[i] {
+			continue // modeled on the fluid plane; completion read post-run
+		}
 		i, f := i, net.tcp[i]
 		s.StartFlowRecv(f.at, f.src, f.dst, f.bytes,
 			func(at des.Time) { obs.TCPDone[i] = at },
@@ -152,6 +169,22 @@ func runOnce(net *netsimNet, sc Scenario, k int, part []int32, window des.Time, 
 		obs.HTTPRequests = httpStats.TotalRequests()
 		obs.HTTPResponses = httpStats.TotalResponses()
 	}
+	if net.fluid != nil {
+		obs.FluidStarted = res.FluidStarted
+		obs.FluidCompleted = res.FluidCompleted
+		obs.FluidDeliveredBits = res.FluidDeliveredBits
+		obs.FluidLastCompletion = res.FluidLastCompletion
+		obs.FluidLinkBits = res.FluidLinkBits
+		// FluidDone is hosted-filtered, so each scripted completion lands
+		// on exactly one worker — the same contract packet TCPDone merges
+		// rely on. Fluid transfers have no separate sender-done/receiver
+		// -done distinction; the analytic completion fills both slots.
+		for fi, ti := range net.fluidOf {
+			if d := res.FluidDone[fi]; d != 0 {
+				obs.TCPDone[ti], obs.TCPRecv[ti] = d, d
+			}
+		}
+	}
 	if mon != nil {
 		obs.PathSpans = mon.Spans()
 	}
@@ -159,15 +192,20 @@ func runOnce(net *netsimNet, sc Scenario, k int, part []int32, window des.Time, 
 }
 
 // netsimNet bundles a built scenario: network, warmed routes, hosts, the
-// deterministic traffic script replayed into every run, and the compiled
-// fault plane (nil for churn-free scenarios).
+// deterministic traffic script replayed into every run, the compiled
+// fault plane (nil for churn-free scenarios), and — hybrid scenarios
+// only — the precomputed fluid plane with the mapping from fluid flow
+// index back to the scripted TCP entry it models.
 type netsimNet struct {
-	net    *model.Network
-	routes netsim.Routes
-	hosts  []model.NodeID
-	tcp    []tcpSpec
-	udp    []udpSpec
-	plane  *faults.Plane
+	net     *model.Network
+	routes  netsim.Routes
+	hosts   []model.NodeID
+	tcp     []tcpSpec
+	udp     []udpSpec
+	plane   *faults.Plane
+	fluid   *fluid.Plane
+	fluidOf []int  // fluid flow index → tcp script index
+	isFluid []bool // tcp script index → modeled on the fluid plane
 }
 
 // buildBundle materializes a scenario into the bundle every run of it
@@ -213,6 +251,40 @@ func finishBundle(sc Scenario, mnet *model.Network, scope []bool) (*netsimNet, e
 			plane.Prepare(hosts)
 		}
 		b.plane = plane
+	}
+	if sc.FluidMinBytes > 0 {
+		if scope != nil {
+			// The fluid solver walks whole paths; a slice-scoped router
+			// refuses off-slice lookups. Hybrid distributed runs use the
+			// replicated build (RunSpec.NoSlice / spec.Slice false).
+			return nil, fmt.Errorf("simcheck: hybrid fidelity requires the replicated build, not a sliced worker")
+		}
+		b.isFluid = make([]bool, len(tcp))
+		var fflows []fluid.Flow
+		for i, f := range tcp {
+			if f.bytes < sc.FluidMinBytes {
+				continue
+			}
+			b.isFluid[i] = true
+			b.fluidOf = append(b.fluidOf, i)
+			fflows = append(fflows, fluid.Flow{
+				Src: f.src, Dst: f.dst, Bytes: f.bytes, Start: f.at, Chain: -1,
+			})
+		}
+		if len(fflows) > 0 {
+			fcfg := fluid.Config{
+				Net: mnet, Routes: router, End: sc.Horizon,
+				Quantum: des.Time(sc.FluidQuantumNS),
+			}
+			if b.plane != nil {
+				fcfg.Faults = b.plane
+			}
+			plane, err := fluid.Build(fcfg, fflows)
+			if err != nil {
+				return nil, fmt.Errorf("simcheck: building fluid plane: %w", err)
+			}
+			b.fluid = plane
+		}
 	}
 	return b, nil
 }
@@ -347,6 +419,14 @@ func Diff(seq, par *Observation) []Divergence {
 	scalar("FlowsCompleted", uint64(seq.FlowsCompleted), uint64(par.FlowsCompleted))
 	scalar("HTTPRequests", seq.HTTPRequests, par.HTTPRequests)
 	scalar("HTTPResponses", seq.HTTPResponses, par.HTTPResponses)
+	scalar("FluidStarted", uint64(seq.FluidStarted), uint64(par.FluidStarted))
+	scalar("FluidCompleted", uint64(seq.FluidCompleted), uint64(par.FluidCompleted))
+	scalar("FluidDeliveredBits", seq.FluidDeliveredBits, par.FluidDeliveredBits)
+	if seq.FluidLastCompletion != par.FluidLastCompletion {
+		ds = append(ds, Divergence{Field: "FluidLastCompletion", Index: -1,
+			Seq: seq.FluidLastCompletion.String(), Par: par.FluidLastCompletion.String(),
+			At: minTime(seq.FluidLastCompletion, par.FluidLastCompletion)})
+	}
 	if seq.LastCompletion != par.LastCompletion {
 		ds = append(ds, Divergence{Field: "LastCompletion", Index: -1,
 			Seq: seq.LastCompletion.String(), Par: par.LastCompletion.String(),
@@ -369,6 +449,7 @@ func Diff(seq, par *Observation) []Divergence {
 	uslice("LinkBits", seq.LinkBits, par.LinkBits)
 	uslice("LinkDrops", seq.LinkDrops, par.LinkDrops)
 	uslice("FaultDrops", seq.FaultDrops, par.FaultDrops)
+	uslice("FluidLinkBits", seq.FluidLinkBits, par.FluidLinkBits)
 	tslice := func(field string, a, b []des.Time) {
 		for i := range a {
 			if i < len(b) && a[i] != b[i] {

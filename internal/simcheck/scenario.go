@@ -62,6 +62,30 @@ type Scenario struct {
 	// byte-identical Observations (netmon output itself is excluded from
 	// the diff — it is observation, not model state).
 	NetSample int `json:",omitempty"`
+	// FluidMinBytes > 0 runs the scenario at hybrid fidelity: scripted
+	// TCP transfers of at least this many bytes move to the analytic
+	// fluid plane (max-min fair-share rates per link-share epoch) while
+	// everything else stays packet-level. The hybrid-fidelity dimension
+	// proves the plane is engine-count-independent (byte-identical
+	// Observations across k) and, separately, within the error budget of
+	// the pure-packet run of the same scenario (see CheckFluid).
+	FluidMinBytes int64 `json:",omitempty"`
+	// FluidQuantumNS > 0 batches fluid rate recomputation onto this grid
+	// (the scale knob); 0 recomputes exactly at every flow start/finish.
+	FluidQuantumNS int64 `json:",omitempty"`
+}
+
+// DefaultFluidMinBytes is the scripted-TCP fluidization threshold the
+// -fluid dimension uses: transfers this large are "bulk" (many RTTs, rate
+// dominated by fair-share bandwidth, which the fluid model captures);
+// smaller transfers are latency-dominated and stay packet-level.
+const DefaultFluidMinBytes = 30_000
+
+// Fluid returns sc with the hybrid-fidelity dimension enabled at the
+// default fluidization threshold.
+func Fluid(sc Scenario) Scenario {
+	sc.FluidMinBytes = DefaultFluidMinBytes
+	return sc
 }
 
 // NewScenario derives a scenario from a seed. The distribution covers both
@@ -153,8 +177,12 @@ func (sc Scenario) String() string {
 	} else if sc.ChurnEvents > 0 {
 		churn = fmt.Sprintf(" churn=%d", sc.ChurnEvents)
 	}
-	return fmt.Sprintf("seed=%d %s %s tcp=%d udp=%d http=%d horizon=%v%s ks=%v",
-		sc.Seed, topo, sc.Approach, sc.TCPFlows, sc.UDPSends, sc.HTTPClients, sc.Horizon, churn, sc.Ks)
+	fluid := ""
+	if sc.FluidMinBytes > 0 {
+		fluid = fmt.Sprintf(" fluid≥%d", sc.FluidMinBytes)
+	}
+	return fmt.Sprintf("seed=%d %s %s tcp=%d udp=%d http=%d horizon=%v%s%s ks=%v",
+		sc.Seed, topo, sc.Approach, sc.TCPFlows, sc.UDPSends, sc.HTTPClients, sc.Horizon, churn, fluid, sc.Ks)
 }
 
 // buildNet generates just the scenario's topology — the part of Build a

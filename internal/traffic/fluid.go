@@ -1,0 +1,103 @@
+package traffic
+
+import (
+	"math/rand"
+
+	"massf/internal/des"
+	"massf/internal/fluid"
+	"massf/internal/model"
+)
+
+// fluidClient is one HTTP client's closed-loop state inside the fluid
+// plane build: the same per-client RNG stream InstallHTTP uses, plus
+// which half of the request→response exchange the chain is in.
+type fluidClient struct {
+	rng     *rand.Rand
+	zipf    *rand.Zipf
+	server  model.NodeID
+	size    int64
+	inReply bool // the in-flight flow is the response half
+}
+
+// FluidHTTP compiles the HTTP background workload (the same HTTPConfig
+// InstallHTTP consumes) into fluid-plane form: each client is one closed
+// chain whose request flow spawns the response flow on completion, and
+// whose response completion draws the think gap and issues the next
+// request. The per-client RNG streams and draw order mirror InstallHTTP
+// exactly — same seed, same servers, same sizes, same think times — so a
+// hybrid run's fluid workload is the analytic twin of the packet
+// workload it replaces, and the simcheck error budget compares like with
+// like.
+//
+// Returns the initial request flows (client index = chain id), the
+// chain-continuation callback for fluid.Config.Next, and the stats
+// filled in during the build (requests at issue, responses at response
+// completion). Pass end so requests beyond the horizon are not counted.
+func FluidHTTP(cfg HTTPConfig, end des.Time) ([]fluid.Flow, func(int32, des.Time) (fluid.Flow, bool), *HTTPStats) {
+	cfg.setDefaults()
+	stats := &HTTPStats{
+		Requests:  make([]uint64, len(cfg.Clients)),
+		Responses: make([]uint64, len(cfg.Clients)),
+	}
+	if len(cfg.Servers) == 0 {
+		return nil, nil, stats
+	}
+	clients := make([]*fluidClient, len(cfg.Clients))
+	issue := func(ci int) {
+		c := clients[ci]
+		if c.zipf != nil {
+			c.server = cfg.Servers[c.zipf.Uint64()]
+		} else {
+			c.server = cfg.Servers[c.rng.Intn(len(cfg.Servers))]
+		}
+		c.size = drawSize(c.rng, cfg)
+		if c.size < 1000 {
+			c.size = 1000
+		}
+		c.inReply = false
+	}
+	flows := make([]fluid.Flow, 0, len(cfg.Clients))
+	for ci, client := range cfg.Clients {
+		rng := newClientRNG(cfg.Seed, ci)
+		c := &fluidClient{rng: rng}
+		if cfg.ZipfS > 1 {
+			c.zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(cfg.Servers)-1))
+		}
+		clients[ci] = c
+		first := des.Time(rng.Float64() * float64(cfg.MeanGap))
+		issue(ci)
+		if first < end {
+			stats.Requests[ci]++
+		}
+		flows = append(flows, fluid.Flow{
+			Src: client, Dst: c.server, Bytes: cfg.RequestBytes,
+			Start: first, Chain: int32(ci),
+		})
+	}
+	next := func(chain int32, at des.Time) (fluid.Flow, bool) {
+		ci := int(chain)
+		c := clients[ci]
+		if !c.inReply {
+			// Request landed: the server sends the file back.
+			c.inReply = true
+			return fluid.Flow{
+				Src: c.server, Dst: cfg.Clients[ci], Bytes: c.size,
+				Start: at, Chain: chain,
+			}, true
+		}
+		// Response landed: think, then the next request.
+		stats.Responses[ci]++
+		gap := des.Time(c.rng.ExpFloat64() * float64(cfg.MeanGap))
+		issue(ci)
+		start := at + gap
+		if start >= end {
+			return fluid.Flow{}, false // next request falls beyond the horizon
+		}
+		stats.Requests[ci]++
+		return fluid.Flow{
+			Src: cfg.Clients[ci], Dst: c.server, Bytes: cfg.RequestBytes,
+			Start: start, Chain: chain,
+		}, true
+	}
+	return flows, next, stats
+}

@@ -169,7 +169,7 @@ func InstallHTTP(s *netsim.Sim, cfg HTTPConfig) *HTTPStats {
 	})
 	for ci, client := range cfg.Clients {
 		ci := ci
-		rng := rand.New(rand.NewSource(cfg.Seed + int64(ci)*104729))
+		rng := newClientRNG(cfg.Seed, ci)
 		h.rngs[ci] = rng
 		if cfg.ZipfS > 1 {
 			h.zipfs[ci] = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(cfg.Servers)-1))
@@ -178,6 +178,13 @@ func InstallHTTP(s *netsim.Sim, cfg HTTPConfig) *HTTPStats {
 		s.ScheduleAt(client, first, func(at des.Time) { h.issue(ci, at) })
 	}
 	return stats
+}
+
+// newClientRNG is the per-client deterministic stream both the packet
+// workload (InstallHTTP) and its fluid twin (FluidHTTP) draw from — one
+// recipe, so the two fidelities model the same clients.
+func newClientRNG(seed int64, ci int) *rand.Rand {
+	return rand.New(rand.NewSource(seed + int64(ci)*104729))
 }
 
 // drawSize samples a response size: exponential by default, Pareto when

@@ -47,6 +47,7 @@ import (
 	"massf/internal/dml"
 	"massf/internal/faults"
 	"massf/internal/flight"
+	"massf/internal/fluid"
 	"massf/internal/mabrite"
 	"massf/internal/memstat"
 	"massf/internal/metrics"
@@ -247,6 +248,45 @@ func DefaultScaLapack() ScaLapackConfig { return traffic.DefaultScaLapack() }
 // GridNPBWorkflows returns the paper's GridNPB combination: Helical Chain,
 // Visualization Pipeline, and Mixed Bag.
 func GridNPBWorkflows(hosts []NodeID) []Workflow { return traffic.GridNPB(hosts) }
+
+// Hybrid flow/packet fidelity: bulk background traffic modeled
+// analytically on a precomputed fluid plane while foreground traffic
+// stays packet-level. Build the plane before NewSimulation and attach it
+// via SimConfig.Fluid; RunSpec.FlowFidelity selects the fidelity on the
+// unified run surface (experiments.BuildSim, massf -fidelity, massfd).
+type (
+	// FluidPlane is a precomputed, immutable flow-level traffic timeline:
+	// max-min fair-share rates recomputed at every flow start/finish and
+	// routing epoch, queryable as pure functions of simulated time.
+	FluidPlane = fluid.Plane
+	// FluidFlow is one analytic bulk transfer (Src, Dst, Bytes, Start).
+	FluidFlow = fluid.Flow
+	// FluidConfig configures a fluid plane build (network, routes,
+	// horizon, optional fault plane and recomputation quantum).
+	FluidConfig = fluid.Config
+)
+
+// Flow fidelities for RunSpec.FlowFidelity.
+const (
+	FidelityPacket = runspec.FidelityPacket
+	FidelityHybrid = runspec.FidelityHybrid
+)
+
+// BuildFluidPlane solves the complete fluid timeline at setup time. The
+// build is deterministic: the same inputs yield a byte-identical plane on
+// every worker of a distributed run.
+func BuildFluidPlane(cfg FluidConfig, flows []FluidFlow) (*FluidPlane, error) {
+	return fluid.Build(cfg, flows)
+}
+
+// FluidHTTPWorkload compiles the HTTP background workload into fluid
+// form: the initial request flows, the closed-loop chain callback for
+// FluidConfig.Next, and the stats filled during the build. The RNG
+// streams mirror InstallHTTP exactly, so the fluid workload is the
+// analytic twin of the packet workload it replaces.
+func FluidHTTPWorkload(cfg HTTPConfig, end Time) ([]FluidFlow, func(int32, Time) (FluidFlow, bool), *HTTPStats) {
+	return traffic.FluidHTTP(cfg, end)
+}
 
 // Online simulation (live traffic).
 type (
