@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-all bench-gate bench-shard smoke churn fluid bigtopo clean
+.PHONY: check vet build test race bench bench-all bench-gate bench-shard bench-service smoke service churn fluid bigtopo clean
 
-check: vet build race smoke churn fluid
+check: vet build race smoke service churn fluid
 
 vet:
 	$(GO) vet ./...
@@ -25,6 +25,13 @@ race:
 # loopback TCP, including the kill-a-worker failure attribution path.
 smoke:
 	$(GO) test -count=1 -run 'TestToolsEndToEnd|TestMassfdSmoke|TestDistributedEndToEnd|TestDistributedWorkerKillAttribution' .
+
+# Service smoke: a scaled-down massfload pass through the whole daemon
+# stack — versioned HTTP API, scheduler with setup cache, live agent
+# ingest over TCP — printing (not committing) its capture.
+service:
+	$(GO) run ./cmd/massfload -label smoke -conns 128 -ingest-seconds 1 \
+		-submits 16 -clients 4 -cold-routers 120 -out -
 
 # Conformance under scripted link/router churn: 25 seeded scenarios, each
 # given a derived fault script and checked sequential vs k∈{2,4,8}, plus a
@@ -60,6 +67,12 @@ bench:
 
 bench-all:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Service-level capture: the full massfload run — 1000 concurrent agent
+# connections, the submission hammer, cold-vs-warm submit-to-first-window
+# — recorded to BENCH_service.json (nightly, artifact-uploaded).
+bench-service:
+	$(GO) run ./cmd/massfload -label service -out BENCH_service.json
 
 # Scenario-shard capture: per-worker setup cost before (replicated eager
 # build) and after (cached topology + slice-local lazy build), recorded

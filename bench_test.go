@@ -22,6 +22,7 @@ import (
 	"massf/internal/graph"
 	"massf/internal/metrics"
 	"massf/internal/partition"
+	"massf/internal/runspec"
 )
 
 // suite lazily builds and caches the evaluated testbeds shared by the
@@ -146,7 +147,7 @@ func BenchmarkFig6SimTimeSingleASNetMon(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		sim, _, err := s.setup.BuildSim(m, experiments.ScaLapack, experiments.SimOptions{NetSample: 16})
+		sim, _, err := s.setup.BuildSim(m, experiments.ScaLapack, runspec.RunSpec{NetSample: 16})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -175,7 +176,7 @@ func BenchmarkFluidHybridSimTime(b *testing.B) {
 			b.Fatal(err)
 		}
 		sim, _, err := s.setup.BuildSim(m, experiments.ScaLapack,
-			experiments.SimOptions{FlowFidelity: "hybrid"})
+			runspec.RunSpec{FlowFidelity: "hybrid"})
 		if err != nil {
 			b.Fatal(err)
 		}

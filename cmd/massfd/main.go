@@ -37,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"massf/internal/agent"
 	"massf/internal/dist"
 	"massf/internal/faults"
 	"massf/internal/runctl"
@@ -50,6 +51,10 @@ func main() {
 		ringCap   = flag.Int("ring", 4096, "per-run window-record ring capacity")
 		withPprof = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ and expvar under /debug/vars")
 		faultPath = flag.String("faults", "", "JSON fault script applied to every submitted run that carries none of its own")
+		ingest    = flag.String("ingest", "", "TCP listen address of the live agent ingest plane (empty = disabled; use :0 for an ephemeral port)")
+		window    = flag.Int("ingest-window", 0, "per-connection send window granted to ingest clients (0 = default)")
+		queueCap  = flag.Int("queue", 64, "admission-queue depth; submissions beyond it are rejected with 429")
+		cacheDir  = flag.String("scache", "", "on-disk topology artifact cache directory (\"auto\" = per-user default, empty = in-memory only)")
 
 		worker     = flag.Bool("worker", false, "run as a distributed-simulation worker instead of the HTTP daemon")
 		join       = flag.String("join", "", "coordinator address to dial (worker mode)")
@@ -78,7 +83,32 @@ func main() {
 		return
 	}
 
-	mgr := runctl.NewManager(*workers, *ringCap)
+	var ing *agent.Ingest
+	if *ingest != "" {
+		ing = agent.NewIngest(*window)
+	}
+	mgr := runctl.NewManagerOpts(runctl.Options{
+		Workers:    *workers,
+		RingCap:    *ringCap,
+		QueueDepth: *queueCap,
+		CacheDir:   *cacheDir,
+		Ingest:     ing,
+	})
+	if ing != nil {
+		iln, err := net.Listen("tcp", *ingest)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "massfd:", err)
+			os.Exit(1)
+		}
+		// One parseable line, mirroring the HTTP one below.
+		log.Printf("massfd: agent ingest on tcp://%s", iln.Addr())
+		go func() {
+			if err := ing.Serve(iln); err != nil {
+				log.Printf("massfd: ingest listener failed: %v", err)
+			}
+		}()
+		defer ing.Close()
+	}
 	if *faultPath != "" {
 		ff, err := os.Open(*faultPath)
 		if err != nil {

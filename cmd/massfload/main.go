@@ -1,0 +1,419 @@
+// Command massfload is the service load harness: it boots the full
+// massfd stack in-process — run-control manager, versioned HTTP API,
+// live agent ingest plane — drives it over real loopback HTTP and TCP,
+// and records the service-level numbers the daemon is sized by:
+//
+//   - submit-to-first-window latency, cold scenario build vs the
+//     setup-cache warm path (the scheduler's 10× re-submit claim)
+//   - p99 submit round-trip latency and concurrent-run throughput
+//     under a many-client submission hammer
+//   - sustained injected events/sec through thousands of concurrent
+//     agent connections, with the heap sampled to show memory stays
+//     bounded under connection load
+//
+// The capture is written as one JSON document (default
+// BENCH_service.json; `make bench-service` commits the full-size run,
+// `make service` is the small smoke in `make check`).
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"massf/internal/agent"
+	"massf/internal/runctl"
+	"massf/internal/runspec"
+)
+
+func main() {
+	var (
+		out      = flag.String("out", "BENCH_service.json", "output JSON path (- for stdout)")
+		label    = flag.String("label", "dev", "label recorded with the capture")
+		workers  = flag.Int("workers", maxInt(2, runtime.NumCPU()/2), "worker-pool slots of the embedded daemon")
+		conns    = flag.Int("conns", 1000, "concurrent agent ingest connections")
+		ingestS  = flag.Float64("ingest-seconds", 5, "ingest measurement window (wall seconds)")
+		submits  = flag.Int("submits", 96, "total runs in the submission hammer")
+		clients  = flag.Int("clients", 8, "concurrent submitters in the hammer")
+		coldSize = flag.Int("cold-routers", 300, "router count of the cold-build scenario")
+	)
+	flag.Parse()
+
+	// The embedded service: the same components cmd/massfd wires, driven
+	// over real loopback HTTP and TCP so every measurement includes the
+	// wire path.
+	ing := agent.NewIngest(32) // small window: the hammer runs against backpressure
+	mgr := runctl.NewManagerOpts(runctl.Options{
+		Workers:    *workers,
+		RingCap:    1024,
+		QueueDepth: *submits + 16,
+		Ingest:     ing,
+	})
+	httpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(httpLn, runctl.NewServer(mgr))
+	ingLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go ing.Serve(ingLn)
+	base := "http://" + httpLn.Addr().String() + "/api/v1"
+
+	doc := capture{
+		Label:        *label,
+		CapturedUnix: time.Now().Unix(),
+		Go:           runtime.Version(),
+		Workers:      *workers,
+	}
+	doc.FirstWindow = benchFirstWindow(base, *coldSize)
+	doc.Submit = benchSubmitHammer(base, *submits, *clients)
+	doc.Ingest = benchIngest(base, ingLn.Addr().String(), ing, *conns, *ingestS)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	mgr.Shutdown(ctx)
+	cancel()
+	ing.Close()
+
+	enc, _ := json.MarshalIndent(doc, "", "  ")
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("massfload: capture written to %s", *out)
+	log.Printf("massfload: first window cold %.1fms warm %.1fms (%.1f× speedup)",
+		doc.FirstWindow.ColdMS, doc.FirstWindow.WarmMS, doc.FirstWindow.Speedup)
+	log.Printf("massfload: %d submits p50 %.2fms p99 %.2fms, %.1f runs/s completed",
+		doc.Submit.Runs, doc.Submit.P50MS, doc.Submit.P99MS, doc.Submit.RunsPerSec)
+	log.Printf("massfload: %d conns injected %.0f events/s (heap %.1f MiB)",
+		doc.Ingest.Conns, doc.Ingest.InjectedPerSec, doc.Ingest.HeapInuseMB)
+}
+
+type capture struct {
+	Label        string      `json:"label"`
+	CapturedUnix int64       `json:"captured_unix"`
+	Go           string      `json:"go"`
+	Workers      int         `json:"workers"`
+	FirstWindow  firstWindow `json:"first_window"`
+	Submit       submitStats `json:"submit"`
+	Ingest       ingestStats `json:"ingest"`
+}
+
+type firstWindow struct {
+	Routers     int     `json:"routers"`
+	ColdMS      float64 `json:"cold_ms"`
+	WarmMS      float64 `json:"warm_ms"`
+	Speedup     float64 `json:"speedup"`
+	ColdSetupMS float64 `json:"cold_setup_ms"`
+	WarmSetupMS float64 `json:"warm_setup_ms"`
+	WarmCached  bool    `json:"warm_build_cached"`
+}
+
+type submitStats struct {
+	Runs       int     `json:"runs"`
+	Submitters int     `json:"submitters"`
+	P50MS      float64 `json:"p50_ms"`
+	P99MS      float64 `json:"p99_ms"`
+	WallSec    float64 `json:"wall_sec"`
+	RunsPerSec float64 `json:"runs_per_sec"`
+}
+
+type ingestStats struct {
+	Conns          int     `json:"conns"`
+	Window         int     `json:"window"`
+	Seconds        float64 `json:"seconds"`
+	SentTotal      uint64  `json:"sent_total"`
+	SentPerSec     float64 `json:"sent_per_sec"`
+	InjectedPerSec float64 `json:"injected_per_sec"`
+	Backpressured  uint64  `json:"backpressured_total"`
+	Delivered      uint64  `json:"delivered_total"`
+	Dropped        uint64  `json:"dropped_total"`
+	HeapInuseMB    float64 `json:"heap_inuse_mb"`
+}
+
+// benchFirstWindow measures submit-to-first-window on a deliberately
+// expensive scenario, cold (full topology + routing build) and then warm
+// (identical content key served from the setup cache).
+func benchFirstWindow(base string, routers int) firstWindow {
+	spec := runctl.Spec{
+		Flat:     &runctl.FlatSpec{Routers: routers, Hosts: routers / 5},
+		Approach: "HTOP",
+		RunSpec:  runspec.RunSpec{Engines: 2, Seconds: 0.2, Seed: 42},
+	}
+	cold, coldInfo := timeToFirstWindow(base, spec)
+	waitTerminal(base, coldInfo.ID)
+	warm, warmInfo := timeToFirstWindow(base, spec)
+	waitTerminal(base, warmInfo.ID)
+	warmFinal := getInfo(base, warmInfo.ID)
+	coldFinal := getInfo(base, coldInfo.ID)
+	fw := firstWindow{
+		Routers:     routers,
+		ColdMS:      float64(cold) / float64(time.Millisecond),
+		WarmMS:      float64(warm) / float64(time.Millisecond),
+		ColdSetupMS: coldFinal.SetupMS,
+		WarmSetupMS: warmFinal.SetupMS,
+		WarmCached:  warmFinal.BuildCached,
+	}
+	if warm > 0 {
+		fw.Speedup = float64(cold) / float64(warm)
+	}
+	return fw
+}
+
+// timeToFirstWindow submits spec and polls tightly until the run reports
+// its first completed barrier window.
+func timeToFirstWindow(base string, spec runctl.Spec) (time.Duration, runctl.Info) {
+	start := time.Now()
+	info := submit(base, spec)
+	for info.Windows == 0 {
+		if info.State.Terminal() {
+			log.Fatalf("massfload: run %s ended %s before its first window (err=%q)",
+				info.ID, info.State, info.Error)
+		}
+		time.Sleep(time.Millisecond)
+		info = getInfo(base, info.ID)
+	}
+	return time.Since(start), info
+}
+
+// benchSubmitHammer fires total submissions from n concurrent clients
+// against one cached scenario, recording per-POST round-trip latency and
+// the completed-run throughput of the pool.
+func benchSubmitHammer(base string, total, n int) submitStats {
+	spec := runctl.Spec{
+		Flat:     &runctl.FlatSpec{Routers: 40, Hosts: 16},
+		Approach: "HTOP",
+		RunSpec:  runspec.RunSpec{Engines: 1, Seconds: 0.1, Seed: 7},
+	}
+	// Pre-warm the scenario so the hammer measures scheduling, not builds.
+	waitTerminal(base, submit(base, spec).ID)
+
+	var (
+		mu   sync.Mutex
+		lats []time.Duration
+		ids  []string
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < n; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < total/n; i++ {
+				t0 := time.Now()
+				info := submit(base, spec)
+				lat := time.Since(t0)
+				mu.Lock()
+				lats = append(lats, lat)
+				ids = append(ids, info.ID)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	for _, id := range ids {
+		waitTerminal(base, id)
+	}
+	wall := time.Since(start)
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(lats)-1))
+		return float64(lats[i]) / float64(time.Millisecond)
+	}
+	return submitStats{
+		Runs: len(ids), Submitters: n,
+		P50MS: pct(0.50), P99MS: pct(0.99),
+		WallSec:    wall.Seconds(),
+		RunsPerSec: float64(len(ids)) / wall.Seconds(),
+	}
+}
+
+// benchIngest attaches conns live agent connections to one paced run and
+// measures the sustained injection rate for a wall-clock window, senders
+// self-throttled by the credit windows (the backpressure contract under
+// full load).
+func benchIngest(base, ingAddr string, ing *agent.Ingest, conns int, seconds float64) ingestStats {
+	spec := runctl.Spec{
+		Name:     "ingest-load",
+		Flat:     &runctl.FlatSpec{Routers: 60, Hosts: 64},
+		Approach: "HTOP",
+		RunSpec: runspec.RunSpec{
+			Engines: 2, Seconds: 600, Seed: 9,
+			RealTimeFactor: 1, // paced: the run outlives the measurement window
+		},
+		Ingest: true,
+	}
+	info := submit(base, spec)
+
+	// The agent registers when execution starts; attach with retry until
+	// the run is there.
+	dial := func() *agent.Client {
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			cl, err := agent.Dial(ingAddr, info.ID, 0)
+			if err == nil {
+				return cl
+			}
+			if time.Now().After(deadline) {
+				log.Fatalf("massfload: attach to %s never succeeded: %v", info.ID, err)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	clients := make([]*agent.Client, conns)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 64)
+	for i := range clients {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			clients[i] = dial()
+			if i%16 == 0 { // a listening minority exercises the delivery path
+				clients[i].Listen(i % clients[i].Hosts())
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := ing.Conns(); got < conns {
+		log.Fatalf("massfload: only %d/%d connections attached", got, conns)
+	}
+
+	// Senders: every connection pushes small messages as fast as its
+	// credit window allows for the whole measurement.
+	stop := make(chan struct{})
+	payload := bytes.Repeat([]byte{0x5a}, 64)
+	for i, cl := range clients {
+		wg.Add(1)
+		go func(i int, cl *agent.Client) {
+			defer wg.Done()
+			h := cl.Hosts()
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := cl.Send((i+n)%h, (i+n+1)%h, payload); err != nil {
+					return
+				}
+			}
+		}(i, cl)
+	}
+
+	// Let the pipeline fill, then measure a steady window.
+	time.Sleep(time.Second)
+	s0, _, _, _ := ing.Counters()
+	i0 := getInfo(base, info.ID)
+	t0 := time.Now()
+	time.Sleep(time.Duration(seconds * float64(time.Second)))
+	s1, bp, delivered, dropped := ing.Counters()
+	i1 := getInfo(base, info.ID)
+	elapsed := time.Since(t0).Seconds()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+
+	close(stop)
+	for _, cl := range clients {
+		cl.Close()
+	}
+	wg.Wait()
+	httpDo("DELETE", base+"/runs/"+info.ID)
+
+	st := ingestStats{
+		Conns:         conns,
+		Window:        32,
+		Seconds:       elapsed,
+		SentTotal:     s1,
+		SentPerSec:    float64(s1-s0) / elapsed,
+		Backpressured: bp,
+		Delivered:     delivered,
+		Dropped:       dropped,
+		HeapInuseMB:   float64(ms.HeapInuse) / (1 << 20),
+	}
+	if i0.Agent != nil && i1.Agent != nil {
+		st.InjectedPerSec = float64(i1.Agent.Injected-i0.Agent.Injected) / elapsed
+	}
+	return st
+}
+
+// --- tiny HTTP client helpers -------------------------------------------
+
+func submit(base string, spec runctl.Spec) runctl.Info {
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(base+"/runs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatalf("massfload: submit: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		var env struct {
+			Error struct{ Code, Message string } `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&env)
+		log.Fatalf("massfload: submit: %d %s %s", resp.StatusCode, env.Error.Code, env.Error.Message)
+	}
+	var info runctl.Info
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		log.Fatalf("massfload: submit decode: %v", err)
+	}
+	return info
+}
+
+func getInfo(base, id string) runctl.Info {
+	resp, err := http.Get(base + "/runs/" + id)
+	if err != nil {
+		log.Fatalf("massfload: get %s: %v", id, err)
+	}
+	defer resp.Body.Close()
+	var info runctl.Info
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		log.Fatalf("massfload: get %s: decode: %v", id, err)
+	}
+	return info
+}
+
+func waitTerminal(base, id string) runctl.Info {
+	for {
+		info := getInfo(base, id)
+		if info.State.Terminal() {
+			if info.State != runctl.StateDone {
+				log.Fatalf("massfload: run %s ended %s (err=%q)", id, info.State, info.Error)
+			}
+			return info
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func httpDo(method, url string) {
+	req, _ := http.NewRequest(method, url, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatalf("massfload: %s %s: %v", method, url, err)
+	}
+	resp.Body.Close()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

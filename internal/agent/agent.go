@@ -23,6 +23,7 @@ package agent
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"massf/internal/des"
@@ -37,6 +38,21 @@ type Message struct {
 	// InjectedAt is the simulated time the message entered the network;
 	// DeliveredAt is when its last byte reached the destination.
 	InjectedAt, DeliveredAt des.Time
+
+	// key orders messages inside one injection epoch (see SendKeyed);
+	// onInject acknowledges the injection to the producer.
+	key      uint64
+	onInject func()
+}
+
+// Counters snapshots agent activity: messages accepted from live
+// goroutines, injected into the kernel at pump epochs, delivered to
+// listeners, and dropped (no listener, or a full/refusing one).
+type Counters struct {
+	Sent      uint64 `json:"sent"`
+	Injected  uint64 `json:"injected"`
+	Delivered uint64 `json:"delivered"`
+	Dropped   uint64 `json:"dropped"`
 }
 
 // Agent bridges live goroutines and the simulation.
@@ -48,8 +64,11 @@ type Agent struct {
 	inbox     map[int][]Message // per engine: awaiting injection
 	names     map[string]model.NodeID
 	listeners map[model.NodeID]chan Message
+	sinks     map[model.NodeID]func(Message) bool
+	seq       uint64
 	dropped   uint64
 	sent      uint64
+	injected  uint64
 	delivered uint64
 }
 
@@ -66,6 +85,7 @@ func New(sim *netsim.Sim, pumpInterval des.Time) *Agent {
 		inbox:     make(map[int][]Message),
 		names:     make(map[string]model.NodeID),
 		listeners: make(map[model.NodeID]chan Message),
+		sinks:     make(map[model.NodeID]func(Message) bool),
 	}
 	for e := 0; e < sim.Config().Engines; e++ {
 		e := e
@@ -116,9 +136,29 @@ func (a *Agent) Listen(n model.NodeID, buffer int) <-chan Message {
 // call from any goroutine, including while the simulation runs; the
 // message enters the network at the next pump on from's engine.
 func (a *Agent) Send(from, to model.NodeID, payload []byte) {
+	a.SendKeyed(from, to, payload, 0, nil)
+}
+
+// SendKeyed is Send with an explicit injection-epoch ordering key and an
+// optional injection acknowledgement. Messages queued for the same pump
+// epoch inject in ascending key order regardless of which goroutine won
+// the inbox race, so a producer that assigns keys from its own stream
+// (e.g. connection id << 32 | per-connection sequence) gets deterministic
+// injection given the same per-stream message sequences. Key 0 draws from
+// the agent's arrival counter, preserving Send's arrival order. onInject,
+// when non-nil, runs on the injecting engine's goroutine the moment the
+// message enters the kernel — the backpressure hook credit windows hang
+// off — and must not block.
+func (a *Agent) SendKeyed(from, to model.NodeID, payload []byte, key uint64, onInject func()) {
 	eng := a.sim.EngineOf(from)
 	a.mu.Lock()
-	a.inbox[eng] = append(a.inbox[eng], Message{From: from, To: to, Payload: payload})
+	a.seq++
+	if key == 0 {
+		key = a.seq
+	}
+	a.inbox[eng] = append(a.inbox[eng], Message{
+		From: from, To: to, Payload: payload, key: key, onInject: onInject,
+	})
 	a.sent++
 	a.mu.Unlock()
 }
@@ -137,20 +177,40 @@ func (a *Agent) SendNamed(from, to string, payload []byte) error {
 	return nil
 }
 
+// ListenFunc registers fn as host n's delivery sink, replacing any
+// channel or sink already listening there. fn runs on the delivering
+// engine's goroutine and must not block; returning false refuses the
+// message (counted dropped) — the non-stalling half of the backpressure
+// contract, letting a slow consumer shed deliveries without ever holding
+// up the simulation.
+func (a *Agent) ListenFunc(n model.NodeID, fn func(Message) bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.sinks[n] = fn
+	delete(a.listeners, n)
+}
+
 // drain runs on engine e's goroutine: it injects every queued message
 // whose source that engine owns as a TCP flow through the simulated
-// network.
+// network. The epoch's batch is sorted by ordering key first, so the
+// injection sequence is a pure function of the message streams, not of
+// inbox arrival races.
 func (a *Agent) drain(e int, now des.Time) {
 	a.mu.Lock()
 	msgs := a.inbox[e]
 	a.inbox[e] = nil
+	a.injected += uint64(len(msgs))
 	a.mu.Unlock()
+	sort.SliceStable(msgs, func(i, j int) bool { return msgs[i].key < msgs[j].key })
 	for _, m := range msgs {
 		m := m
 		m.InjectedAt = now
 		size := int64(len(m.Payload))
 		if size == 0 {
 			size = 1
+		}
+		if m.onInject != nil {
+			m.onInject()
 		}
 		a.sim.StartFlowRecv(now, m.From, m.To, size, nil, func(at des.Time) {
 			m.DeliveredAt = at
@@ -162,24 +222,33 @@ func (a *Agent) drain(e int, now des.Time) {
 // deliver pushes a completed message to its listener, if any.
 func (a *Agent) deliver(m Message) {
 	a.mu.Lock()
+	sink := a.sinks[m.To]
 	ch := a.listeners[m.To]
 	a.mu.Unlock()
+	if sink != nil {
+		if sink(m) {
+			a.count(&a.delivered)
+		} else {
+			a.count(&a.dropped)
+		}
+		return
+	}
 	if ch == nil {
-		a.mu.Lock()
-		a.dropped++
-		a.mu.Unlock()
+		a.count(&a.dropped)
 		return
 	}
 	select {
 	case ch <- m:
-		a.mu.Lock()
-		a.delivered++
-		a.mu.Unlock()
+		a.count(&a.delivered)
 	default:
-		a.mu.Lock()
-		a.dropped++
-		a.mu.Unlock()
+		a.count(&a.dropped)
 	}
+}
+
+func (a *Agent) count(c *uint64) {
+	a.mu.Lock()
+	*c++
+	a.mu.Unlock()
 }
 
 // Stats reports agent activity: messages queued, delivered to listeners,
@@ -188,6 +257,13 @@ func (a *Agent) Stats() (sent, delivered, dropped uint64) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.sent, a.delivered, a.dropped
+}
+
+// Counters snapshots the full activity counters, including injections.
+func (a *Agent) Counters() Counters {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return Counters{Sent: a.sent, Injected: a.injected, Delivered: a.delivered, Dropped: a.dropped}
 }
 
 // Close closes every listener channel, releasing live goroutines blocked

@@ -1,0 +1,236 @@
+package agent
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"massf/internal/wire"
+)
+
+// Delivery is one completed message framed back to an ingest client.
+type Delivery struct {
+	From, To int // host indices
+	// InjectedNS/DeliveredNS are simulated times in nanoseconds.
+	InjectedNS, DeliveredNS int64
+	Payload                 []byte
+}
+
+// Client is the Go client of the ingest wire protocol: one TCP
+// connection attached to a live run, with the server's credit window
+// enforced locally so Send blocks (or fails fast) instead of overrunning
+// the daemon. Safe for one sender goroutine plus the internal reader;
+// wrap Send externally to share a connection between senders.
+type Client struct {
+	c     net.Conn
+	hosts int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	credits int
+	err     error
+
+	deliveries chan Delivery
+	closeOnce  sync.Once
+}
+
+// Dial attaches to run runID on the ingest listener at addr. window
+// requests a send-window size (0 accepts the server default). The
+// returned client's Hosts reports the run's host-table size; Send
+// addresses hosts by index into it.
+func Dial(addr, runID string, window int) (*Client, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	var b wire.Buffer
+	b.String(runID)
+	b.U32(uint32(window))
+	if err := wire.WriteFrame(c, MsgAttach, b.B); err != nil {
+		c.Close()
+		return nil, err
+	}
+	typ, payload, err := wire.ReadFrame(c, maxIngestFrame)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	if typ == MsgIngestErr {
+		r := wire.NewReader(payload)
+		msg := r.String()
+		c.Close()
+		return nil, fmt.Errorf("agent: attach refused: %s", msg)
+	}
+	if typ != MsgAttachOK {
+		c.Close()
+		return nil, fmt.Errorf("agent: expected attach ack, got frame type 0x%02x", typ)
+	}
+	r := wire.NewReader(payload)
+	_ = r.String() // run id echo
+	hosts := r.U32()
+	granted := r.U32()
+	if r.Err() != nil {
+		c.Close()
+		return nil, fmt.Errorf("agent: bad attach ack: %w", r.Err())
+	}
+	cl := &Client{
+		c:          c,
+		hosts:      int(hosts),
+		credits:    int(granted),
+		deliveries: make(chan Delivery, 256),
+	}
+	cl.cond = sync.NewCond(&cl.mu)
+	go cl.readLoop()
+	return cl, nil
+}
+
+// Hosts returns the attached run's host count; Send/Listen indices must
+// be < Hosts.
+func (cl *Client) Hosts() int { return cl.hosts }
+
+// Credits returns the currently open send window.
+func (cl *Client) Credits() int {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.credits
+}
+
+// Send injects one message from host index from to host index to,
+// blocking while the send window is closed — the client-visible form of
+// the server's backpressure. It returns the connection error once the
+// server is gone.
+func (cl *Client) Send(from, to int, payload []byte) error {
+	cl.mu.Lock()
+	for cl.credits <= 0 && cl.err == nil {
+		cl.cond.Wait()
+	}
+	if cl.err != nil {
+		cl.mu.Unlock()
+		return cl.err
+	}
+	cl.credits--
+	cl.mu.Unlock()
+	var b wire.Buffer
+	b.U32(uint32(from))
+	b.U32(uint32(to))
+	b.Bytes(payload)
+	if err := wire.WriteFrame(cl.c, MsgSend, b.B); err != nil {
+		cl.fail(err)
+		return err
+	}
+	return nil
+}
+
+// TrySend is Send without blocking: ok=false reports a closed window
+// (backpressure), leaving the message with the caller.
+func (cl *Client) TrySend(from, to int, payload []byte) (ok bool, err error) {
+	cl.mu.Lock()
+	if cl.err != nil {
+		cl.mu.Unlock()
+		return false, cl.err
+	}
+	if cl.credits <= 0 {
+		cl.mu.Unlock()
+		return false, nil
+	}
+	cl.credits--
+	cl.mu.Unlock()
+	var b wire.Buffer
+	b.U32(uint32(from))
+	b.U32(uint32(to))
+	b.Bytes(payload)
+	if err := wire.WriteFrame(cl.c, MsgSend, b.B); err != nil {
+		cl.fail(err)
+		return false, err
+	}
+	return true, nil
+}
+
+// Listen subscribes the connection to deliveries for host index h; they
+// arrive on Deliveries. A slow reader loses deliveries at the server (the
+// drop-don't-stall contract), never credits.
+func (cl *Client) Listen(h int) error {
+	var b wire.Buffer
+	b.U32(uint32(h))
+	if err := wire.WriteFrame(cl.c, MsgListen, b.B); err != nil {
+		cl.fail(err)
+		return err
+	}
+	return nil
+}
+
+// Deliveries is the channel completed messages arrive on after Listen.
+// It closes when the connection dies (run over, Close, network error).
+func (cl *Client) Deliveries() <-chan Delivery { return cl.deliveries }
+
+// Err returns the terminal connection error, if any.
+func (cl *Client) Err() error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.err
+}
+
+// Close tears the connection down; blocked Sends return ErrIngestClosed.
+func (cl *Client) Close() error {
+	cl.fail(ErrIngestClosed)
+	return cl.c.Close()
+}
+
+func (cl *Client) fail(err error) {
+	cl.mu.Lock()
+	if cl.err == nil {
+		cl.err = err
+	}
+	cl.cond.Broadcast()
+	cl.mu.Unlock()
+}
+
+// readLoop dispatches server frames: credits reopen the send window,
+// deliveries go to the channel, errors terminate the connection.
+func (cl *Client) readLoop() {
+	defer cl.closeOnce.Do(func() { close(cl.deliveries) })
+	for {
+		typ, payload, err := wire.ReadFrame(cl.c, maxIngestFrame)
+		if err != nil {
+			cl.fail(err)
+			return
+		}
+		switch typ {
+		case MsgCredit:
+			r := wire.NewReader(payload)
+			n := r.U32()
+			if r.Err() != nil {
+				cl.fail(fmt.Errorf("agent: bad credit frame: %w", r.Err()))
+				return
+			}
+			cl.mu.Lock()
+			cl.credits += int(n)
+			cl.cond.Broadcast()
+			cl.mu.Unlock()
+		case MsgDeliver:
+			r := wire.NewReader(payload)
+			d := Delivery{
+				From:        int(r.U32()),
+				To:          int(r.U32()),
+				InjectedNS:  r.I64(),
+				DeliveredNS: r.I64(),
+			}
+			d.Payload = append([]byte(nil), r.BytesView()...)
+			if r.Err() != nil {
+				cl.fail(fmt.Errorf("agent: bad delivery frame: %w", r.Err()))
+				return
+			}
+			select {
+			case cl.deliveries <- d:
+			default: // shed locally too rather than stall credit processing
+			}
+		case MsgIngestErr:
+			r := wire.NewReader(payload)
+			cl.fail(fmt.Errorf("agent: server error: %s", r.String()))
+			return
+		default:
+			cl.fail(fmt.Errorf("agent: unexpected frame type 0x%02x", typ))
+			return
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"massf/internal/flight"
 	"massf/internal/metrics"
 	"massf/internal/profile"
+	"massf/internal/runspec"
 	"massf/internal/telemetry"
 )
 
@@ -53,7 +54,7 @@ func TestMeasuredProfileFeedbackBeatsHTOP(t *testing.T) {
 		t.Fatal(err)
 	}
 	tel := telemetry.New(sc.Engines, 4096)
-	sim, _, err := st.BuildSim(mHTOP, HTTPOnly, SimOptions{Telemetry: tel})
+	sim, _, err := st.BuildSim(mHTOP, HTTPOnly, runspec.RunSpec{Telemetry: tel})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestMeasuredProfileFeedbackBeatsHTOP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sim2, _, err := st.BuildSim(mHPROF, HTTPOnly, SimOptions{})
+	sim2, _, err := st.BuildSim(mHPROF, HTTPOnly, runspec.RunSpec{})
 	if err != nil {
 		t.Fatal(err)
 	}

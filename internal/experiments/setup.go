@@ -313,25 +313,20 @@ type RunOutcome struct {
 	Apps    []*traffic.WorkflowStats
 }
 
-// SimOptions extends BuildSim beyond the batch defaults: live telemetry,
-// real-time pacing for online runs, and load-series resolution.
-//
-// Deprecated: SimOptions is a thin alias of the unified run configuration
-// runspec.RunSpec (massf.RunSpec), kept so existing callers compile.
-// BuildSim reads only the run-surface knobs — Telemetry, RealTimeFactor,
-// SeriesBuckets, Faults, NetMon, NetSample, the hybrid-fidelity knobs
-// (FlowFidelity, FluidQuantumUS) and the distributed-worker
-// fields (Transport, FirstEngine, HostedEngines, Slice); the scale-level
-// fields (Engines, Seconds, Seed, EventCostUS) are taken from Setup.Scale,
-// which was sized before mapping. A Slice build pairs with a Setup from
-// NewSetupScoped so routing state is slice-local too.
-type SimOptions = runspec.RunSpec
-
 // BuildSim constructs (but does not run) the full simulation for mapping m
 // under workload w: the packet simulator on m's partition, background HTTP
 // plus the selected foreground application. The caller owns Run — and may
 // Stop it from another goroutine for cancellation.
-func (st *Setup) BuildSim(m *core.Mapping, w Workload, opt SimOptions) (*netsim.Sim, []*traffic.WorkflowStats, error) {
+//
+// opt is the unified run configuration (runspec.RunSpec); BuildSim reads
+// only the run-surface knobs — Telemetry, RealTimeFactor, SeriesBuckets,
+// Faults, NetMon, NetSample, the hybrid-fidelity knobs (FlowFidelity,
+// FluidQuantumUS) and the distributed-worker fields (Transport,
+// FirstEngine, HostedEngines, Slice); the scale-level fields (Engines,
+// Seconds, Seed, EventCostUS) are taken from Setup.Scale, which was sized
+// before mapping. A Slice build pairs with a Setup from NewSetupScoped so
+// routing state is slice-local too.
+func (st *Setup) BuildSim(m *core.Mapping, w Workload, opt runspec.RunSpec) (*netsim.Sim, []*traffic.WorkflowStats, error) {
 	window := m.MLL
 	if window > core.MaxMLL {
 		window = core.MaxMLL
@@ -425,7 +420,7 @@ func (st *Setup) RunMapping(a core.Approach, w Workload) (*RunOutcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	s, apps, err := st.BuildSim(m, w, SimOptions{})
+	s, apps, err := st.BuildSim(m, w, runspec.RunSpec{})
 	if err != nil {
 		return nil, err
 	}

@@ -67,29 +67,32 @@ func rawParallelEfficiency(totalEvents uint64, eventCost des.Time, engines int, 
 
 // Report bundles the paper's metrics for one simulation run under one
 // mapping approach.
+// The JSON field names are snake_case, matching every other object on the
+// daemon's API surface (Info, NetSummary).
 type Report struct {
 	// Approach names the mapping (TOP2, PROF2, HTOP, HPROF, …).
-	Approach string
+	Approach string `json:"approach"`
 	// SimTimeSec is the modeled application simulation time T in seconds
 	// (Figures 6 and 10).
-	SimTimeSec float64
+	SimTimeSec float64 `json:"sim_time_sec"`
 	// AchievedMLLms is the partition's achieved MLL in milliseconds
 	// (Figures 7 and 11).
-	AchievedMLLms float64
+	AchievedMLLms float64 `json:"achieved_mll_ms"`
 	// Imbalance is the normalized load imbalance (Figures 8 and 12).
-	Imbalance float64
+	Imbalance float64 `json:"imbalance"`
 	// Efficiency is PE(N, L) (Figures 9 and 13), clamped to [0, 1].
-	Efficiency float64
+	Efficiency float64 `json:"efficiency"`
 	// PEClamped flags that the raw efficiency estimate exceeded 1 and was
 	// clamped — the Tseq estimate overshot the modeled parallel time
 	// (typically the degenerate single-engine case, where no
 	// synchronization or remote cost is charged).
-	PEClamped bool
+	PEClamped bool `json:"pe_clamped,omitempty"`
 	// WallSec is the real host wall-clock time of the run (informational;
 	// the host is not a 90-node cluster).
-	WallSec float64
+	WallSec float64 `json:"wall_sec"`
 	// TotalEvents and RemoteEvents describe the run's size.
-	TotalEvents, RemoteEvents uint64
+	TotalEvents  uint64 `json:"total_events"`
+	RemoteEvents uint64 `json:"remote_events"`
 }
 
 // FromStats assembles a Report from engine statistics.

@@ -13,7 +13,9 @@ import (
 	"sync"
 	"time"
 
+	"massf/internal/agent"
 	"massf/internal/core"
+	"massf/internal/des"
 	"massf/internal/dml"
 	"massf/internal/experiments"
 	"massf/internal/faults"
@@ -24,6 +26,7 @@ import (
 	"massf/internal/netmon"
 	"massf/internal/profile"
 	"massf/internal/runspec"
+	"massf/internal/scache"
 	"massf/internal/telemetry"
 	"massf/internal/topology"
 )
@@ -76,6 +79,11 @@ type Spec struct {
 	// it directly instead of running a sequential profiling pass first —
 	// the paper's measured-feedback loop over HTTP.
 	Profile string `json:"profile,omitempty"`
+	// Ingest exposes the run to the daemon's live agent ingest plane
+	// (massfd -ingest): outside processes attach over the framed TCP
+	// protocol under this run's id and inject traffic at pump epochs.
+	// Ignored when the daemon runs without an ingest listener.
+	Ingest bool `json:"ingest,omitempty"`
 }
 
 // normalize applies defaults in place; the shared run-level defaults come
@@ -215,22 +223,32 @@ type Run struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	mu        sync.Mutex
-	state     State
-	err       error
-	submitted time.Time
-	started   time.Time
-	finished  time.Time
-	mllMS     float64
-	setupMS   float64
-	heapInuse uint64
-	peakRSS   uint64
-	report    *metrics.Report
-	net       *NetSummary
-	part      []int32
-	captured  *profile.Profile
-	faultRecs []FaultRecord
-	mon       *netmon.Mon
+	// seq is the admission sequence number (FIFO order within a priority
+	// class); weight is the spec's pool-slot weight clamped to the pool
+	// size. Both are fixed at Submit.
+	seq    uint64
+	weight int
+
+	mu            sync.Mutex
+	state         State
+	err           error
+	submitted     time.Time
+	started       time.Time
+	finished      time.Time
+	mllMS         float64
+	setupMS       float64
+	heapInuse     uint64
+	peakRSS       uint64
+	report        *metrics.Report
+	net           *NetSummary
+	part          []int32
+	captured      *profile.Profile
+	faultRecs     []FaultRecord
+	mon           *netmon.Mon
+	limitErr      error
+	cancelledFrom State
+	buildCached   bool
+	agent         *agent.Agent
 }
 
 // NetMon returns the run's network observability plane, installed before
@@ -330,6 +348,92 @@ func (r *Run) setMem(s memstat.Sample) {
 	r.mu.Unlock()
 }
 
+// setLimitErr records the first resource-limit violation; later ones (a
+// wall and memory limit racing) are ignored.
+func (r *Run) setLimitErr(err error) {
+	r.mu.Lock()
+	if r.limitErr == nil {
+		r.limitErr = err
+	}
+	r.mu.Unlock()
+}
+
+func (r *Run) limitError() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.limitErr
+}
+
+func (r *Run) setCancelledFrom(st State) {
+	r.mu.Lock()
+	if r.cancelledFrom == "" {
+		r.cancelledFrom = st
+	}
+	r.mu.Unlock()
+}
+
+// CancelledFrom reports which lifecycle phase a cancelled run was stopped
+// from ("" while the run is live or when it ended another way): "queued"
+// means the run never started, "running" that a live simulation was
+// stopped at a barrier.
+func (r *Run) CancelledFrom() State {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cancelledFrom
+}
+
+func (r *Run) setBuildCached(cached bool) {
+	r.mu.Lock()
+	r.buildCached = cached
+	r.mu.Unlock()
+}
+
+func (r *Run) setAgent(a *agent.Agent) {
+	r.mu.Lock()
+	r.agent = a
+	r.mu.Unlock()
+}
+
+// armLimits starts the run's resource-limit enforcement: a wall-clock
+// timer and a 50 ms heap sampler, each stopping the run through the
+// cooperative cancellation path when its bound is exceeded. The returned
+// stop function retires both; call it as soon as execute returns.
+func (r *Run) armLimits() (stop func()) {
+	var timer *time.Timer
+	if wall := r.Spec.WallLimit(); wall > 0 {
+		timer = time.AfterFunc(wall, func() {
+			r.setLimitErr(fmt.Errorf("runctl: wall-clock limit %v exceeded", wall))
+			r.cancel()
+		})
+	}
+	done := make(chan struct{})
+	if mem := r.Spec.MemLimitBytes(); mem > 0 {
+		go func() {
+			t := time.NewTicker(50 * time.Millisecond)
+			defer t.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-t.C:
+					if h := memstat.Read().HeapInuse; h > mem {
+						r.setLimitErr(fmt.Errorf("runctl: memory limit exceeded (heap %d MiB > %d MiB)",
+							h>>20, mem>>20))
+						r.cancel()
+						return
+					}
+				}
+			}
+		}()
+	}
+	return func() {
+		if timer != nil {
+			timer.Stop()
+		}
+		close(done)
+	}
+}
+
 // finish records a terminal state exactly once (later calls are ignored,
 // so the panic-recovery path cannot overwrite a real outcome).
 func (r *Run) finish(st State, err error, rep *metrics.Report, sum *NetSummary) {
@@ -360,6 +464,20 @@ type Info struct {
 	Started   *time.Time `json:"started,omitempty"`
 	Finished  *time.Time `json:"finished,omitempty"`
 	Error     string     `json:"error,omitempty"`
+
+	// Priority and Weight echo the scheduling knobs the run was admitted
+	// under (weight after clamping to the pool size).
+	Priority string `json:"priority,omitempty"`
+	Weight   int    `json:"weight,omitempty"`
+	// CancelledFrom distinguishes a cancellation's timing: "queued" (the
+	// run never started) or "running" (a live simulation was stopped).
+	CancelledFrom State `json:"cancelled_from,omitempty"`
+	// BuildCached reports that the scenario build was served from the
+	// daemon's setup cache instead of being regenerated.
+	BuildCached bool `json:"build_cached,omitempty"`
+	// Agent carries the run's live-ingest counters when the spec attached
+	// it to the agent plane.
+	Agent *agent.Counters `json:"agent,omitempty"`
 
 	// Live progress, read from the run's telemetry.
 	MLLms      float64 `json:"mll_ms,omitempty"`
@@ -402,6 +520,14 @@ func (r *Run) Info() Info {
 		Report: r.report, Net: r.net,
 		ProfileCaptured: r.captured != nil,
 		FaultEvents:     len(r.faultRecs),
+		Priority:        r.Spec.Priority,
+		Weight:          r.weight,
+		CancelledFrom:   r.cancelledFrom,
+		BuildCached:     r.buildCached,
+	}
+	if r.agent != nil {
+		c := r.agent.Counters()
+		in.Agent = &c
 	}
 	if !r.started.IsZero() {
 		t := r.started
@@ -422,43 +548,114 @@ func (r *Run) Info() Info {
 	return in
 }
 
-// Manager owns the run table and the worker pool.
+// Manager owns the run table and the scheduler: a bounded admission
+// queue ordered by priority class, dispatched onto a weighted worker
+// pool. A run of weight w occupies w of the pool's slots while
+// executing; the queue head dispatches only when its full weight fits —
+// strict priority with no backfill past a blocked head, so a heavy
+// high-priority run cannot be starved by a stream of light low-priority
+// ones.
 type Manager struct {
-	sem     chan struct{}
-	ringCap int
+	workers  int
+	ringCap  int
+	maxQueue int
 	// defaultFaults, when set, is injected into submitted specs that carry
 	// no fault script of their own (the massfd -faults flag).
 	defaultFaults *faults.Script
+	// builds memoizes scenario construction; disk persists generated
+	// topologies across restarts (nil without a cache dir).
+	builds *setupCache
+	disk   *scache.Cache
+	// ingest, when set, is the daemon's live agent plane; runs submitted
+	// with Spec.Ingest register their agent under their run id.
+	ingest *agent.Ingest
 
-	mu    sync.Mutex
-	runs  map[string]*Run
-	order []string
-	next  int
-	wg    sync.WaitGroup
+	mu      sync.Mutex
+	runs    map[string]*Run
+	order   []string
+	next    int
+	queue   []*Run // admission order within class; head dispatches first
+	activeW int    // pool slots occupied by dispatched runs
+	shut    bool
+	wg      sync.WaitGroup
 }
+
+// Options configures a Manager beyond the worker-pool basics.
+type Options struct {
+	// Workers is the pool size in slots (min 1). A run occupies
+	// Spec.Weight slots (clamped to Workers) while executing.
+	Workers int
+	// RingCap is each run's telemetry window-ring capacity.
+	RingCap int
+	// QueueDepth bounds the admission queue; Submit fails with
+	// ErrQueueFull beyond it. Default 64.
+	QueueDepth int
+	// SetupCacheSize is the in-memory scenario build cache capacity
+	// (entries). Default 8.
+	SetupCacheSize int
+	// CacheDir, when non-empty, enables the on-disk topology artifact
+	// tier under this directory ("auto" selects the per-user default).
+	CacheDir string
+	// Ingest attaches the live agent plane (nil disables Spec.Ingest).
+	Ingest *agent.Ingest
+}
+
+// ErrQueueFull rejects a submission when the admission queue is at
+// capacity — the service's load-shedding signal (HTTP 429).
+var ErrQueueFull = fmt.Errorf("runctl: admission queue full")
 
 // SetDefaultFaults installs a fault script applied to every submission
 // lacking one. Call before serving; not synchronized against Submit.
 func (m *Manager) SetDefaultFaults(sc *faults.Script) { m.defaultFaults = sc }
 
-// NewManager returns a manager executing at most workers simulations
-// concurrently (min 1), each with a window ring of ringCap records.
+// NewManager returns a manager executing at most workers slot-weights of
+// simulations concurrently (min 1), each with a window ring of ringCap
+// records, with default scheduler knobs.
 func NewManager(workers, ringCap int) *Manager {
-	if workers < 1 {
-		workers = 1
-	}
-	if ringCap < 1 {
-		ringCap = 4096
-	}
-	return &Manager{
-		sem:     make(chan struct{}, workers),
-		ringCap: ringCap,
-		runs:    map[string]*Run{},
-	}
+	return NewManagerOpts(Options{Workers: workers, RingCap: ringCap})
 }
 
-// Submit validates a spec, registers the run and launches its worker
-// goroutine. The returned run is already visible to Get/List.
+// NewManagerOpts is NewManager with the full scheduler configuration.
+func NewManagerOpts(o Options) *Manager {
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
+	if o.RingCap < 1 {
+		o.RingCap = 4096
+	}
+	if o.QueueDepth < 1 {
+		o.QueueDepth = 64
+	}
+	if o.SetupCacheSize < 1 {
+		o.SetupCacheSize = 8
+	}
+	m := &Manager{
+		workers:  o.Workers,
+		ringCap:  o.RingCap,
+		maxQueue: o.QueueDepth,
+		builds:   newSetupCache(o.SetupCacheSize),
+		ingest:   o.Ingest,
+		runs:     map[string]*Run{},
+	}
+	if o.CacheDir != "" {
+		dir := o.CacheDir
+		if dir == "auto" {
+			dir = ""
+		}
+		if c, err := scache.Open(dir); err == nil {
+			m.disk = c
+		}
+	}
+	return m
+}
+
+// Ingest returns the attached live agent plane (nil when disabled).
+func (m *Manager) Ingest() *agent.Ingest { return m.ingest }
+
+// Submit validates a spec and admits the run into the scheduler queue.
+// The returned run is already visible to Get/List; it starts executing
+// when the pool can fit its weight and everything ahead of it in
+// priority order has dispatched. A full queue rejects with ErrQueueFull.
 func (m *Manager) Submit(spec Spec) (*Run, error) {
 	if spec.Faults == nil {
 		spec.Faults = m.defaultFaults
@@ -467,24 +664,84 @@ func (m *Manager) Submit(spec Spec) (*Run, error) {
 	if err := spec.validate(); err != nil {
 		return nil, err
 	}
+	if spec.Weight > m.workers {
+		spec.Weight = m.workers // a run can ask for the whole pool, not more
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	r := &Run{
 		Spec:      spec,
 		Tel:       telemetry.New(spec.Engines, m.ringCap),
 		ctx:       ctx,
 		cancel:    cancel,
+		weight:    spec.Weight,
 		state:     StateQueued,
 		submitted: time.Now(),
 	}
 	m.mu.Lock()
+	if len(m.queue) >= m.maxQueue {
+		m.mu.Unlock()
+		cancel()
+		r.Tel.Windows.Close()
+		return nil, ErrQueueFull
+	}
 	m.next++
 	r.ID = fmt.Sprintf("r%04d", m.next)
+	r.seq = uint64(m.next)
 	m.runs[r.ID] = r
 	m.order = append(m.order, r.ID)
-	m.wg.Add(1)
+	m.enqueueLocked(r)
+	m.scheduleLocked()
 	m.mu.Unlock()
-	go m.runLoop(r)
 	return r, nil
+}
+
+// enqueueLocked inserts r in scheduling order: descending priority rank,
+// ascending admission sequence within a rank.
+func (m *Manager) enqueueLocked(r *Run) {
+	rank := r.Spec.PriorityRank()
+	i := len(m.queue)
+	for i > 0 {
+		q := m.queue[i-1]
+		if q.Spec.PriorityRank() >= rank {
+			break
+		}
+		i--
+	}
+	m.queue = append(m.queue, nil)
+	copy(m.queue[i+1:], m.queue[i:])
+	m.queue[i] = r
+}
+
+// scheduleLocked dispatches queue heads while they fit in the pool.
+// Strict priority: a head that does not fit blocks everything behind it
+// (no backfill), so heavy runs make progress under light-run load.
+func (m *Manager) scheduleLocked() {
+	if m.shut {
+		return
+	}
+	for len(m.queue) > 0 {
+		r := m.queue[0]
+		if r.weight > m.workers-m.activeW {
+			return
+		}
+		m.queue = m.queue[1:]
+		m.activeW += r.weight
+		r.setRunning()
+		m.wg.Add(1)
+		go m.runLoop(r)
+	}
+}
+
+// removeQueuedLocked withdraws r from the admission queue; it reports
+// whether r was still queued.
+func (m *Manager) removeQueuedLocked(r *Run) bool {
+	for i, q := range m.queue {
+		if q == r {
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			return true
+		}
+	}
+	return false
 }
 
 // Get returns a run by ID.
@@ -510,24 +767,54 @@ func (m *Manager) List() []Info {
 	return infos
 }
 
-// Cancel requests cancellation of a run by ID.
-func (m *Manager) Cancel(id string) (*Run, bool) {
-	r, ok := m.Get(id)
+// Cancel requests cancellation of a run by ID. from reports the phase
+// the run was in when the request landed: a queued run is withdrawn and
+// turns cancelled immediately (it never started); a running run stops
+// cooperatively at the next barrier; a terminal run is left untouched
+// (from echoes its state).
+func (m *Manager) Cancel(id string) (r *Run, from State, ok bool) {
+	m.mu.Lock()
+	r, ok = m.runs[id]
 	if !ok {
-		return nil, false
+		m.mu.Unlock()
+		return nil, "", false
 	}
-	r.Cancel()
-	return r, true
+	from = r.State()
+	switch from {
+	case StateQueued:
+		m.removeQueuedLocked(r)
+		r.setCancelledFrom(StateQueued)
+		r.finish(StateCancelled, nil, nil, nil)
+		m.mu.Unlock()
+		r.cancel()
+		r.Tel.Windows.Close()
+	case StateRunning:
+		r.setCancelledFrom(StateRunning)
+		m.mu.Unlock()
+		r.cancel()
+	default:
+		m.mu.Unlock()
+	}
+	return r, from, true
 }
 
-// Shutdown cancels every run and waits for workers to drain, bounded by
-// ctx.
+// Shutdown cancels every run — queued runs turn cancelled immediately,
+// running ones stop at their next barrier — and waits for dispatched
+// workers to drain, bounded by ctx.
 func (m *Manager) Shutdown(ctx context.Context) error {
 	m.mu.Lock()
+	m.shut = true
+	queued := m.queue
+	m.queue = nil
 	for _, r := range m.runs {
 		r.cancel()
 	}
 	m.mu.Unlock()
+	for _, r := range queued {
+		r.setCancelledFrom(StateQueued)
+		r.finish(StateCancelled, nil, nil, nil)
+		r.Tel.Windows.Close()
+	}
 	done := make(chan struct{})
 	go func() { m.wg.Wait(); close(done) }()
 	select {
@@ -560,50 +847,77 @@ func (m *Manager) Gather() []telemetry.Point {
 			Value:  float64(counts[st]),
 		})
 	}
+	m.mu.Lock()
+	queueDepth := len(m.queue)
+	activeW := m.activeW
+	m.mu.Unlock()
 	pts = append(pts,
 		telemetry.Point{
 			Name: "massfd_pool_slots", Kind: "gauge",
-			Help:  "Size of the simulation worker pool.",
-			Value: float64(cap(m.sem)),
+			Help:  "Size of the simulation worker pool (slot weights).",
+			Value: float64(m.workers),
 		},
 		telemetry.Point{
 			Name: "massfd_pool_busy", Kind: "gauge",
-			Help:  "Worker-pool slots currently executing a simulation.",
-			Value: float64(len(m.sem)),
+			Help:  "Pool slot weights occupied by executing simulations.",
+			Value: float64(activeW),
+		},
+		telemetry.Point{
+			Name: "massfd_queue_depth", Kind: "gauge",
+			Help:  "Runs waiting in the admission queue.",
+			Value: float64(queueDepth),
+		},
+		telemetry.Point{
+			Name: "massfd_setup_cache_entries", Kind: "gauge",
+			Help:  "Scenario builds held by the in-memory setup cache.",
+			Value: float64(m.builds.len()),
 		})
+	if m.ingest != nil {
+		pts = append(pts, m.ingest.Gather()...)
+	}
 	for _, r := range runs {
 		pts = append(pts, r.Tel.Reg.Gather(telemetry.Label{Key: "run", Value: r.ID})...)
 	}
 	return pts
 }
 
-// runLoop is a run's worker goroutine: wait for a pool slot (or
-// cancellation), execute, and record the terminal state. The telemetry
-// ring closes on every exit path so metric streams always terminate.
+// runLoop is a dispatched run's worker goroutine: execute under the
+// armed resource limits and record the terminal state. The telemetry
+// ring closes on every exit path so metric streams always terminate, and
+// the freed pool weight reschedules the queue on the way out.
 func (m *Manager) runLoop(r *Run) {
 	defer m.wg.Done()
+	defer func() {
+		m.mu.Lock()
+		m.activeW -= r.weight
+		m.scheduleLocked()
+		m.mu.Unlock()
+	}()
 	defer r.Tel.Windows.Close()
 	defer func() {
 		if p := recover(); p != nil {
 			r.finish(StateFailed, fmt.Errorf("runctl: run panicked: %v", p), nil, nil)
 		}
 	}()
-	select {
-	case <-r.ctx.Done():
+	if r.ctx.Err() != nil {
 		r.finish(StateCancelled, nil, nil, nil)
 		return
-	case m.sem <- struct{}{}:
 	}
-	defer func() { <-m.sem }()
-	r.setRunning()
+	stopLimits := r.armLimits()
 	rep, sum, err := m.execute(r)
-	switch {
+	stopLimits()
+	switch lerr := r.limitError(); {
+	case lerr != nil:
+		// A limit fired: the stop arrived through the cancellation path,
+		// but the outcome is a failure, with the partial report kept.
+		r.finish(StateFailed, lerr, rep, sum)
 	case err != nil && r.ctx.Err() != nil:
 		r.finish(StateCancelled, nil, nil, nil)
 	case err != nil:
 		r.finish(StateFailed, err, nil, nil)
 	case r.ctx.Err() != nil:
 		// Stopped mid-simulation: keep the partial report.
+		r.setCancelledFrom(StateRunning)
 		r.finish(StateCancelled, nil, rep, sum)
 	default:
 		r.finish(StateDone, nil, rep, sum)
@@ -648,37 +962,54 @@ func (m *Manager) execute(r *Run) (*metrics.Report, *NetSummary, error) {
 		return nil, nil, err
 	}
 	setupStart := time.Now()
-	net, multi, err := buildNetwork(spec)
+	appHosts := 7
+	if w == experiments.HTTPOnly {
+		appHosts = 1
+	}
+	// Scenario construction — topology, routing warm-up, role selection —
+	// is memoized by content key: a repeat submission shares the immutable
+	// built state (network, router, role slices) and pays only for a
+	// shallow copy, driving submit-to-first-window latency from a rebuild
+	// to milliseconds. The per-run knobs (engines, horizon, event cost)
+	// are overlaid on the copy below.
+	key := spec.setupKey(appHosts)
+	st0, cached, err := m.builds.get(key, func() (*experiments.Setup, error) {
+		net, multi, err := m.buildNetworkCached(spec)
+		if err != nil {
+			return nil, err
+		}
+		free := net.NumHosts() - appHosts
+		nc, ns := spec.Clients, spec.Servers
+		if nc <= 0 {
+			nc = free * 4 / 5
+		}
+		if ns <= 0 {
+			ns = free - nc
+		}
+		sc := experiments.Scale{
+			Name: "massfd", Hosts: net.NumHosts(),
+			Clients: nc, Servers: ns, AppHosts: appHosts,
+			Engines:   spec.Engines,
+			Horizon:   spec.Horizon(),
+			EventCost: spec.EventCost(),
+			Seed:      spec.Seed,
+		}
+		return experiments.NewSetup(net, sc, multi)
+	})
 	if err != nil {
 		return nil, nil, err
 	}
 	if r.ctx.Err() != nil {
 		return nil, nil, r.ctx.Err()
 	}
-	appHosts := 7
-	if w == experiments.HTTPOnly {
-		appHosts = 1
-	}
-	free := net.NumHosts() - appHosts
-	nc, ns := spec.Clients, spec.Servers
-	if nc <= 0 {
-		nc = free * 4 / 5
-	}
-	if ns <= 0 {
-		ns = free - nc
-	}
-	sc := experiments.Scale{
-		Name: "massfd", Hosts: net.NumHosts(),
-		Clients: nc, Servers: ns, AppHosts: appHosts,
-		Engines:   spec.Engines,
-		Horizon:   spec.Horizon(),
-		EventCost: spec.EventCost(),
-		Seed:      spec.Seed,
-	}
-	st, err := experiments.NewSetup(net, sc, multi)
-	if err != nil {
-		return nil, nil, err
-	}
+	r.setBuildCached(cached)
+	stc := *st0
+	stc.Scale.Engines = spec.Engines
+	stc.Scale.Horizon = spec.Horizon()
+	stc.Scale.EventCost = spec.EventCost()
+	stc.Profile = nil // profiles are per-run state, never shared via the cache
+	st := &stc
+	sc := st.Scale
 	// Setup time excludes the optional profiling pass (a full simulation
 	// run, not construction); the mapping + BuildSim segment is added below.
 	setupNS := time.Since(setupStart)
@@ -691,9 +1022,9 @@ func (m *Manager) execute(r *Run) (*metrics.Report, *NetSummary, error) {
 			if err != nil {
 				return nil, nil, err
 			}
-			if len(p.NodeEvents) != len(net.Nodes) || len(p.LinkBits) != len(net.Links) {
+			if len(p.NodeEvents) != len(st.Net.Nodes) || len(p.LinkBits) != len(st.Net.Links) {
 				return nil, nil, fmt.Errorf("runctl: profile shape %d nodes/%d links does not match network %d/%d",
-					len(p.NodeEvents), len(p.LinkBits), len(net.Nodes), len(net.Links))
+					len(p.NodeEvents), len(p.LinkBits), len(st.Net.Nodes), len(st.Net.Links))
 			}
 			st.Profile = p
 		} else if err := m.runProfiling(r, st, w); err != nil {
@@ -704,13 +1035,25 @@ func (m *Manager) execute(r *Run) (*metrics.Report, *NetSummary, error) {
 		}
 	}
 	mapStart := time.Now()
-	mp, err := st.MapApproach(a)
+	// Non-profile mappings are deterministic per (setup, approach,
+	// engines), so the warm path reuses them from the scenario cache; a
+	// profile-based mapping depends on per-run measured rates and is
+	// always computed fresh.
+	var mp *core.Mapping
+	if a.ProfileBased() {
+		mp, err = st.MapApproach(a)
+	} else {
+		mapKey := fmt.Sprintf("%s|e=%d", a, spec.Engines)
+		mp, err = m.builds.mapping(key, mapKey, func() (*core.Mapping, error) {
+			return st.MapApproach(a)
+		})
+	}
 	if err != nil {
 		return nil, nil, err
 	}
 	r.setMLL(mp.MLL.Millis())
 	r.setPartition(mp.Part)
-	sim, _, err := st.BuildSim(mp, w, experiments.SimOptions{
+	sim, _, err := st.BuildSim(mp, w, runspec.RunSpec{
 		Telemetry:      r.Tel,
 		RealTimeFactor: spec.RealTimeFactor,
 		SeriesBuckets:  256,
@@ -728,6 +1071,18 @@ func (m *Manager) execute(r *Run) (*metrics.Report, *NetSummary, error) {
 	r.Tel.SetupNS.Set(int64(setupNS))
 	// Publish the plane before Run so /net/stream can follow live.
 	r.setNetMon(sim.Config().NetMon)
+	if m.ingest != nil && spec.Ingest {
+		// Expose the run to the live agent plane: outside connections
+		// attach under the run id and address hosts by index into the
+		// setup's host table. The pump must be installed before Run.
+		ag := agent.New(sim, des.Millisecond)
+		r.setAgent(ag)
+		m.ingest.Register(r.ID, ag, st.Hosts)
+		defer func() {
+			m.ingest.Unregister(r.ID)
+			ag.Close()
+		}()
+	}
 	release := watchCancel(r.ctx, sim.Stop)
 	res := sim.Run()
 	release()
@@ -772,7 +1127,7 @@ func (m *Manager) runProfiling(r *Run, st *experiments.Setup, w experiments.Work
 	seq := *st
 	seq.Scale.Engines = 1
 	mp := &core.Mapping{Approach: core.RANDOM, MLL: core.MaxMLL, E: 1, Es: 1, Ec: 1}
-	sim, _, err := seq.BuildSim(mp, w, experiments.SimOptions{})
+	sim, _, err := seq.BuildSim(mp, w, runspec.RunSpec{})
 	if err != nil {
 		return err
 	}

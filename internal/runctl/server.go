@@ -1,11 +1,25 @@
-// HTTP surface of the run-control daemon. Routes (Go 1.22 method
-// patterns):
+// HTTP surface of the run-control daemon. The canonical surface lives
+// under the versioned /api/v1 prefix; every route is also registered at
+// its historical unversioned path as a thin deprecated alias that returns
+// byte-identical bodies (plus Deprecation/Link headers pointing at the
+// successor). Errors are a uniform JSON envelope:
+//
+//	{"error": {"code": "<machine_code>", "message": "<human text>"}}
+//
+// with codes invalid_spec (400), not_found (404) and queue_full (429).
+//
+// Routes (Go 1.22 method patterns, shown unprefixed):
 //
 //	GET    /healthz               liveness probe
 //	GET    /runs                  list runs (JSON)
 //	POST   /runs                  submit a Spec, returns 202 + Info
+//	                              (429 queue_full when the admission
+//	                              queue is at capacity)
 //	GET    /runs/{id}             one run's Info
-//	POST   /runs/{id}/cancel      request cancellation
+//	POST   /runs/{id}/cancel      request cancellation; the Info body's
+//	                              cancelled_from distinguishes a queued
+//	                              run withdrawn before starting from a
+//	                              running simulation being stopped
 //	DELETE /runs/{id}             same as cancel
 //	GET    /runs/{id}/metrics     live NDJSON stream of per-window
 //	                              records (replay + follow until the run
@@ -47,9 +61,11 @@ package runctl
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"massf/internal/flight"
 	"massf/internal/netmon"
@@ -58,6 +74,9 @@ import (
 
 // maxSpecBytes bounds a submission body (DML uploads included).
 const maxSpecBytes = 64 << 20
+
+// APIPrefix is the canonical versioned route prefix.
+const APIPrefix = "/api/v1"
 
 // Server exposes a Manager over HTTP.
 type Server struct {
@@ -68,25 +87,42 @@ type Server struct {
 // NewServer builds the HTTP front end for m.
 func NewServer(m *Manager) *Server {
 	s := &Server{m: m, mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+	s.handle("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
-	s.mux.HandleFunc("GET /runs", s.listRuns)
-	s.mux.HandleFunc("POST /runs", s.submitRun)
-	s.mux.HandleFunc("GET /runs/{id}", s.getRun)
-	s.mux.HandleFunc("POST /runs/{id}/cancel", s.cancelRun)
-	s.mux.HandleFunc("DELETE /runs/{id}", s.cancelRun)
-	s.mux.HandleFunc("GET /runs/{id}/metrics", s.runMetrics)
-	s.mux.HandleFunc("GET /runs/{id}/trace", s.runTrace)
-	s.mux.HandleFunc("GET /runs/{id}/straggler", s.runStraggler)
-	s.mux.HandleFunc("GET /runs/{id}/profile", s.runProfile)
-	s.mux.HandleFunc("GET /runs/{id}/faults", s.runFaults)
-	s.mux.HandleFunc("GET /runs/{id}/net/links", s.runNetLinks)
-	s.mux.HandleFunc("GET /runs/{id}/net/flows", s.runNetFlows)
-	s.mux.HandleFunc("GET /runs/{id}/net/paths", s.runNetPaths)
-	s.mux.HandleFunc("GET /runs/{id}/net/stream", s.runNetStream)
-	s.mux.HandleFunc("GET /metrics", s.aggregateMetrics)
+	s.handle("GET /runs", s.listRuns)
+	s.handle("POST /runs", s.submitRun)
+	s.handle("GET /runs/{id}", s.getRun)
+	s.handle("POST /runs/{id}/cancel", s.cancelRun)
+	s.handle("DELETE /runs/{id}", s.cancelRun)
+	s.handle("GET /runs/{id}/metrics", s.runMetrics)
+	s.handle("GET /runs/{id}/trace", s.runTrace)
+	s.handle("GET /runs/{id}/straggler", s.runStraggler)
+	s.handle("GET /runs/{id}/profile", s.runProfile)
+	s.handle("GET /runs/{id}/faults", s.runFaults)
+	s.handle("GET /runs/{id}/net/links", s.runNetLinks)
+	s.handle("GET /runs/{id}/net/flows", s.runNetFlows)
+	s.handle("GET /runs/{id}/net/paths", s.runNetPaths)
+	s.handle("GET /runs/{id}/net/stream", s.runNetStream)
+	s.handle("GET /metrics", s.aggregateMetrics)
 	return s
+}
+
+// handle registers one route twice: canonically under APIPrefix, and at
+// the historical unversioned path as a deprecated alias. Both share the
+// handler, so bodies are identical by construction; the alias only adds
+// the deprecation headers.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	method, path, ok := strings.Cut(pattern, " ")
+	if !ok {
+		panic("runctl: route pattern must be \"METHOD /path\": " + pattern)
+	}
+	s.mux.HandleFunc(method+" "+APIPrefix+path, h)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "<"+APIPrefix+r.URL.Path+">; rel=\"successor-version\"")
+		h(w, r)
+	})
 }
 
 // ServeHTTP implements http.Handler.
@@ -100,8 +136,28 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// Error codes of the uniform error envelope.
+const (
+	CodeInvalidSpec = "invalid_spec"
+	CodeNotFound    = "not_found"
+	CodeQueueFull   = "queue_full"
+)
+
+// apiError is the uniform JSON error envelope:
+// {"error": {"code", "message"}}.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, map[string]apiError{
+		"error": {Code: code, Message: err.Error()},
+	})
+}
+
+func writeNotFound(w http.ResponseWriter, err error) {
+	writeError(w, http.StatusNotFound, CodeNotFound, err)
 }
 
 func (s *Server) listRuns(w http.ResponseWriter, _ *http.Request) {
@@ -113,12 +169,16 @@ func (s *Server) submitRun(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("runctl: bad spec: %w", err))
+		writeError(w, http.StatusBadRequest, CodeInvalidSpec, fmt.Errorf("runctl: bad spec: %w", err))
 		return
 	}
 	run, err := s.m.Submit(spec)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		if errors.Is(err, ErrQueueFull) {
+			writeError(w, http.StatusTooManyRequests, CodeQueueFull, err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, CodeInvalidSpec, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, run.Info())
@@ -127,19 +187,38 @@ func (s *Server) submitRun(w http.ResponseWriter, r *http.Request) {
 func (s *Server) getRun(w http.ResponseWriter, r *http.Request) {
 	run, ok := s.m.Get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("runctl: no run %q", r.PathValue("id")))
+		writeNotFound(w, fmt.Errorf("runctl: no run %q", r.PathValue("id")))
 		return
 	}
 	writeJSON(w, http.StatusOK, run.Info())
 }
 
+// cancelRun requests cancellation. The response body distinguishes the
+// two live cases: a queued run is withdrawn without ever starting
+// (cancelled_from "queued", state already "cancelled") while a running
+// simulation is stopped at its next barrier (cancelled_from "running").
+// Cancelling an already-terminal run is a no-op echo of its Info.
 func (s *Server) cancelRun(w http.ResponseWriter, r *http.Request) {
-	run, ok := s.m.Cancel(r.PathValue("id"))
+	run, from, ok := s.m.Cancel(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("runctl: no run %q", r.PathValue("id")))
+		writeNotFound(w, fmt.Errorf("runctl: no run %q", r.PathValue("id")))
 		return
 	}
-	writeJSON(w, http.StatusOK, run.Info())
+	info := run.Info()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"run":            info,
+		"cancelled_from": cancelPhase(from),
+	})
+}
+
+// cancelPhase maps the state a cancel request observed to the response's
+// cancelled_from value: only queued and running runs are actually
+// affected; terminal states report empty (nothing was cancelled).
+func cancelPhase(from State) State {
+	if from == StateQueued || from == StateRunning {
+		return from
+	}
+	return ""
 }
 
 // runMetrics streams one run's per-window telemetry as NDJSON: the
@@ -149,7 +228,7 @@ func (s *Server) cancelRun(w http.ResponseWriter, r *http.Request) {
 func (s *Server) runMetrics(w http.ResponseWriter, r *http.Request) {
 	run, ok := s.m.Get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("runctl: no run %q", r.PathValue("id")))
+		writeNotFound(w, fmt.Errorf("runctl: no run %q", r.PathValue("id")))
 		return
 	}
 	if r.URL.Query().Get("format") == "prom" {
@@ -220,7 +299,7 @@ func flush(w http.ResponseWriter) {
 func (s *Server) runTrace(w http.ResponseWriter, r *http.Request) {
 	run, ok := s.m.Get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("runctl: no run %q", r.PathValue("id")))
+		writeNotFound(w, fmt.Errorf("runctl: no run %q", r.PathValue("id")))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -239,7 +318,7 @@ func (s *Server) runTrace(w http.ResponseWriter, r *http.Request) {
 func (s *Server) runStraggler(w http.ResponseWriter, r *http.Request) {
 	run, ok := s.m.Get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("runctl: no run %q", r.PathValue("id")))
+		writeNotFound(w, fmt.Errorf("runctl: no run %q", r.PathValue("id")))
 		return
 	}
 	k, _ := strconv.Atoi(r.URL.Query().Get("k"))
@@ -262,12 +341,12 @@ func (s *Server) runStraggler(w http.ResponseWriter, r *http.Request) {
 func (s *Server) runProfile(w http.ResponseWriter, r *http.Request) {
 	run, ok := s.m.Get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("runctl: no run %q", r.PathValue("id")))
+		writeNotFound(w, fmt.Errorf("runctl: no run %q", r.PathValue("id")))
 		return
 	}
 	p := run.CapturedProfile()
 	if p == nil {
-		writeError(w, http.StatusNotFound,
+		writeNotFound(w,
 			fmt.Errorf("runctl: run %q has no measured profile yet (state %s)", run.ID, run.State()))
 		return
 	}
@@ -281,12 +360,12 @@ func (s *Server) runProfile(w http.ResponseWriter, r *http.Request) {
 func (s *Server) runFaults(w http.ResponseWriter, r *http.Request) {
 	run, ok := s.m.Get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("runctl: no run %q", r.PathValue("id")))
+		writeNotFound(w, fmt.Errorf("runctl: no run %q", r.PathValue("id")))
 		return
 	}
 	recs := run.Faults()
 	if recs == nil {
-		writeError(w, http.StatusNotFound,
+		writeNotFound(w,
 			fmt.Errorf("runctl: run %q has no fault report (no fault script, or still %s)", run.ID, run.State()))
 		return
 	}
@@ -303,12 +382,12 @@ func (s *Server) runFaults(w http.ResponseWriter, r *http.Request) {
 func (s *Server) netMon(w http.ResponseWriter, r *http.Request) (*Run, *netmon.Mon, bool) {
 	run, ok := s.m.Get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("runctl: no run %q", r.PathValue("id")))
+		writeNotFound(w, fmt.Errorf("runctl: no run %q", r.PathValue("id")))
 		return nil, nil, false
 	}
 	mon := run.NetMon()
 	if mon == nil {
-		writeError(w, http.StatusNotFound,
+		writeNotFound(w,
 			fmt.Errorf("runctl: run %q has no network observability plane (submit with \"netmon\": true or \"net_sample\" > 0; state %s)",
 				run.ID, run.State()))
 		return nil, nil, false
@@ -352,7 +431,7 @@ func (s *Server) runNetPaths(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !mon.Sampling() {
-		writeError(w, http.StatusNotFound,
+		writeNotFound(w,
 			fmt.Errorf("runctl: run %q records no packet paths (submit with \"net_sample\" > 0)", run.ID))
 		return
 	}

@@ -1,7 +1,7 @@
 // Package runspec defines RunSpec, the single run-configuration surface
 // shared by every way of launching a simulation: the massf facade
-// (massf.RunSpec), the experiments harness (experiments.SimOptions is a
-// deprecated alias) and the runctl daemon (runctl.Spec embeds it, so the
+// (massf.RunSpec), the experiments harness (BuildSim takes it directly)
+// and the runctl daemon (runctl.Spec embeds it, so the
 // HTTP wire format is unchanged). Before this package each of those
 // declared its own overlapping knob set — engine count, horizon, seed,
 // pacing, event cost — with defaults and range checks duplicated or
@@ -11,6 +11,7 @@ package runspec
 
 import (
 	"fmt"
+	"time"
 
 	"massf/internal/des"
 	"massf/internal/faults"
@@ -35,6 +36,24 @@ type RunSpec struct {
 	// EventCostUS is the modeled per-event cost in microseconds.
 	// Default 15.
 	EventCostUS float64 `json:"event_cost_us,omitempty"`
+	// Priority is the scheduling class a service daemon runs this spec
+	// under: "high" preempts the queue order of "normal" (the default),
+	// which preempts "low". Within a class, admission order wins. Batch
+	// surfaces (massf, simcheck) ignore it.
+	Priority string `json:"priority,omitempty"`
+	// Weight is the number of worker-pool slots the run occupies while
+	// executing (default 1; clamped to the pool size at admission), the
+	// resource-packing knob for scheduling heavy runs next to light ones.
+	Weight int `json:"weight,omitempty"`
+	// WallLimitMS > 0 bounds the run's execution wall-clock time; a run
+	// that exceeds it is stopped through the cancellation path and ends
+	// failed, with the limit in its error.
+	WallLimitMS float64 `json:"wall_limit_ms,omitempty"`
+	// MemLimitMB > 0 bounds the executing process's live heap while the
+	// run executes, sampled periodically; exceeding it stops the run like
+	// WallLimitMS. On a daemon executing runs concurrently the sample is
+	// process-wide, so treat it as a safety net, not an allocator.
+	MemLimitMB float64 `json:"mem_limit_mb,omitempty"`
 	// SeriesBuckets caps the per-window load series length (0 keeps
 	// every window).
 	SeriesBuckets int `json:"series_buckets,omitempty"`
@@ -94,6 +113,38 @@ const (
 	FidelityHybrid = "hybrid"
 )
 
+// Priority classes for Priority.
+const (
+	PriorityHigh   = "high"
+	PriorityNormal = "normal"
+	PriorityLow    = "low"
+)
+
+// PriorityRank maps the spec's priority class to its scheduling rank
+// (higher runs first). The zero value ("" after Normalize is "normal")
+// ranks 1.
+func (s *RunSpec) PriorityRank() int {
+	switch s.Priority {
+	case PriorityHigh:
+		return 2
+	case PriorityLow:
+		return 0
+	default:
+		return 1
+	}
+}
+
+// WallLimit returns the wall-clock execution bound as a duration (0 =
+// unlimited).
+func (s *RunSpec) WallLimit() time.Duration {
+	return time.Duration(s.WallLimitMS * float64(time.Millisecond))
+}
+
+// MemLimitBytes returns the heap bound in bytes (0 = unlimited).
+func (s *RunSpec) MemLimitBytes() uint64 {
+	return uint64(s.MemLimitMB * float64(1<<20))
+}
+
 // Hybrid reports whether the spec requests hybrid flow/packet fidelity.
 func (s *RunSpec) Hybrid() bool { return s.FlowFidelity == FidelityHybrid }
 
@@ -116,6 +167,12 @@ func (s *RunSpec) Normalize() {
 	if s.EventCostUS == 0 {
 		s.EventCostUS = 15
 	}
+	if s.Priority == "" {
+		s.Priority = PriorityNormal
+	}
+	if s.Weight == 0 {
+		s.Weight = 1
+	}
 }
 
 // Validate rejects out-of-range knobs before any work starts.
@@ -134,6 +191,21 @@ func (s *RunSpec) Validate() error {
 	}
 	if s.SeriesBuckets < 0 {
 		return fmt.Errorf("runspec: series buckets must be ≥ 0")
+	}
+	switch s.Priority {
+	case "", PriorityHigh, PriorityNormal, PriorityLow:
+	default:
+		return fmt.Errorf("runspec: priority %q (want %q, %q or %q)",
+			s.Priority, PriorityHigh, PriorityNormal, PriorityLow)
+	}
+	if s.Weight < 0 {
+		return fmt.Errorf("runspec: weight must be ≥ 0")
+	}
+	if s.WallLimitMS < 0 {
+		return fmt.Errorf("runspec: wall-clock limit must be ≥ 0")
+	}
+	if s.MemLimitMB < 0 {
+		return fmt.Errorf("runspec: memory limit must be ≥ 0")
 	}
 	if s.NetSample < 0 {
 		return fmt.Errorf("runspec: net sample stride must be ≥ 0")

@@ -180,7 +180,7 @@ type (
 	// RunSpec is the unified run configuration: the engine count, horizon,
 	// seed, real-time pacing, event cost, series resolution and telemetry
 	// knobs that previously appeared — with diverging defaults and
-	// validation — on SimConfig, experiments.SimOptions and the daemon's
+	// validation — on SimConfig, experiments.BuildSim and the daemon's
 	// runctl.Spec. Normalize applies the shared defaults, Validate the
 	// shared range checks, and SimConfig() seeds a packet-simulation
 	// config; the daemon's Spec embeds it and the experiments harness
